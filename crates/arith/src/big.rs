@@ -1,0 +1,426 @@
+//! Core representation and arithmetic for [`Big`].
+
+use std::cmp::Ordering;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Sub, SubAssign};
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Stored as little-endian `u64` limbs with no trailing zero limbs
+/// (the canonical representation of zero is an empty limb vector).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Big {
+    /// Little-endian limbs; invariant: `limbs.last() != Some(&0)`.
+    limbs: Vec<u64>,
+}
+
+impl Big {
+    /// The value `0`.
+    pub const fn zero() -> Self {
+        Big { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        Big::from(1u64)
+    }
+
+    /// Returns `true` if this value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
+            _ => None,
+        }
+    }
+
+    /// Converts to `f64`, saturating to `f64::INFINITY` on overflow.
+    ///
+    /// Useful for plotting/log-scale output where exactness is not needed.
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for &limb in self.limbs.iter().rev() {
+            acc = acc * 1.8446744073709552e19 + limb as f64;
+            if acc.is_infinite() {
+                return f64::INFINITY;
+            }
+        }
+        acc
+    }
+
+    /// Base-10 logarithm as `f64` (`-inf` for zero); accurate to ~1e-9,
+    /// enough for "how many digits" style reporting far beyond `f64` range.
+    pub fn log10(&self) -> f64 {
+        match self.limbs.len() {
+            0 => f64::NEG_INFINITY,
+            1 | 2 => (self.to_u128().unwrap() as f64).log10(),
+            n => {
+                // Use the top two limbs for the mantissa and count the rest.
+                let top = (self.limbs[n - 1] as f64) * 1.8446744073709552e19
+                    + self.limbs[n - 2] as f64;
+                top.log10() + 64.0 * (n - 2) as f64 * std::f64::consts::LOG10_2
+            }
+        }
+    }
+
+    /// `self ^ exp` by binary exponentiation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `0^0` (mathematically ambiguous; callers in this workspace
+    /// never need it).
+    pub fn pow(&self, exp: u64) -> Big {
+        assert!(
+            !(self.is_zero() && exp == 0),
+            "Big::pow: 0^0 is not defined"
+        );
+        let mut base = self.clone();
+        let mut exp = exp;
+        let mut acc = Big::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Subtraction returning `None` if `other > self`.
+    pub fn checked_sub(&self, other: &Big) -> Option<Big> {
+        if self < other {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let rhs = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(rhs);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 | b2) as u64;
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(Big::from_limbs(out))
+    }
+
+    /// Divides by a small divisor, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor == 0`.
+    pub fn div_rem_u64(&self, divisor: u64) -> (Big, u64) {
+        assert_ne!(divisor, 0, "Big::div_rem_u64: division by zero");
+        let mut quot = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = rem << 64 | self.limbs[i] as u128;
+            quot[i] = (cur / divisor as u128) as u64;
+            rem = cur % divisor as u128;
+        }
+        (Big::from_limbs(quot), rem as u64)
+    }
+
+    /// Builds from little-endian limbs, trimming trailing zeros.
+    pub(crate) fn from_limbs(mut limbs: Vec<u64>) -> Big {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        Big { limbs }
+    }
+
+}
+
+impl From<u64> for Big {
+    fn from(v: u64) -> Self {
+        Big::from_limbs(vec![v])
+    }
+}
+
+impl From<u128> for Big {
+    fn from(v: u128) -> Self {
+        Big::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl From<usize> for Big {
+    fn from(v: usize) -> Self {
+        Big::from(v as u64)
+    }
+}
+
+impl From<u32> for Big {
+    fn from(v: u32) -> Self {
+        Big::from(v as u64)
+    }
+}
+
+impl Ord for Big {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => self.limbs.iter().rev().cmp(other.limbs.iter().rev()),
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for Big {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for &Big {
+    type Output = Big;
+    fn add(self, rhs: &Big) -> Big {
+        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let mut out = Vec::with_capacity(long.limbs.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.limbs.len() {
+            let b = short.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long.limbs[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 | c2) as u64;
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        Big::from_limbs(out)
+    }
+}
+
+impl Mul for &Big {
+    type Output = Big;
+    fn mul(self, rhs: &Big) -> Big {
+        if self.is_zero() || rhs.is_zero() {
+            return Big::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry > 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        Big::from_limbs(out)
+    }
+}
+
+impl Sub for &Big {
+    type Output = Big;
+    /// # Panics
+    ///
+    /// Panics on underflow; use [`Big::checked_sub`] to handle that case.
+    fn sub(self, rhs: &Big) -> Big {
+        self.checked_sub(rhs)
+            .expect("Big subtraction underflow; use checked_sub")
+    }
+}
+
+macro_rules! forward_owned {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident) => {
+        impl $trait for Big {
+            type Output = Big;
+            fn $method(self, rhs: Big) -> Big {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Big> for Big {
+            type Output = Big;
+            fn $method(self, rhs: &Big) -> Big {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Big> for &Big {
+            type Output = Big;
+            fn $method(self, rhs: Big) -> Big {
+                self.$method(&rhs)
+            }
+        }
+        impl $assign_trait<&Big> for Big {
+            fn $assign_method(&mut self, rhs: &Big) {
+                *self = (&*self).$method(rhs);
+            }
+        }
+        impl $assign_trait<Big> for Big {
+            fn $assign_method(&mut self, rhs: Big) {
+                *self = (&*self).$method(&rhs);
+            }
+        }
+    };
+}
+
+forward_owned!(Add, add, AddAssign, add_assign);
+forward_owned!(Mul, mul, MulAssign, mul_assign);
+forward_owned!(Sub, sub, SubAssign, sub_assign);
+
+impl Mul<u64> for &Big {
+    type Output = Big;
+    fn mul(self, rhs: u64) -> Big {
+        self * &Big::from(rhs)
+    }
+}
+
+impl Add<u64> for &Big {
+    type Output = Big;
+    fn add(self, rhs: u64) -> Big {
+        self + &Big::from(rhs)
+    }
+}
+
+impl Mul<u64> for Big {
+    type Output = Big;
+    fn mul(self, rhs: u64) -> Big {
+        &self * rhs
+    }
+}
+
+impl Add<u64> for Big {
+    type Output = Big;
+    fn add(self, rhs: u64) -> Big {
+        &self + rhs
+    }
+}
+
+impl std::iter::Sum for Big {
+    fn sum<I: Iterator<Item = Big>>(iter: I) -> Big {
+        iter.fold(Big::zero(), |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_canonical_empty() {
+        assert!(Big::zero().is_zero());
+        assert_eq!(Big::from(0u64), Big::zero());
+        assert_eq!(Big::zero().bit_len(), 0);
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let a = Big::from(u64::MAX);
+        let b = Big::from(1u64);
+        assert_eq!((&a + &b).to_u128(), Some(u64::MAX as u128 + 1));
+    }
+
+    #[test]
+    fn mul_across_limb_boundary() {
+        let a = Big::from(u64::MAX);
+        let prod = &a * &a;
+        assert_eq!(prod.to_u128(), Some(u64::MAX as u128 * u64::MAX as u128));
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        assert_eq!(Big::from(2u64).pow(10), Big::from(1024u64));
+        assert_eq!(Big::from(7u64).pow(0), Big::one());
+        assert_eq!(Big::zero().pow(5), Big::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "0^0")]
+    fn pow_zero_zero_panics() {
+        let _ = Big::zero().pow(0);
+    }
+
+    #[test]
+    fn pow_exceeds_u128() {
+        let p = Big::from(2u64).pow(200);
+        assert_eq!(p.to_u128(), None);
+        assert_eq!(p.bit_len(), 201);
+    }
+
+    #[test]
+    fn checked_sub_underflow_is_none() {
+        assert_eq!(Big::from(3u64).checked_sub(&Big::from(4u64)), None);
+        assert_eq!(
+            Big::from(4u64).checked_sub(&Big::from(3u64)),
+            Some(Big::one())
+        );
+    }
+
+    #[test]
+    fn sub_borrows_across_limbs() {
+        let a = Big::from(1u128 << 64);
+        let b = Big::one();
+        assert_eq!((&a - &b).to_u128(), Some((1u128 << 64) - 1));
+    }
+
+    #[test]
+    fn ordering_by_length_then_lexicographic() {
+        let small = Big::from(u64::MAX);
+        let big = Big::from(1u128 << 64);
+        assert!(small < big);
+        assert!(Big::from(5u64) > Big::from(4u64));
+        assert_eq!(Big::from(5u64).cmp(&Big::from(5u64)), Ordering::Equal);
+    }
+
+    #[test]
+    fn div_rem_small() {
+        let (q, r) = Big::from(1000u64).div_rem_u64(7);
+        assert_eq!(q, Big::from(142u64));
+        assert_eq!(r, 6);
+    }
+
+    #[test]
+    fn div_rem_multi_limb() {
+        let v = Big::from(2u64).pow(130);
+        let (q, r) = v.div_rem_u64(3);
+        // 2^130 mod 3 == (−1)^130 == 1
+        assert_eq!(r, 1);
+        assert_eq!(&q * 3u64 + 1u64, v);
+    }
+
+    #[test]
+    fn to_f64_and_log10_agree_for_moderate_values() {
+        let v = Big::from(123456789u64);
+        assert_eq!(v.to_f64(), 123456789.0);
+        assert!((v.log10() - 8.091514977).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log10_huge_value() {
+        let v = Big::from(10u64).pow(500);
+        assert!((v.log10() - 500.0).abs() < 1e-6);
+        assert_eq!(v.to_f64(), f64::INFINITY);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Big = (1u64..=100).map(Big::from).sum();
+        assert_eq!(total, Big::from(5050u64));
+    }
+}

@@ -1,0 +1,95 @@
+//! Decimal formatting and parsing for [`Big`].
+
+use crate::Big;
+use std::fmt;
+use std::str::FromStr;
+
+impl fmt::Display for Big {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        // Peel off 19 decimal digits at a time (largest power of 10 in u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = chunks.pop().unwrap().to_string();
+        for c in chunks.iter().rev() {
+            s.push_str(&format!("{c:019}"));
+        }
+        f.pad_integral(true, "", &s)
+    }
+}
+
+/// Error parsing a decimal string into a [`Big`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigError {
+    offending: char,
+}
+
+impl fmt::Display for ParseBigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid digit {:?} in Big literal", self.offending)
+    }
+}
+
+impl std::error::Error for ParseBigError {}
+
+impl FromStr for Big {
+    type Err = ParseBigError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseBigError { offending: ' ' });
+        }
+        let mut acc = Big::zero();
+        let ten = Big::from(10u64);
+        for ch in s.chars() {
+            let d = ch.to_digit(10).ok_or(ParseBigError { offending: ch })?;
+            acc = &acc * &ten + Big::from(d as u64);
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_zero_and_small() {
+        assert_eq!(Big::zero().to_string(), "0");
+        assert_eq!(Big::from(42u64).to_string(), "42");
+    }
+
+    #[test]
+    fn display_pads_inner_chunks_with_zeros() {
+        // 10^19 must print as 1 followed by nineteen zeros, not "1" ++ "0".
+        let v = Big::from(10u64).pow(19);
+        assert_eq!(v.to_string(), format!("1{}", "0".repeat(19)));
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for s in ["0", "1", "18446744073709551616", "340282366920938463463374607431768211456"] {
+            let v: Big = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_non_digits() {
+        assert!("12a3".parse::<Big>().is_err());
+        assert!("".parse::<Big>().is_err());
+    }
+
+    #[test]
+    fn display_supports_width_formatting() {
+        assert_eq!(format!("{:>6}", Big::from(42u64)), "    42");
+    }
+}

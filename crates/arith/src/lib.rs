@@ -1,0 +1,30 @@
+//! Minimal arbitrary-precision unsigned integer arithmetic.
+//!
+//! The cost analysis of *How to Meet Asynchronously at Polynomial Cost*
+//! (Dieudonné, Pelc, Villain; PODC 2013) defines length recurrences
+//! (`X*, Q*, Y*, Z*, A*, B*, K*, Ω*` — Theorem 3.1) whose values overflow
+//! `u128` already for modest parameters. This crate provides exactly the
+//! operations needed to evaluate those recurrences and the worst-case bound
+//! `Π(n, m)` precisely: addition, subtraction, multiplication, small powers,
+//! comparison, division by a small divisor, and decimal formatting.
+//!
+//! It is deliberately tiny and dependency-free; it is *not* a general-purpose
+//! bignum (no negative numbers, no full division, no bit operations beyond
+//! what the recurrences need).
+//!
+//! # Examples
+//!
+//! ```
+//! use rv_arith::Big;
+//!
+//! let a = Big::from(10u64).pow(30);
+//! let b = &a * &a;
+//! assert_eq!(b.to_string(), format!("1{}", "0".repeat(60)));
+//! assert!(b > a);
+//! ```
+
+mod big;
+mod fmt;
+
+pub use big::Big;
+pub use fmt::ParseBigError;

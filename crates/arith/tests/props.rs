@@ -1,0 +1,86 @@
+//! Property tests: `Big` arithmetic must agree with `u128` wherever
+//! `u128` can represent the result.
+
+use proptest::prelude::*;
+use rv_arith::Big;
+
+proptest! {
+    #[test]
+    fn add_agrees_with_u128(a in any::<u64>(), b in any::<u64>()) {
+        let big = Big::from(a) + Big::from(b);
+        prop_assert_eq!(big.to_u128(), Some(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn mul_agrees_with_u128(a in any::<u64>(), b in any::<u64>()) {
+        let big = Big::from(a) * Big::from(b);
+        prop_assert_eq!(big.to_u128(), Some(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn sub_agrees_with_u128(a in any::<u128>(), b in any::<u128>()) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        let big = Big::from(hi) - Big::from(lo);
+        prop_assert_eq!(big.to_u128(), Some(hi - lo));
+    }
+
+    #[test]
+    fn checked_sub_none_iff_underflow(a in any::<u128>(), b in any::<u128>()) {
+        let res = Big::from(a).checked_sub(&Big::from(b));
+        prop_assert_eq!(res.is_none(), a < b);
+    }
+
+    #[test]
+    fn ordering_agrees_with_u128(a in any::<u128>(), b in any::<u128>()) {
+        prop_assert_eq!(Big::from(a).cmp(&Big::from(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn pow_agrees_with_u128(base in 0u64..=6, exp in 0u64..=40) {
+        prop_assume!(!(base == 0 && exp == 0));
+        if let Some(expect) = (base as u128).checked_pow(exp as u32) {
+            prop_assert_eq!(Big::from(base).pow(exp).to_u128(), Some(expect));
+        }
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in any::<u128>(), d in 1u64..) {
+        let (q, r) = Big::from(a).div_rem_u64(d);
+        prop_assert!(r < d);
+        prop_assert_eq!(q * Big::from(d) + Big::from(r), Big::from(a));
+    }
+
+    #[test]
+    fn display_parse_round_trip(a in any::<u128>()) {
+        let v = Big::from(a);
+        let back: Big = v.to_string().parse().unwrap();
+        prop_assert_eq!(v.to_string(), a.to_string());
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn bit_len_agrees_with_u128(a in 1u128..) {
+        prop_assert_eq!(Big::from(a).bit_len() as u32, 128 - a.leading_zeros());
+    }
+
+    #[test]
+    fn mul_is_commutative_and_associative(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (a, b, c) = (Big::from(a), Big::from(b), Big::from(c));
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn distributivity(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (a, b, c) = (Big::from(a), Big::from(b), Big::from(c));
+        prop_assert_eq!(&a * &(&b + &c), &a * &b + &a * &c);
+    }
+
+    #[test]
+    fn log10_matches_digit_count(a in 1u128..) {
+        let v = Big::from(a);
+        let digits = v.to_string().len() as f64;
+        let l = v.log10();
+        prop_assert!(l < digits && l >= digits - 1.0 - 1e-9);
+    }
+}

@@ -1,0 +1,24 @@
+//! Criterion bench for experiment **T2**: exact evaluation of the
+//! worst-case bound Π(n, m) of Theorem 3.1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rv_core::pi_bound;
+use rv_explore::SeededUxs;
+
+fn bench_pi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t2_pi_bound");
+    group.sample_size(10);
+    for (n, m) in [(8u64, 4u64), (32, 8), (64, 16)] {
+        group.bench_with_input(
+            BenchmarkId::new("pi", format!("n{n}_m{m}")),
+            &(n, m),
+            |b, &(n, m)| {
+                b.iter(|| std::hint::black_box(pi_bound(SeededUxs::default(), n, m)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pi);
+criterion_main!(benches);

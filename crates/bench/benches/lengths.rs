@@ -1,0 +1,25 @@
+//! Criterion bench for experiment **T1**: exact bignum evaluation of the
+//! trajectory length recurrences (the analytic half of the reproduction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rv_explore::SeededUxs;
+use rv_trajectory::Lengths;
+
+fn bench_lengths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_lengths");
+    group.sample_size(20);
+    for k in [4u64, 12, 24] {
+        group.bench_with_input(BenchmarkId::new("omega", k), &k, |b, &k| {
+            b.iter(|| {
+                // Fresh evaluator per iteration: measures the full
+                // recurrence cascade, not the memo hit.
+                let l = Lengths::new(SeededUxs::default());
+                std::hint::black_box(l.omega(k))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lengths);
+criterion_main!(benches);

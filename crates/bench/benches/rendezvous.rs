@@ -1,0 +1,63 @@
+//! Criterion bench for experiment **F1**: end-to-end rendezvous runs
+//! (simulator + algorithm + cursor), per graph family and adversary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rv_core::Label;
+use rv_explore::SeededUxs;
+use rv_graph::{GraphFamily, NodeId};
+use rv_sim::adversary::AdversaryKind;
+use rv_sim::{RunConfig, RunEnd, Runtime, RvBehavior};
+
+fn bench_rendezvous(c: &mut Criterion) {
+    let uxs = SeededUxs::quadratic();
+    let mut group = c.benchmark_group("f1_rendezvous");
+    group.sample_size(20);
+    for fam in [GraphFamily::Ring, GraphFamily::Gnp, GraphFamily::Lollipop] {
+        for kind in [AdversaryKind::GreedyAvoid, AdversaryKind::LazySecond] {
+            let g = fam.generate(12, 5);
+            group.bench_with_input(
+                BenchmarkId::new(fam.to_string(), kind.to_string()),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        let agents = vec![
+                            RvBehavior::new(g, uxs, NodeId(0), Label::new(6).unwrap()),
+                            RvBehavior::new(
+                                g,
+                                uxs,
+                                NodeId(g.order() / 2),
+                                Label::new(9).unwrap(),
+                            ),
+                        ];
+                        let mut rt = Runtime::new(g, agents, RunConfig::rendezvous());
+                        let mut adv = kind.build(3);
+                        let out = rt.run(adv.as_mut());
+                        assert_eq!(out.end, RunEnd::Meeting);
+                        std::hint::black_box(out.total_traversals)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Raw cursor throughput: traversals/second streaming a deep trajectory —
+/// the simulator's inner-loop cost.
+fn bench_cursor_throughput(c: &mut Criterion) {
+    use rv_trajectory::{Spec, TrajectoryCursor};
+    let g = GraphFamily::Gnp.generate(16, 9);
+    let uxs = SeededUxs::quadratic();
+    c.bench_function("cursor_100k_steps_of_B", |b| {
+        b.iter(|| {
+            let mut cur = TrajectoryCursor::new(&g, uxs, NodeId(0));
+            cur.push(Spec::B(8));
+            for _ in 0..100_000 {
+                std::hint::black_box(cur.next_traversal());
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_rendezvous, bench_cursor_throughput);
+criterion_main!(benches);

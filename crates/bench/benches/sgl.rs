@@ -1,0 +1,45 @@
+//! Criterion bench for experiment **F4**: Algorithm SGL end to end
+//! (team size, leader election, renaming, gossiping in one run).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rv_core::Label;
+use rv_explore::SeededUxs;
+use rv_graph::{generators, NodeId};
+use rv_protocols::{SglBehavior, SglConfig};
+use rv_sim::adversary::AdversaryKind;
+use rv_sim::{RunConfig, RunEnd, Runtime};
+
+fn bench_sgl(c: &mut Criterion) {
+    let uxs = SeededUxs::quadratic();
+    let mut group = c.benchmark_group("f4_sgl");
+    group.sample_size(10);
+    for k in [2usize, 3] {
+        let g = generators::ring(6);
+        group.bench_with_input(BenchmarkId::new("ring6", k), &k, |b, &k| {
+            b.iter(|| {
+                let agents: Vec<_> = (0..k)
+                    .map(|i| {
+                        SglBehavior::new(
+                            &g,
+                            uxs,
+                            NodeId(i * 6 / k),
+                            Label::new(5 + 3 * i as u64).unwrap(),
+                            i as u64,
+                            SglConfig::default(),
+                        )
+                    })
+                    .collect();
+                let mut rt =
+                    Runtime::new(&g, agents, RunConfig::protocol().with_cutoff(40_000_000));
+                let mut adv = AdversaryKind::Random.build(2);
+                let out = rt.run(adv.as_mut());
+                assert_eq!(out.end, RunEnd::AllParked);
+                std::hint::black_box(out.total_traversals)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sgl);
+criterion_main!(benches);

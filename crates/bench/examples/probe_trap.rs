@@ -1,0 +1,42 @@
+//! Probe: find (graph, starts) where exact-lockstep naive agents never meet
+//! incidentally, so the meeting cost equals the smaller agent's full
+//! exponential schedule.
+
+use rv_core::Label;
+use rv_explore::{is_integral, ExplorationProvider, SeededUxs};
+use rv_graph::{generators, Graph, NodeId};
+use rv_sim::adversary::AdversaryKind;
+use rv_sim::{NaiveBehavior, RunConfig, RunEnd, Runtime};
+
+fn main() {
+    let uxs = SeededUxs::new(0x5EED_CAFE, 2).with_power(2);
+    let candidates: Vec<(&str, Graph, usize, usize)> = vec![
+        ("ring4 (0,1)", generators::ring(4), 0, 1),
+        ("ring4 (0,2)", generators::ring(4), 0, 2),
+        ("hcube2 (0,1)", generators::hypercube(2), 0, 1),
+        ("hcube2 (0,2)", generators::hypercube(2), 0, 2),
+        ("hcube3 (0,4)", generators::hypercube(3), 0, 4),
+        ("hcube3 (0,1)", generators::hypercube(3), 0, 1),
+        ("ring6 (0,3)", generators::ring(6), 0, 3),
+        ("ring6 (0,1)", generators::ring(6), 0, 1),
+        ("ring8 (0,1)", generators::ring(8), 0, 1),
+    ];
+    for (name, g, s1, s2) in candidates {
+        let n = g.order() as u64;
+        let integral = is_integral(&g, uxs, n, NodeId(0));
+        let p = uxs.len(n);
+        // L = 1: schedule = (2P+1)^1 repetitions of X(n).
+        let predicted = (2 * p + 1) * 2 * p;
+        let agents = vec![
+            NaiveBehavior::new(&g, uxs, NodeId(s1), Label::new(1).unwrap()),
+            NaiveBehavior::new(&g, uxs, NodeId(s2), Label::new(2).unwrap()),
+        ];
+        let mut rt = Runtime::new(&g, agents, RunConfig::rendezvous().with_cutoff(100_000_000));
+        let mut adv = AdversaryKind::RoundRobin.build(0);
+        let out = rt.run(adv.as_mut());
+        println!(
+            "{name:14} integral={integral} end={:?} cost={} (full schedule ≈ {predicted})",
+            out.end, out.total_traversals
+        );
+    }
+}

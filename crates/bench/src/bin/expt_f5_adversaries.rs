@@ -1,0 +1,122 @@
+//! **Experiment F5** — adversary strength (the model section, §1,
+//! quantified).
+//!
+//! The paper's adversary fully controls agent speed; this experiment maps
+//! how much that power costs in practice: rendezvous cost distributions
+//! per adversary strategy on a fixed instance set, plus an *empirical
+//! worst case* — the maximum over many seeded random/greedy schedules
+//! (exhaustive minimax over schedules is infeasible: the branching factor
+//! is the number of legal actions per step and the horizon is unbounded).
+//!
+//! Shape to reproduce: eager ≤ round-robin/random ≪ greedy-avoid ≤
+//! empirical max, and even the empirical max stays polynomially small —
+//! except under the exact-lockstep fence trap, reported last.
+
+use rv_bench::{geomean, print_table};
+use rv_core::Label;
+use rv_explore::SeededUxs;
+use rv_graph::{GraphFamily, NodeId};
+use rv_sim::adversary::{AdversaryKind, GreedyAvoid, RandomAdversary};
+use rv_sim::{RunConfig, RunEnd, Runtime, RvBehavior};
+
+const CUTOFF: u64 = 2_000_000;
+
+fn main() {
+    let uxs = SeededUxs::quadratic();
+    let instances: Vec<(GraphFamily, usize, u64, u64)> = vec![
+        (GraphFamily::Ring, 8, 6, 9),
+        (GraphFamily::Path, 8, 6, 9),
+        (GraphFamily::RandomTree, 10, 3, 12),
+        (GraphFamily::Gnp, 10, 21, 22),
+        (GraphFamily::Complete, 6, 1, 2),
+    ];
+
+    let mut rows = Vec::new();
+    for kind in AdversaryKind::ALL {
+        let mut costs = Vec::new();
+        let mut cutoffs = 0;
+        for &(fam, n, l1, l2) in &instances {
+            for seed in 0..4u64 {
+                match run(fam, n, l1, l2, &mut *kind.build(seed), seed, uxs) {
+                    // +1: meetings forced before any completed traversal
+                    // have cost 0, which a geometric mean cannot absorb.
+                    Some(c) => costs.push(c as f64 + 1.0),
+                    None => cutoffs += 1,
+                }
+            }
+        }
+        let gm = if costs.is_empty() { f64::NAN } else { geomean(&costs) };
+        let max = costs.iter().cloned().fold(0f64, f64::max);
+        rows.push(vec![
+            kind.to_string(),
+            format!("{gm:.1}"),
+            format!("{max:.0}"),
+            cutoffs.to_string(),
+        ]);
+    }
+    print_table(
+        "F5a — cost per adversary over 5 instances × 4 seeds",
+        &["adversary", "geomean(cost+1)", "max cost+1", "cutoffs"],
+        &rows,
+    );
+
+    // Empirical worst case: max over 200 seeded random + 200 greedy-avoid
+    // schedules on one instance.
+    let mut worst_random = 0u64;
+    let mut worst_greedy = 0u64;
+    for seed in 0..200u64 {
+        if let Some(c) = run(GraphFamily::Ring, 8, 6, 9, &mut RandomAdversary::new(seed), seed, uxs)
+        {
+            worst_random = worst_random.max(c);
+        }
+        if let Some(c) = run(GraphFamily::Ring, 8, 6, 9, &mut GreedyAvoid::new(seed), seed, uxs) {
+            worst_greedy = worst_greedy.max(c);
+        }
+    }
+    println!(
+        "\nF5b — empirical worst case on ring(8), labels (6,9), 200 seeds each:\n\
+         random schedules: max {worst_random} traversals\n\
+         greedy-avoid    : max {worst_greedy} traversals\n\
+         (compare Π(8,3) = 10^{:.1} — the guarantee's headroom)",
+        rv_core::pi_bound(uxs, 8, 3).log10()
+    );
+
+    // F5c: the TRUE worst case on a tiny instance by exhaustive search
+    // over all schedules of ≤ 12 actions (rv_sim::minimax).
+    let g = rv_graph::generators::path(3);
+    let res = rv_sim::minimax::exhaustive_worst_case(
+        &g,
+        || {
+            vec![
+                RvBehavior::new(&g, uxs, NodeId(0), Label::new(1).unwrap()),
+                RvBehavior::new(&g, uxs, NodeId(2), Label::new(2).unwrap()),
+            ]
+        },
+        12,
+    );
+    println!(
+        "\nF5c — exhaustive minimax on path(3), RV agents, horizon 12 actions:\n\
+         schedules explored: {}, worst forced-meeting cost: {:?}, \
+         avoidance possible within horizon: {}",
+        res.schedules_explored, res.max_meeting_cost, res.some_schedule_avoids
+    );
+}
+
+fn run(
+    fam: GraphFamily,
+    n: usize,
+    l1: u64,
+    l2: u64,
+    adv: &mut dyn rv_sim::adversary::Adversary,
+    seed: u64,
+    uxs: SeededUxs,
+) -> Option<u64> {
+    let g = fam.generate(n, seed * 131 + 7);
+    let agents = vec![
+        RvBehavior::new(&g, uxs, NodeId(0), Label::new(l1).unwrap()),
+        RvBehavior::new(&g, uxs, NodeId(g.order() / 2), Label::new(l2).unwrap()),
+    ];
+    let mut rt = Runtime::new(&g, agents, RunConfig::rendezvous().with_cutoff(CUTOFF));
+    let out = rt.run(adv);
+    (out.end == RunEnd::Meeting).then_some(out.total_traversals)
+}

@@ -1,0 +1,118 @@
+//! **Experiment T1** — the length recurrences of Theorem 3.1's proof.
+//!
+//! Regenerates, for k = 1..24, the exact lengths of every trajectory
+//! combinator (`|X|, |Q|, |Y|, |Z|, |A|, |B|, |K|, |Ω|`) and the paper's
+//! starred upper bounds, under the default provider `P(k) = 4k³`. Values
+//! are printed as `log₁₀` (they exceed any machine word almost
+//! immediately — the very reason the implementation is lazy and the bound
+//! arithmetic uses bignums).
+//!
+//! `--figures` additionally prints the structural expansions of `Q`, `Y′`,
+//! `Z` and `A′` — the textual counterparts of the paper's Figures 1–4.
+//!
+//! Paper claim reproduced: each quantity is polynomial in `k` (fixed
+//! slope in log-log, reported as an empirical degree), with the hierarchy
+//! `X < Q < Y < Z < A < B < K < Ω`.
+
+use rv_bench::print_table;
+use rv_explore::SeededUxs;
+use rv_trajectory::{describe, Lengths, Spec};
+
+fn main() {
+    let figures = std::env::args().any(|a| a == "--figures");
+    let uxs = SeededUxs::default();
+    let exact = Lengths::new(uxs);
+    let star = rv_core::StarredLengths::new(uxs);
+
+    let ks: Vec<u64> = (1..=24).collect();
+    let mut rows = Vec::new();
+    let mut series: Vec<(&str, Vec<(f64, f64)>)> = [
+        "X", "Q", "Y", "Z", "A", "B", "K", "Ω",
+    ]
+    .iter()
+    .map(|name| (*name, Vec::new()))
+    .collect();
+    for &k in &ks {
+        let vals = [
+            exact.x(k),
+            exact.q(k),
+            exact.y(k),
+            exact.z(k),
+            exact.a(k),
+            exact.b(k),
+            exact.k(k),
+            exact.omega(k),
+        ];
+        let mut row = vec![k.to_string()];
+        for (i, v) in vals.iter().enumerate() {
+            row.push(format!("{:.2}", v.log10()));
+            series[i].1.push((k as f64, v.log10()));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "T1 — exact trajectory lengths, log10(edge traversals), P(k)=4k³",
+        &["k", "X", "Q", "Y", "Z", "A", "B", "K", "Ω"],
+        &rows,
+    );
+
+    // Empirical polynomial degree of each series: slope of log|T| vs log k
+    // over the upper half of the range (asymptotic regime).
+    let mut deg_rows = Vec::new();
+    for (name, pts) in &series {
+        // Degrees of the largest members overflow f64; fit on log10
+        // directly: the slope of log10|T| vs log10(k) is the degree.
+        let fit: Vec<(f64, f64)> = pts
+            .iter()
+            .skip(pts.len() / 2)
+            .map(|&(k, l10)| (k, l10))
+            .collect();
+        let degree = slope_log10(&fit);
+        deg_rows.push(vec![name.to_string(), format!("{degree:.2}")]);
+    }
+    print_table(
+        "T1 — empirical polynomial degree of each combinator (fit on k=12..24)",
+        &["trajectory", "degree"],
+        &deg_rows,
+    );
+
+    // Starred bounds dominate the exact lengths (with the tightened Y*/A*;
+    // see rv_core::StarredLengths for the recorded erratum).
+    let mut dominated = true;
+    for &k in &ks {
+        dominated &= star.x(k) >= exact.x(k)
+            && star.y(k) >= exact.y(k)
+            && star.a(k) >= exact.a(k)
+            && star.b(k) >= exact.b(k)
+            && star.k(k) >= exact.k(k)
+            && star.omega(k) >= exact.omega(k);
+    }
+    println!(
+        "\nstarred bounds dominate exact lengths for all k ≤ 24: {}",
+        if dominated { "yes" } else { "NO — BUG" }
+    );
+
+    if figures {
+        println!("\n## Figures 1–4 (structural expansions)\n");
+        for (fig, spec) in [
+            ("Figure 1", Spec::Q(4)),
+            ("Figure 2", Spec::Y(3)),
+            ("Figure 3", Spec::Z(4)),
+            ("Figure 4", Spec::A(3)),
+        ] {
+            println!("{fig}:\n{}", describe(spec, 1));
+        }
+    }
+}
+
+/// Slope of `log10(y)` against `log10(k)` where y is given as log10 —
+/// i.e. the polynomial degree even when y overflows f64.
+fn slope_log10(pts: &[(f64, f64)]) -> f64 {
+    let xs: Vec<(f64, f64)> = pts.iter().map(|&(k, l10)| (k.log10(), l10)).collect();
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().map(|p| p.0).sum();
+    let sy: f64 = xs.iter().map(|p| p.1).sum();
+    let sxx: f64 = xs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = xs.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}

@@ -1,0 +1,117 @@
+//! Shared infrastructure for the experiment binaries (`src/bin/expt_*`)
+//! that regenerate every table and figure of the paper — see DESIGN.md §3
+//! for the experiment index and EXPERIMENTS.md for recorded results.
+
+use serde::Serialize;
+
+/// One measured data point of an experiment, serialisable to JSON lines.
+#[derive(Clone, Debug, Serialize)]
+pub struct Sample {
+    /// Experiment id (e.g. "F1").
+    pub experiment: String,
+    /// Graph family or scenario name.
+    pub scenario: String,
+    /// Graph order.
+    pub n: usize,
+    /// Adversary name (empty when not applicable).
+    pub adversary: String,
+    /// Free-form parameter column (label value, team size, …).
+    pub param: u64,
+    /// Measured cost (total edge traversals), `None` if the run was cut off.
+    pub cost: Option<u64>,
+}
+
+/// Renders a markdown-style table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    println!(
+        "|{}|",
+        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Least-squares slope of `log(y)` against `log(x)` — the empirical
+/// polynomial degree of a cost curve. Ignores non-positive values.
+pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    let n = pts.len() as f64;
+    if pts.len() < 2 {
+        return f64::NAN;
+    }
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Median of a non-empty slice (clones and sorts).
+pub fn median(xs: &[u64]) -> u64 {
+    assert!(!xs.is_empty(), "median of empty slice");
+    let mut v = xs.to_vec();
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+/// Geometric mean of positive values.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of empty slice");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loglog_slope_recovers_power_laws() {
+        let quad: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, (i * i) as f64)).collect();
+        assert!((loglog_slope(&quad) - 2.0).abs() < 1e-9);
+        let cubic: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, (i * i * i) as f64)).collect();
+        assert!((loglog_slope(&cubic) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loglog_slope_detects_exponentials_as_superlinear_growth() {
+        let exp: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, (2f64).powi(i))).collect();
+        assert!(loglog_slope(&exp) > 4.0);
+    }
+
+    #[test]
+    fn median_and_geomean() {
+        assert_eq!(median(&[5, 1, 9]), 5);
+        assert_eq!(median(&[4]), 4);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_rendering_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "xx".into()], vec!["22".into(), "y".into()]],
+        );
+    }
+}

@@ -1,0 +1,289 @@
+//! The RV-asynch-poly schedule generator.
+
+use crate::label::Label;
+use rv_trajectory::Spec;
+use std::fmt;
+
+/// Structural role of a spec within the algorithm's schedule — the paper's
+/// vocabulary of §3.2 (atoms, segments, borders, pieces, fences), used by
+/// the simulator's instrumentation and the synchronisation-lemma tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// One of the two atoms of segment `S_i(k)`; `bit` is the processed bit
+    /// `b_i`, `first` distinguishes the two atoms.
+    Atom {
+        /// Piece number (the `k` of the outer loop).
+        k: u64,
+        /// Segment index (1-based bit position).
+        i: u64,
+        /// The processed bit of the modified label.
+        bit: bool,
+        /// Whether this is the first of the segment's two atoms.
+        first: bool,
+    },
+    /// The border `K_{i,i+1}(k)` between segments `i` and `i+1` of piece `k`.
+    Border {
+        /// Piece number.
+        k: u64,
+        /// Segment it follows.
+        i: u64,
+    },
+    /// The fence `Ω(k)` ending piece `k`.
+    Fence {
+        /// Piece number.
+        k: u64,
+    },
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Atom { k, i, bit, first } => write!(
+                f,
+                "atom {}/2 of S_{i}({k}) [bit {}]",
+                if *first { 1 } else { 2 },
+                u8::from(*bit)
+            ),
+            Role::Border { k, i } => write!(f, "border K_{{{i},{}}}({k})", i + 1),
+            Role::Fence { k } => write!(f, "fence Ω({k})"),
+        }
+    }
+}
+
+/// Design-choice switches for the ablation experiment (F6). The default is
+/// the paper's algorithm; each switch disables one ingredient §3.1 argues
+/// is necessary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RvVariant {
+    /// Paper: each segment follows its atom trajectory **twice**. Ablation:
+    /// once.
+    pub doubled_atoms: bool,
+    /// Paper: atoms use scaled parameters `B(2k)` / `A(4k)`. Ablation:
+    /// `B(k)` / `A(k)`.
+    pub scaled_params: bool,
+    /// Paper: bits come from the prefix-free transform `M(L)`. Ablation:
+    /// the raw binary representation of `L`.
+    pub modified_label: bool,
+}
+
+impl Default for RvVariant {
+    fn default() -> Self {
+        RvVariant { doubled_atoms: true, scaled_params: true, modified_label: true }
+    }
+}
+
+/// Infinite schedule of trajectory specs for Algorithm RV-asynch-poly,
+/// executed by an agent with a given label (paper §3.1 pseudocode).
+///
+/// The agent follows the specs in order, each starting from its fixed
+/// starting node `v` — every spec in the schedule is closed (returns to
+/// `v`), so the cursor is always back at `v` when the next spec begins.
+#[derive(Clone, Debug)]
+pub struct RvAlgorithm {
+    label: Label,
+    bits: Vec<bool>,
+    variant: RvVariant,
+    /// Piece number `k ≥ 1`.
+    k: u64,
+    /// Segment index `i` in `1..=min(k, s)`.
+    i: u64,
+    /// Position within the segment: 0, 1 = atoms; 2 = border/fence.
+    stage: u8,
+}
+
+impl RvAlgorithm {
+    /// Starts the schedule for an agent labeled `label` (the paper's
+    /// algorithm).
+    pub fn new(label: Label) -> Self {
+        Self::with_variant(label, RvVariant::default())
+    }
+
+    /// Starts an ablated variant of the schedule (see [`RvVariant`]).
+    pub fn with_variant(label: Label, variant: RvVariant) -> Self {
+        let bits = if variant.modified_label {
+            label.modified().bits().to_vec()
+        } else {
+            let r = label.bit_length();
+            (0..r).rev().map(|p| label.value() >> p & 1 == 1).collect()
+        };
+        RvAlgorithm { label, bits, variant, k: 1, i: 1, stage: 0 }
+    }
+
+    /// The agent's label.
+    pub fn label(&self) -> Label {
+        self.label
+    }
+
+    /// The bit string the schedule processes (the modified label by
+    /// default).
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Current piece number.
+    pub fn piece(&self) -> u64 {
+        self.k
+    }
+
+    /// Produces the next trajectory spec (the schedule never ends).
+    pub fn next_spec(&mut self) -> Spec {
+        self.next_labeled().0
+    }
+
+    /// Produces the next spec together with its structural [`Role`].
+    pub fn next_labeled(&mut self) -> (Spec, Role) {
+        let s = self.bits.len() as u64;
+        let limit = self.k.min(s);
+        debug_assert!(self.i <= limit);
+        let bit = self.bits[self.i as usize - 1];
+        let (b_scale, a_scale) = if self.variant.scaled_params { (2, 4) } else { (1, 1) };
+        let atom_stages: u8 = if self.variant.doubled_atoms { 2 } else { 1 };
+        let out = if self.stage < atom_stages {
+            let spec = if bit {
+                Spec::B(b_scale * self.k)
+            } else {
+                Spec::A(a_scale * self.k)
+            };
+            let role = Role::Atom {
+                k: self.k,
+                i: self.i,
+                bit,
+                first: self.stage == 0,
+            };
+            (spec, role)
+        } else if limit > self.i {
+            (Spec::K(self.k), Role::Border { k: self.k, i: self.i })
+        } else {
+            (Spec::Omega(self.k), Role::Fence { k: self.k })
+        };
+        // Advance.
+        if self.stage < atom_stages {
+            self.stage += 1;
+        } else {
+            self.stage = 0;
+            if self.i < limit {
+                self.i += 1;
+            } else {
+                self.i = 1;
+                self.k += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(label: u64, count: usize) -> Vec<(Spec, Role)> {
+        let mut alg = RvAlgorithm::new(Label::new(label).unwrap());
+        (0..count).map(|_| alg.next_labeled()).collect()
+    }
+
+    #[test]
+    fn piece_1_processes_one_bit_then_fence() {
+        // M(1) = 1101; first bit is 1 → atoms are B(2·1).
+        let sched = collect(1, 3);
+        assert_eq!(sched[0].0, Spec::B(2));
+        assert_eq!(sched[1].0, Spec::B(2));
+        assert_eq!(sched[2].0, Spec::Omega(1));
+        assert!(matches!(sched[0].1, Role::Atom { k: 1, i: 1, bit: true, first: true }));
+        assert!(matches!(sched[1].1, Role::Atom { k: 1, i: 1, bit: true, first: false }));
+        assert!(matches!(sched[2].1, Role::Fence { k: 1 }));
+    }
+
+    #[test]
+    fn piece_2_processes_two_bits_with_border_between() {
+        // M(1) = 1101: piece 2 handles bits b1=1, b2=1.
+        let sched = collect(1, 9);
+        // piece 1: B B Ω; piece 2: B B K B B Ω.
+        assert_eq!(sched[3].0, Spec::B(4));
+        assert_eq!(sched[5].0, Spec::K(2));
+        assert!(matches!(sched[5].1, Role::Border { k: 2, i: 1 }));
+        assert_eq!(sched[6].0, Spec::B(4));
+        assert_eq!(sched[8].0, Spec::Omega(2));
+    }
+
+    #[test]
+    fn zero_bits_use_a_atoms() {
+        // M(2) = 1 1 0 0 0 1 (binary 10 doubled = 1100, suffix 01).
+        let mut alg = RvAlgorithm::new(Label::new(2).unwrap());
+        // Skip piece 1 (3 specs) to reach piece 2, whose second segment
+        // processes bit b2 = 1 — wait, b2 of M(2)=110001 is 1.
+        for _ in 0..3 {
+            alg.next_spec();
+        }
+        // Piece 2, segment 1 (bit 1): B(4). Segment 2 (bit 1): B(4).
+        assert_eq!(alg.next_spec(), Spec::B(4));
+        // Fast-forward to piece 3 segment 3 which processes bit b3 = 0.
+        let mut alg = RvAlgorithm::new(Label::new(2).unwrap());
+        let mut seen_a = None;
+        for _ in 0..40 {
+            let (spec, role) = alg.next_labeled();
+            if let Role::Atom { bit: false, .. } = role {
+                seen_a = Some(spec);
+                break;
+            }
+        }
+        match seen_a {
+            Some(Spec::A(k)) => assert_eq!(k % 4, 0, "A atoms use parameter 4k"),
+            other => panic!("expected an A atom, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn piece_k_has_min_k_s_segments() {
+        // For label 1, s = 4; piece 10 must have exactly 4 segments.
+        let mut alg = RvAlgorithm::new(Label::new(1).unwrap());
+        let mut segments_in_piece_10 = 0;
+        for _ in 0..1000 {
+            let (_, role) = alg.next_labeled();
+            match role {
+                Role::Atom { k: 10, first: true, .. } => segments_in_piece_10 += 1,
+                Role::Fence { k: 11 } => break,
+                _ => {}
+            }
+        }
+        assert_eq!(segments_in_piece_10, 4);
+    }
+
+    #[test]
+    fn every_piece_ends_with_its_fence() {
+        let mut alg = RvAlgorithm::new(Label::new(23).unwrap());
+        let mut expected_next_fence = 1;
+        for _ in 0..300 {
+            let (spec, role) = alg.next_labeled();
+            if let Role::Fence { k } = role {
+                assert_eq!(k, expected_next_fence);
+                assert_eq!(spec, Spec::Omega(k));
+                expected_next_fence += 1;
+            }
+        }
+        assert!(expected_next_fence > 3, "several fences must have passed");
+    }
+
+    #[test]
+    fn atom_parameters_follow_the_paper() {
+        // Bit 1 → B(2k); bit 0 → A(4k).
+        let mut alg = RvAlgorithm::new(Label::new(6).unwrap()); // M(6)=11 11 00 01
+        for _ in 0..400 {
+            let (spec, role) = alg.next_labeled();
+            if let Role::Atom { k, bit, .. } = role {
+                match (bit, spec) {
+                    (true, Spec::B(p)) => assert_eq!(p, 2 * k),
+                    (false, Spec::A(p)) => assert_eq!(p, 4 * k),
+                    other => panic!("wrong atom spec: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn role_display_is_readable() {
+        let role = Role::Atom { k: 3, i: 2, bit: true, first: false };
+        assert_eq!(role.to_string(), "atom 2/2 of S_2(3) [bit 1]");
+        assert_eq!(Role::Border { k: 3, i: 1 }.to_string(), "border K_{1,2}(3)");
+        assert_eq!(Role::Fence { k: 4 }.to_string(), "fence Ω(4)");
+    }
+}

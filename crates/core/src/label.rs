@@ -1,0 +1,184 @@
+//! Agent labels and the prefix-free label transform.
+
+use std::fmt;
+
+/// An agent label: a strictly positive integer, known only to its owner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(u64);
+
+impl Label {
+    /// Creates a label; returns `None` for `0` (the model requires strictly
+    /// positive labels).
+    pub fn new(value: u64) -> Option<Self> {
+        (value > 0).then_some(Label(value))
+    }
+
+    /// The numeric value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+
+    /// The paper's `|L|`: the length of the binary representation.
+    pub fn bit_length(&self) -> u32 {
+        64 - self.0.leading_zeros()
+    }
+
+    /// The modified label `M(L)`.
+    pub fn modified(&self) -> ModifiedLabel {
+        ModifiedLabel::of(*self)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The modified label `M(x) = c₁c₁c₂c₂…c_rc_r 0 1` where `c₁…c_r` is the
+/// binary representation of `x` (most significant bit first).
+///
+/// Two properties drive the algorithm (both tested):
+/// * `M(x)` is never a prefix of `M(y)` for `x ≠ y`;
+/// * `M` is injective.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ModifiedLabel {
+    bits: Vec<bool>,
+}
+
+impl ModifiedLabel {
+    /// Computes `M(label)`.
+    pub fn of(label: Label) -> Self {
+        let r = label.bit_length();
+        let mut bits = Vec::with_capacity(2 * r as usize + 2);
+        for pos in (0..r).rev() {
+            let bit = label.value() >> pos & 1 == 1;
+            bits.push(bit);
+            bits.push(bit);
+        }
+        bits.push(false);
+        bits.push(true);
+        ModifiedLabel { bits }
+    }
+
+    /// The paper's `s`: number of bits of the modified label (`2|L| + 2`).
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Modified labels are never empty (labels are positive).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The `i`-th bit, **1-based** as in the paper (`b_1 … b_s`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == 0` or `i > s`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i >= 1 && i <= self.bits.len(), "bit index {i} out of 1..={}", self.bits.len());
+        self.bits[i - 1]
+    }
+
+    /// All bits, most significant first.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Returns the first (1-based) position where `self` and `other`
+    /// differ. Guaranteed to exist for distinct labels within the shorter
+    /// length (prefix-freeness).
+    pub fn first_difference(&self, other: &ModifiedLabel) -> Option<usize> {
+        let shorter = self.bits.len().min(other.bits.len());
+        (0..shorter).find(|&j| self.bits[j] != other.bits[j]).map(|j| j + 1)
+    }
+}
+
+impl fmt::Display for ModifiedLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.bits {
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_rejects_zero() {
+        assert!(Label::new(0).is_none());
+        assert!(Label::new(1).is_some());
+    }
+
+    #[test]
+    fn bit_length_matches_paper_definition() {
+        assert_eq!(Label::new(1).unwrap().bit_length(), 1);
+        assert_eq!(Label::new(2).unwrap().bit_length(), 2);
+        assert_eq!(Label::new(255).unwrap().bit_length(), 8);
+        assert_eq!(Label::new(256).unwrap().bit_length(), 9);
+    }
+
+    #[test]
+    fn modified_label_of_5() {
+        // 5 = 101 → doubled 11 00 11, suffix 01.
+        let m = Label::new(5).unwrap().modified();
+        assert_eq!(m.to_string(), "11001101");
+        assert_eq!(m.len(), 8);
+        assert!(m.bit(1));
+        assert!(!m.bit(3));
+        assert!(!m.bit(7));
+        assert!(m.bit(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 1..=")]
+    fn bit_is_one_based() {
+        Label::new(5).unwrap().modified().bit(0);
+    }
+
+    #[test]
+    fn length_is_2r_plus_2() {
+        for v in [1u64, 2, 3, 7, 100, u64::MAX] {
+            let l = Label::new(v).unwrap();
+            assert_eq!(l.modified().len() as u32, 2 * l.bit_length() + 2);
+        }
+    }
+
+    #[test]
+    fn first_difference_exists_for_distinct_labels() {
+        let a = Label::new(12).unwrap().modified();
+        let b = Label::new(13).unwrap().modified();
+        let pos = a.first_difference(&b).expect("distinct labels must differ");
+        assert!(pos <= a.len().min(b.len()));
+        assert_ne!(a.bit(pos), b.bit(pos));
+    }
+
+    #[test]
+    fn same_label_has_no_difference() {
+        let a = Label::new(9).unwrap().modified();
+        let b = Label::new(9).unwrap().modified();
+        assert_eq!(a.first_difference(&b), None);
+    }
+
+    #[test]
+    fn prefix_freeness_small_exhaustive() {
+        // M(x) must never be a prefix of M(y), x != y, exhaustively for
+        // small labels.
+        let labels: Vec<ModifiedLabel> =
+            (1u64..=64).map(|v| Label::new(v).unwrap().modified()).collect();
+        for (i, a) in labels.iter().enumerate() {
+            for (j, b) in labels.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let is_prefix =
+                    a.len() <= b.len() && a.bits() == &b.bits()[..a.len()];
+                assert!(!is_prefix, "M({}) is a prefix of M({})", i + 1, j + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Algorithm **RV-asynch-poly** — deterministic asynchronous rendezvous at
+//! polynomial cost (paper §3), plus the naive exponential baseline and the
+//! exact worst-case cost bound `Π(n, m)` of Theorem 3.1.
+//!
+//! An agent with label `L` first transforms `L`'s binary representation
+//! `c₁…c_r` into the *modified label* `M(L) = c₁c₁c₂c₂…c_rc_r 0 1`
+//! ([`ModifiedLabel`]) — a prefix-free code, so two distinct agents always
+//! disagree on some bit position both possess. The algorithm
+//! ([`RvAlgorithm`]) then walks an infinite schedule of trajectories
+//! organised into *pieces* separated by *fences*:
+//!
+//! ```text
+//! for k = 1, 2, 3, …                          (piece k)
+//!     for i = 1 .. min(k, s):                 (segment i of piece k)
+//!         bit bᵢ = 1 → follow B(2k, v) twice  (two "atoms")
+//!         bit bᵢ = 0 → follow A(4k, v) twice
+//!         more bits to come in this piece → border K(k, v)
+//!         last bit of the piece           → fence  Ω(k, v)
+//! ```
+//!
+//! The synchronisation trajectories `K`/`Ω` force the other agent to make
+//! progress (or meet); the atom trajectories `A`/`B` are engineered so that
+//! when the two agents process the first bit where their modified labels
+//! differ at roughly the same time, a meeting is unavoidable (Lemma 3.1).
+//! Theorem 3.1 bounds the total cost to rendezvous by `Π(n, m)` — see
+//! [`pi_bound`] — polynomial in the graph order `n` and the length `m` of
+//! the smaller label.
+//!
+//! # Examples
+//!
+//! ```
+//! use rv_core::{Label, RvAlgorithm, Role};
+//!
+//! let mut alg = RvAlgorithm::new(Label::new(5).unwrap());
+//! // Piece 1 processes one bit (the first bit of M(5) = 1) then a fence.
+//! let (spec, role) = alg.next_labeled();
+//! assert_eq!(spec.to_string(), "B(2)");
+//! assert!(matches!(role, Role::Atom { k: 1, i: 1, bit: true, first: true }));
+//! ```
+
+mod algorithm;
+mod bounds;
+mod label;
+mod naive;
+
+pub use algorithm::{Role, RvAlgorithm, RvVariant};
+pub use bounds::{naive_bound, naive_bound_log10, pi_bound, StarredLengths};
+pub use label::{Label, ModifiedLabel};
+pub use naive::NaiveAlgorithm;

@@ -1,0 +1,79 @@
+//! The naive exponential-cost rendezvous baseline (paper §3, opening).
+//!
+//! If the graph order `n` (or an upper bound) is known, the following
+//! simple algorithm works: an agent with label `L` follows
+//! `(R(n,v) R̄(n,v))^((2P(n)+1)^L)` — that is, `X(n, v)` repeated
+//! `(2P(n)+1)^L` times — and stops. The agent with the larger label
+//! performs more integral round trips than the smaller agent has edge
+//! traversals in total, so if they never met while both moved, the larger
+//! one sweeps the graph again after the smaller has stopped and must find
+//! it. The two drawbacks the paper fixes: it needs `n`, and its cost is
+//! **exponential in `L`** (not in `|L|` — doubly exponential in the label
+//! length). This module exists as the baseline for experiment F2.
+
+use crate::label::Label;
+use rv_arith::Big;
+use rv_explore::ExplorationProvider;
+use rv_trajectory::Spec;
+
+/// Schedule generator for the naive baseline. Unlike [`crate::RvAlgorithm`]
+/// the schedule is finite: after `(2P(n)+1)^L` repetitions of `X(n)` the
+/// agent stops forever.
+#[derive(Clone, Debug)]
+pub struct NaiveAlgorithm {
+    n: u64,
+    remaining: Big,
+}
+
+impl NaiveAlgorithm {
+    /// Creates the schedule for known graph order `n` and label `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new<P: ExplorationProvider>(provider: &P, n: u64, label: Label) -> Self {
+        assert!(n > 0, "graph order must be positive");
+        let reps = Big::from(2 * provider.len(n) + 1).pow(label.value());
+        NaiveAlgorithm { n, remaining: reps }
+    }
+
+    /// Repetitions left.
+    pub fn remaining(&self) -> &Big {
+        &self.remaining
+    }
+
+    /// Next spec, or `None` once the agent has stopped.
+    pub fn next_spec(&mut self) -> Option<Spec> {
+        let next = self.remaining.checked_sub(&Big::one())?;
+        self.remaining = next;
+        Some(Spec::X(self.n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_explore::TableUxs;
+
+    #[test]
+    fn repetition_count_is_exponential_in_label_value() {
+        let p = TableUxs::new(vec![vec![0]]); // P(n) = 1 → base 3
+        let a = NaiveAlgorithm::new(&p, 4, Label::new(2).unwrap());
+        assert_eq!(a.remaining(), &Big::from(9u64));
+        let b = NaiveAlgorithm::new(&p, 4, Label::new(10).unwrap());
+        assert_eq!(b.remaining(), &Big::from(3u64.pow(10)));
+    }
+
+    #[test]
+    fn schedule_is_finite_and_emits_x_n() {
+        let p = TableUxs::new(vec![vec![0]]);
+        let mut a = NaiveAlgorithm::new(&p, 5, Label::new(1).unwrap());
+        let mut count = 0;
+        while let Some(spec) = a.next_spec() {
+            assert_eq!(spec, Spec::X(5));
+            count += 1;
+        }
+        assert_eq!(count, 3); // (2·1+1)^1
+        assert!(a.next_spec().is_none(), "stopped agents stay stopped");
+    }
+}

@@ -1,0 +1,665 @@
+//! Procedure ESST — exploration with a semi-stationary token (paper §2).
+//!
+//! A single agent explores a graph of **unknown** size, aided by a unique
+//! token that is confined to one *extended edge* `u − v` (the edge plus its
+//! endpoints) but may move arbitrarily within it, adversarially. The
+//! procedure proceeds in phases `i = 3, 6, 9, …`; in phase `i` the agent
+//!
+//! 1. applies `R(2i, v)` from its current node — the **trunc** — and aborts
+//!    the phase if the trunc is not *clean* (some visited node has degree
+//!    `> i − 1`) or if the token was never seen along it;
+//! 2. otherwise backtracks to the start of the trunc and, at every trunc
+//!    node `u_j`, applies `R(i, u_j)`, interrupting it at the first token
+//!    sighting and recording the **code** (the port sequence from `u_j` to
+//!    the token); it aborts the phase if some `R(i, u_j)` never sees the
+//!    token, or as soon as `i/3` distinct codes have been recorded;
+//! 3. if every trunc node produced a sighting with fewer than `i/3` distinct
+//!    codes, the procedure **stops** — Theorem 2.1 shows all edges have then
+//!    been traversed and the total cost is polynomial in the (unknown) size.
+//!
+//! The implementation is a resumable state machine ([`EsstMachine`]) so the
+//! multi-agent simulator can interleave it with other agents (Algorithm SGL
+//! uses a parked agent as the token); [`run_esst`] drives it standalone
+//! against a [`TokenOracle`].
+//!
+//! One deliberate, documented deviation: when a sighting pushes the distinct
+//! code count to `i/3`, the paper lets the agent finish its current edge
+//! traversal before aborting; this implementation aborts at the nearest
+//! endpoint, which differs by at most one edge traversal and affects no
+//! claim of Theorem 2.1.
+
+use crate::provider::{ExplorationProvider, RWalker};
+use rv_graph::{EdgeId, Graph, NodeId, PortId};
+use std::collections::HashSet;
+
+/// A recorded code: the sequence of exit ports walked from a trunc node to
+/// the token, plus whether the token was met inside the final edge.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Code {
+    /// Exit ports from the trunc node up to (and including, when
+    /// `inside_edge`) the edge where the token was met.
+    pub ports: Vec<PortId>,
+    /// `true` if the token was met strictly inside the last edge.
+    pub inside_edge: bool,
+}
+
+/// Adversarial token behaviour for standalone ESST runs.
+///
+/// The token is confined to one extended edge; the oracle answers the only
+/// two questions the continuous model can force:
+///
+/// * is the token **at node `v`** while the agent is there?
+/// * is a crossing **forced inside `edge`** while the agent traverses it?
+///
+/// Implementations may answer adaptively (the token moves while the agent
+/// is elsewhere) but must stay within one extended edge to model the
+/// "semi-stationary" guarantee.
+pub trait TokenOracle {
+    /// Token present at `v` when the agent arrives/stands there?
+    fn observe_node(&mut self, v: NodeId) -> bool;
+    /// Token met inside `edge` when the agent traverses it starting
+    /// from `from`?
+    fn observe_traversal(&mut self, edge: EdgeId, from: NodeId) -> bool;
+}
+
+/// A token parked at a fixed node of its extended edge.
+#[derive(Clone, Copy, Debug)]
+pub struct StaticNodeToken {
+    /// The node the token rests at.
+    pub node: NodeId,
+}
+
+impl TokenOracle for StaticNodeToken {
+    fn observe_node(&mut self, v: NodeId) -> bool {
+        v == self.node
+    }
+    fn observe_traversal(&mut self, _edge: EdgeId, _from: NodeId) -> bool {
+        false
+    }
+}
+
+/// A token hiding strictly inside its edge: it is only ever seen when the
+/// agent traverses that edge in full (evasive worst case for node checks).
+#[derive(Clone, Copy, Debug)]
+pub struct EvasiveEdgeToken {
+    /// The edge the token hides in.
+    pub edge: EdgeId,
+}
+
+impl TokenOracle for EvasiveEdgeToken {
+    fn observe_node(&mut self, _v: NodeId) -> bool {
+        false
+    }
+    fn observe_traversal(&mut self, edge: EdgeId, _from: NodeId) -> bool {
+        edge == self.edge
+    }
+}
+
+/// A token that cycles its position (endpoint `a` → inside → endpoint `b`)
+/// every time the agent could observe it, maximising code diversity — the
+/// strategy that stresses the `i/3`-codes abort rule.
+#[derive(Clone, Copy, Debug)]
+pub struct OscillatingToken {
+    /// The extended edge the token lives on.
+    pub edge: EdgeId,
+    state: u8,
+}
+
+impl OscillatingToken {
+    /// Creates the oscillating strategy on `edge`.
+    pub fn new(edge: EdgeId) -> Self {
+        OscillatingToken { edge, state: 0 }
+    }
+}
+
+impl TokenOracle for OscillatingToken {
+    fn observe_node(&mut self, v: NodeId) -> bool {
+        if v != self.edge.a && v != self.edge.b {
+            return false;
+        }
+        let here = match self.state {
+            0 => v == self.edge.a,
+            2 => v == self.edge.b,
+            _ => false,
+        };
+        self.state = (self.state + 1) % 3;
+        here
+    }
+    fn observe_traversal(&mut self, edge: EdgeId, _from: NodeId) -> bool {
+        if edge != self.edge {
+            return false;
+        }
+        let inside = self.state == 1;
+        self.state = (self.state + 1) % 3;
+        inside
+    }
+}
+
+/// What the machine asks its driver to do next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Drive {
+    /// Traverse the edge behind this port. If `interruptible`, a token met
+    /// inside the edge interrupts the move (driver calls
+    /// [`EsstMachine::interrupted_inside`]); otherwise the move always
+    /// completes (driver calls [`EsstMachine::arrived`]).
+    Traverse {
+        /// Exit port at the current node.
+        port: PortId,
+        /// Whether an inside-edge sighting interrupts the move.
+        interruptible: bool,
+    },
+    /// The procedure has terminated at the current node.
+    Done,
+}
+
+/// Driver's report of a completed traversal.
+#[derive(Clone, Copy, Debug)]
+pub struct ArrivalReport {
+    /// Port by which the agent entered the new node.
+    pub entry: PortId,
+    /// Degree of the new node.
+    pub degree: usize,
+    /// Token was met strictly inside the traversed edge (only meaningful
+    /// for non-interruptible moves; interruptible ones are interrupted
+    /// instead of completed).
+    pub token_inside: bool,
+    /// Token present at the arrival node.
+    pub token_at_node: bool,
+}
+
+/// One completed traversal in the trunc log.
+#[derive(Clone, Copy, Debug)]
+struct Step {
+    exit: PortId,
+    entry: PortId,
+}
+
+#[derive(Debug)]
+enum State<P> {
+    /// Walking the trunc `R(2i, ·)` forward.
+    TruncForward { walker: RWalker<P> },
+    /// Backtracking the trunc to its first node; `pos` steps remain.
+    TruncBack { pos: usize },
+    /// Executing `R(i, u_j)` where `j` indexes trunc nodes (`0..=r`).
+    Inner {
+        j: usize,
+        walker: RWalker<P>,
+        exits: Vec<PortId>,
+        entries: Vec<PortId>,
+    },
+    /// Backtracking from a sighting to `u_j`; `remaining` entries to replay.
+    InnerBack {
+        j: usize,
+        entries: Vec<PortId>,
+        remaining: usize,
+    },
+    /// Walking the trunc edge from trunc node `j` to `j + 1`.
+    GotoNext { j: usize },
+    /// Terminated.
+    Done,
+}
+
+/// Resumable ESST state machine.
+///
+/// Drive it by repeatedly calling [`EsstMachine::current_request`] and
+/// answering with [`EsstMachine::arrived`] or
+/// [`EsstMachine::interrupted_inside`]. See [`run_esst`] for the canonical
+/// driver loop.
+#[derive(Debug)]
+pub struct EsstMachine<P> {
+    provider: P,
+    /// Current phase number `i` (3, 6, 9, …).
+    phase: u64,
+    state: State<P>,
+    /// The move already handed to the driver and not yet resolved.
+    pending: Option<Drive>,
+    cost: u64,
+    cur_degree: usize,
+    cur_entry: Option<PortId>,
+    token_here: bool,
+    /// Distinct codes recorded in the current phase.
+    codes: HashSet<Code>,
+    /// Trunc traversal log of the current phase.
+    trunc_log: Vec<Step>,
+    /// Degree of each trunc node (`trunc_degrees[0]` = phase start node).
+    trunc_degrees: Vec<usize>,
+    /// Token seen anywhere along the trunc (including the start node)?
+    trunc_token_seen: bool,
+    /// Entry ports of every completed traversal over the whole run
+    /// (node-level walk; lets SGL backtrack the ESST trajectory).
+    walk_entries: Vec<PortId>,
+    phases_aborted: u64,
+}
+
+impl<P: ExplorationProvider + Clone> EsstMachine<P> {
+    /// Starts the procedure at a node of degree `start_degree`;
+    /// `token_at_start` reports whether the token is at that node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start_degree == 0`.
+    pub fn new(provider: P, start_degree: usize, token_at_start: bool) -> Self {
+        assert!(start_degree > 0, "ESST at an isolated node");
+        let mut m = EsstMachine {
+            provider,
+            phase: 3,
+            state: State::Done,
+            pending: None,
+            cost: 0,
+            cur_degree: start_degree,
+            cur_entry: None,
+            token_here: token_at_start,
+            codes: HashSet::new(),
+            trunc_log: Vec::new(),
+            trunc_degrees: Vec::new(),
+            trunc_token_seen: false,
+            walk_entries: Vec::new(),
+            phases_aborted: 0,
+        };
+        m.start_phase(3);
+        m
+    }
+
+    /// Total edge traversals so far (interrupted in-and-back moves count 2).
+    pub fn cost(&self) -> u64 {
+        self.cost
+    }
+
+    /// Current phase number.
+    pub fn phase(&self) -> u64 {
+        self.phase
+    }
+
+    /// Number of aborted phases so far.
+    pub fn phases_aborted(&self) -> u64 {
+        self.phases_aborted
+    }
+
+    /// Whether the procedure has terminated.
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, State::Done)
+    }
+
+    /// Entry ports of all completed traversals (the node-level walk);
+    /// replaying this sequence reversed walks the agent back to its start.
+    pub fn walk_entries(&self) -> &[PortId] {
+        &self.walk_entries
+    }
+
+    fn start_phase(&mut self, i: u64) {
+        self.phase = i;
+        self.pending = None;
+        self.codes.clear();
+        self.trunc_log.clear();
+        self.trunc_degrees.clear();
+        self.trunc_degrees.push(self.cur_degree);
+        self.trunc_token_seen = self.token_here;
+        self.cur_entry = None; // fresh R application
+        self.state = State::TruncForward {
+            walker: RWalker::new(self.provider.clone(), 2 * i),
+        };
+    }
+
+    fn abort_phase(&mut self) {
+        self.phases_aborted += 1;
+        let next = self.phase + 3;
+        self.start_phase(next);
+    }
+
+    /// The next action the driver must perform. Idempotent until resolved
+    /// by [`EsstMachine::arrived`] or [`EsstMachine::interrupted_inside`].
+    pub fn current_request(&mut self) -> Drive {
+        if let Some(d) = self.pending {
+            return d;
+        }
+        let drive = match &mut self.state {
+            State::Done => return Drive::Done,
+            State::TruncForward { walker } => {
+                let port = walker
+                    .next_exit(self.cur_entry, self.cur_degree)
+                    .expect("trunc completion is handled at arrival");
+                Drive::Traverse { port, interruptible: false }
+            }
+            State::TruncBack { pos } => Drive::Traverse {
+                port: self.trunc_log[*pos - 1].entry,
+                interruptible: false,
+            },
+            State::Inner { walker, .. } => {
+                let port = walker
+                    .next_exit(self.cur_entry, self.cur_degree)
+                    .expect("inner completion is handled at arrival");
+                Drive::Traverse { port, interruptible: true }
+            }
+            State::InnerBack { entries, remaining, .. } => Drive::Traverse {
+                port: entries[*remaining - 1],
+                interruptible: false,
+            },
+            State::GotoNext { j } => Drive::Traverse {
+                port: self.trunc_log[*j].exit,
+                interruptible: false,
+            },
+        };
+        self.pending = Some(drive);
+        drive
+    }
+
+    /// Reports that the pending traversal completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no pending traversal.
+    pub fn arrived(&mut self, report: ArrivalReport) {
+        let pending = self.pending.take().expect("arrived() without a pending move");
+        let port = match pending {
+            Drive::Traverse { port, .. } => port,
+            Drive::Done => unreachable!("Done is never pending"),
+        };
+        self.cost += 1;
+        self.walk_entries.push(report.entry);
+        self.cur_degree = report.degree;
+        self.cur_entry = Some(report.entry);
+        self.token_here = report.token_at_node;
+
+        let state = std::mem::replace(&mut self.state, State::Done);
+        match state {
+            State::TruncForward { walker } => {
+                self.trunc_log.push(Step { exit: port, entry: report.entry });
+                self.trunc_degrees.push(report.degree);
+                if report.token_inside || report.token_at_node {
+                    self.trunc_token_seen = true;
+                }
+                if walker.is_done() {
+                    let i = self.phase;
+                    let clean = self
+                        .trunc_degrees
+                        .iter()
+                        .all(|&d| (d as u64) <= i - 1);
+                    if !clean || !self.trunc_token_seen {
+                        self.abort_phase();
+                    } else {
+                        let r = self.trunc_log.len();
+                        self.state = State::TruncBack { pos: r };
+                    }
+                } else {
+                    self.state = State::TruncForward { walker };
+                }
+            }
+            State::TruncBack { pos } => {
+                if pos == 1 {
+                    self.start_inner(0);
+                } else {
+                    self.state = State::TruncBack { pos: pos - 1 };
+                }
+            }
+            State::Inner { j, walker, mut exits, mut entries } => {
+                exits.push(port);
+                entries.push(report.entry);
+                if report.token_inside {
+                    // Edge-granular driver (the multi-agent simulator):
+                    // the crossing happened inside the completed edge; code
+                    // ends with this edge's port, and the backtrack replays
+                    // the full edge.
+                    let code = Code { ports: exits, inside_edge: true };
+                    let remaining = entries.len();
+                    self.state = State::InnerBack { j, entries, remaining };
+                    self.record_code_and_maybe_abort(code);
+                } else if report.token_at_node {
+                    let code = Code { ports: exits, inside_edge: false };
+                    let remaining = entries.len();
+                    self.state = State::InnerBack { j, entries, remaining };
+                    self.record_code_and_maybe_abort(code);
+                } else if walker.is_done() {
+                    // R(i, u_j) ended without a sighting → abort the phase.
+                    self.abort_phase();
+                } else {
+                    self.state = State::Inner { j, walker, exits, entries };
+                }
+            }
+            State::InnerBack { j, entries, remaining } => {
+                if remaining == 1 {
+                    self.after_inner_done(j);
+                } else {
+                    self.state = State::InnerBack { j, entries, remaining: remaining - 1 };
+                }
+            }
+            State::GotoNext { j } => {
+                self.start_inner(j + 1);
+            }
+            State::Done => unreachable!("arrived() on a finished machine"),
+        }
+    }
+
+    /// Reports that the pending interruptible traversal was cut short by a
+    /// token sighting inside the edge; the agent is back at the node it
+    /// left.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pending move was not an interruptible traversal.
+    pub fn interrupted_inside(&mut self) {
+        let pending = self.pending.take().expect("interrupted without a pending move");
+        let port = match pending {
+            Drive::Traverse { port, interruptible: true } => port,
+            other => panic!("interrupted_inside() on non-interruptible move {other:?}"),
+        };
+        self.cost += 2; // into the edge and back
+        let state = std::mem::replace(&mut self.state, State::Done);
+        match state {
+            State::Inner { j, mut exits, entries, .. } => {
+                exits.push(port);
+                let code = Code { ports: exits, inside_edge: true };
+                let remaining = entries.len();
+                self.state = State::InnerBack { j, entries, remaining };
+                self.record_code_and_maybe_abort(code);
+                self.resolve_trivial_inner_back();
+            }
+            _ => unreachable!("interruptible moves only occur in Inner state"),
+        }
+    }
+
+    /// Standing at trunc node `j`: start `R(phase, u_j)` (or record an
+    /// empty code immediately if the token is right here).
+    fn start_inner(&mut self, j: usize) {
+        if self.token_here {
+            let code = Code { ports: Vec::new(), inside_edge: false };
+            self.state = State::InnerBack { j, entries: Vec::new(), remaining: 0 };
+            self.record_code_and_maybe_abort(code);
+            self.resolve_trivial_inner_back();
+        } else {
+            self.cur_entry = None; // fresh R application at u_j
+            self.state = State::Inner {
+                j,
+                walker: RWalker::new(self.provider.clone(), self.phase),
+                exits: Vec::new(),
+                entries: Vec::new(),
+            };
+        }
+    }
+
+    /// If an `InnerBack` has nothing to replay, finish the node now.
+    fn resolve_trivial_inner_back(&mut self) {
+        if let State::InnerBack { remaining: 0, j, .. } = self.state {
+            self.after_inner_done(j);
+        }
+    }
+
+    /// Called when the agent stands at `u_j` again after a sighting.
+    fn after_inner_done(&mut self, j: usize) {
+        if j == self.trunc_log.len() {
+            // The last trunc node is processed: the phase completes — stop.
+            self.state = State::Done;
+        } else {
+            self.state = State::GotoNext { j };
+        }
+    }
+
+    fn record_code_and_maybe_abort(&mut self, code: Code) {
+        self.codes.insert(code);
+        if self.codes.len() as u64 >= self.phase / 3 {
+            self.abort_phase();
+        }
+    }
+}
+
+/// Outcome of a standalone ESST run.
+#[derive(Clone, Debug)]
+pub struct EsstOutcome {
+    /// Total edge traversals.
+    pub cost: u64,
+    /// Node where the procedure stopped.
+    pub final_node: NodeId,
+    /// Phase in which the procedure terminated.
+    pub final_phase: u64,
+    /// Phases aborted before termination.
+    pub phases_aborted: u64,
+    /// Distinct edges traversed over the whole run.
+    pub edges_covered: usize,
+    /// Entry ports of all completed traversals (for backtracking).
+    pub walk_entries: Vec<PortId>,
+}
+
+/// Runs procedure ESST to completion in `g` from `start` against `oracle`.
+///
+/// `max_phase` caps the phase number as a safety net (Theorem 2.1 guarantees
+/// termination by phase `9n + 3` for an honest token); exceeding the cap
+/// returns `None`.
+pub fn run_esst<P, O>(
+    g: &Graph,
+    provider: P,
+    start: NodeId,
+    oracle: &mut O,
+    max_phase: u64,
+) -> Option<EsstOutcome>
+where
+    P: ExplorationProvider + Clone,
+    O: TokenOracle + ?Sized,
+{
+    let token_at_start = oracle.observe_node(start);
+    let mut m = EsstMachine::new(provider, g.degree(start), token_at_start);
+    let mut cur = start;
+    let mut covered: HashSet<EdgeId> = HashSet::new();
+    loop {
+        if m.phase() > max_phase {
+            return None;
+        }
+        match m.current_request() {
+            Drive::Done => break,
+            Drive::Traverse { port, interruptible } => {
+                let edge = g.edge_at(cur, port);
+                let inside = oracle.observe_traversal(edge, cur);
+                if interruptible && inside {
+                    covered.insert(edge);
+                    m.interrupted_inside();
+                } else {
+                    let arr = g.traverse(cur, port);
+                    cur = arr.node;
+                    covered.insert(edge);
+                    let at_node = oracle.observe_node(cur);
+                    m.arrived(ArrivalReport {
+                        entry: arr.entry_port,
+                        degree: g.degree(cur),
+                        token_inside: inside,
+                        token_at_node: at_node,
+                    });
+                }
+            }
+        }
+    }
+    Some(EsstOutcome {
+        cost: m.cost(),
+        final_node: cur,
+        final_phase: m.phase(),
+        phases_aborted: m.phases_aborted(),
+        edges_covered: covered.len(),
+        walk_entries: m.walk_entries().to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeededUxs;
+    use rv_graph::generators;
+
+    /// Quadratic-length provider keeps ESST test runtimes reasonable; tests
+    /// that rely on integrality verify it explicitly.
+    fn fast_uxs() -> SeededUxs {
+        SeededUxs::new(0xE557, 8).with_power(2)
+    }
+
+    #[test]
+    fn esst_terminates_and_covers_ring_with_static_token() {
+        let g = generators::ring(5);
+        let mut oracle = StaticNodeToken { node: NodeId(2) };
+        let out = run_esst(&g, fast_uxs(), NodeId(0), &mut oracle, 9 * 5 + 3)
+            .expect("must terminate by phase 9n+3");
+        assert_eq!(out.edges_covered, g.size(), "Theorem 2.1: all edges traversed");
+        assert!(out.cost > 0);
+    }
+
+    #[test]
+    fn esst_handles_evasive_edge_token() {
+        let g = generators::ring(4);
+        let edge = EdgeId::new(NodeId(1), NodeId(2));
+        let mut oracle = EvasiveEdgeToken { edge };
+        let out = run_esst(&g, fast_uxs(), NodeId(0), &mut oracle, 9 * 4 + 3)
+            .expect("must terminate");
+        assert_eq!(out.edges_covered, g.size());
+    }
+
+    #[test]
+    fn esst_handles_oscillating_token() {
+        let g = generators::path(4);
+        let edge = EdgeId::new(NodeId(1), NodeId(2));
+        let mut oracle = OscillatingToken::new(edge);
+        let out = run_esst(&g, fast_uxs(), NodeId(0), &mut oracle, 9 * 4 + 3)
+            .expect("must terminate");
+        assert_eq!(out.edges_covered, g.size());
+    }
+
+    #[test]
+    fn esst_with_no_token_never_terminates_within_cap() {
+        // Exploration without any token is impossible (paper §2); the
+        // machine must keep aborting phases.
+        struct NoToken;
+        impl TokenOracle for NoToken {
+            fn observe_node(&mut self, _v: NodeId) -> bool {
+                false
+            }
+            fn observe_traversal(&mut self, _e: EdgeId, _f: NodeId) -> bool {
+                false
+            }
+        }
+        let g = generators::ring(4);
+        let out = run_esst(&g, fast_uxs(), NodeId(0), &mut NoToken, 15);
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn walk_entries_backtrack_to_start() {
+        let g = generators::gnp_connected(5, 0.5, 7);
+        let mut oracle = StaticNodeToken { node: NodeId(3) };
+        let out = run_esst(&g, fast_uxs(), NodeId(1), &mut oracle, 9 * 5 + 3).unwrap();
+        // Replaying the recorded entry ports in reverse returns to start.
+        let mut cur = out.final_node;
+        for &entry in out.walk_entries.iter().rev() {
+            cur = g.traverse(cur, entry).node;
+        }
+        assert_eq!(cur, NodeId(1));
+    }
+
+    #[test]
+    fn cost_grows_with_termination_phase() {
+        // Larger graphs need later phases; cost must be monotone-ish in n.
+        let mut prev_cost = 0;
+        for n in [4usize, 6, 8] {
+            let g = generators::ring(n);
+            let mut oracle = StaticNodeToken { node: NodeId(1) };
+            let out = run_esst(&g, fast_uxs(), NodeId(0), &mut oracle, 9 * n as u64 + 3)
+                .expect("must terminate");
+            assert_eq!(out.edges_covered, g.size());
+            assert!(out.cost >= prev_cost / 4, "cost collapsed unexpectedly");
+            prev_cost = out.cost;
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Offline search for verified universal exploration sequences.
+//!
+//! The honest version of "a published UXS table": search seed space for a
+//! [`SeededUxs`] whose sequence for parameter `k` is *exhaustively
+//! verified* universal up to a given order, then freeze it as an explicit
+//! [`TableUxs`]. This is how a real deployment of the paper's algorithm
+//! would manufacture its exploration tables without Reingold's
+//! construction.
+
+use crate::integrality::verify_universal;
+use crate::provider::ExplorationProvider;
+use crate::uxs::{SeededUxs, TableUxs};
+
+/// Searches `tries` seeds for a provider whose sequences are universal for
+/// all port-numbered graphs of order ≤ `max_n`, for every parameter
+/// `k ≤ max_k`. Returns the first verified seed.
+///
+/// # Panics
+///
+/// Panics if `max_n > 5` (exhaustive verification explodes beyond that).
+pub fn find_universal_seed(coeff: u64, max_k: u64, max_n: usize, tries: u64) -> Option<u64> {
+    assert!(max_n <= 5, "exhaustive verification is feasible only for order <= 5");
+    (0..tries).find(|&seed| {
+        let uxs = SeededUxs::new(seed, coeff);
+        (2..=max_k).all(|k| verify_universal(uxs, k, max_n.min(k as usize)).is_universal())
+    })
+}
+
+/// Freezes the sequences of `provider` for parameters `1..=max_k` into an
+/// explicit table provider (e.g. after verification), so the tables can be
+/// inspected, stored or shipped.
+pub fn freeze_tables<P: ExplorationProvider>(provider: &P, max_k: u64) -> TableUxs {
+    let tables: Vec<Vec<u64>> = (1..=max_k)
+        .map(|k| (0..provider.len(k)).map(|i| provider.increment(k, i)).collect())
+        .collect();
+    TableUxs::new(tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrality::is_integral;
+    use rv_graph::{generators, NodeId};
+
+    #[test]
+    fn the_default_seed_is_among_verified_ones() {
+        // Seed search over a small space succeeds and produces a provider
+        // that is genuinely universal at order <= 3.
+        let seed = find_universal_seed(4, 3, 3, 50).expect("some seed verifies");
+        let uxs = SeededUxs::new(seed, 4);
+        assert!(verify_universal(uxs, 3, 3).is_universal());
+    }
+
+    #[test]
+    fn frozen_tables_reproduce_the_seeded_sequences_exactly() {
+        let uxs = SeededUxs::new(99, 2);
+        let table = freeze_tables(&uxs, 4);
+        for k in 1..=4u64 {
+            assert_eq!(table.len(k), uxs.len(k));
+            for i in 0..uxs.len(k) {
+                assert_eq!(table.increment(k, i), uxs.increment(k, i), "k={k} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_tables_explore_like_the_original() {
+        let uxs = SeededUxs::quadratic();
+        let table = freeze_tables(&uxs, 6);
+        let g = generators::ring(6);
+        assert!(is_integral(&g, &table, 6, NodeId(0)));
+    }
+}

@@ -1,0 +1,146 @@
+//! Simulator-side construction of concrete `R(k, v)` trajectories.
+
+use crate::provider::{ExplorationProvider, RWalker};
+use rv_graph::{Graph, NodeId, PortId};
+
+/// A concrete trajectory in a known graph: the sequence of visited nodes
+/// together with the exit and entry ports of every traversal.
+///
+/// `nodes.len() == exit_ports.len() + 1 == entry_ports.len() + 1`; traversal
+/// `i` leaves `nodes[i]` via `exit_ports[i]` and enters `nodes[i+1]` via
+/// `entry_ports[i]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConcreteTrajectory {
+    /// Visited nodes, starting with the start node.
+    pub nodes: Vec<NodeId>,
+    /// Port used to leave `nodes[i]`.
+    pub exit_ports: Vec<PortId>,
+    /// Port by which `nodes[i + 1]` was entered.
+    pub entry_ports: Vec<PortId>,
+}
+
+impl ConcreteTrajectory {
+    /// Number of edge traversals.
+    pub fn len(&self) -> usize {
+        self.exit_ports.len()
+    }
+
+    /// `true` if the trajectory performs no traversal.
+    pub fn is_empty(&self) -> bool {
+        self.exit_ports.is_empty()
+    }
+
+    /// The set of distinct nodes visited.
+    pub fn distinct_nodes(&self) -> std::collections::HashSet<NodeId> {
+        self.nodes.iter().copied().collect()
+    }
+
+    /// The reverse trajectory `T̄` (paper notation): visits the same nodes
+    /// backwards, leaving through what were entry ports.
+    pub fn reversed(&self) -> ConcreteTrajectory {
+        let mut nodes: Vec<_> = self.nodes.clone();
+        nodes.reverse();
+        let mut exit_ports: Vec<_> = self.entry_ports.clone();
+        exit_ports.reverse();
+        let mut entry_ports: Vec<_> = self.exit_ports.clone();
+        entry_ports.reverse();
+        ConcreteTrajectory { nodes, exit_ports, entry_ports }
+    }
+
+    /// Checks this is a valid walk in `g` (each step follows an actual edge
+    /// with consistent ports).
+    pub fn is_valid_in(&self, g: &Graph) -> bool {
+        if self.nodes.len() != self.exit_ports.len() + 1
+            || self.entry_ports.len() != self.exit_ports.len()
+        {
+            return false;
+        }
+        for i in 0..self.exit_ports.len() {
+            let v = self.nodes[i];
+            if self.exit_ports[i].0 >= g.degree(v) {
+                return false;
+            }
+            let arr = g.traverse(v, self.exit_ports[i]);
+            if arr.node != self.nodes[i + 1] || arr.entry_port != self.entry_ports[i] {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Computes the paper's `R(k, v)` in graph `g`: the trajectory of the
+/// provider's exploration sequence for parameter `k` applied at `v`.
+///
+/// # Panics
+///
+/// Panics if `v` is out of range for `g`.
+pub fn r_trajectory<P: ExplorationProvider>(
+    g: &Graph,
+    provider: P,
+    k: u64,
+    v: NodeId,
+) -> ConcreteTrajectory {
+    assert!(v.0 < g.order(), "start node out of range");
+    let mut walker = RWalker::new(provider, k);
+    let mut nodes = vec![v];
+    let mut exit_ports = Vec::new();
+    let mut entry_ports = Vec::new();
+    let mut cur = v;
+    let mut entry: Option<PortId> = None;
+    while let Some(exit) = walker.next_exit(entry, g.degree(cur)) {
+        let arr = g.traverse(cur, exit);
+        exit_ports.push(exit);
+        entry_ports.push(arr.entry_port);
+        nodes.push(arr.node);
+        cur = arr.node;
+        entry = Some(arr.entry_port);
+    }
+    ConcreteTrajectory { nodes, exit_ports, entry_ports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeededUxs;
+    use rv_graph::generators;
+
+    #[test]
+    fn r_trajectory_is_valid_walk() {
+        let g = generators::gnp_connected(10, 0.3, 3);
+        let t = r_trajectory(&g, SeededUxs::default(), 10, NodeId(2));
+        assert!(t.is_valid_in(&g));
+        assert_eq!(t.len() as u64, SeededUxs::default().len(10));
+    }
+
+    #[test]
+    fn reversal_is_involutive_and_valid() {
+        let g = generators::ring(6);
+        let t = r_trajectory(&g, SeededUxs::default(), 6, NodeId(0));
+        let r = t.reversed();
+        assert!(r.is_valid_in(&g));
+        assert_eq!(r.reversed(), t);
+        assert_eq!(r.nodes.first(), t.nodes.last());
+        assert_eq!(r.nodes.last(), t.nodes.first());
+    }
+
+    #[test]
+    fn validity_detects_corruption() {
+        let g = generators::ring(5);
+        let mut t = r_trajectory(&g, SeededUxs::default(), 5, NodeId(0));
+        let n = t.nodes.len();
+        t.nodes[n / 2] = NodeId((t.nodes[n / 2].0 + 2) % 5);
+        assert!(!t.is_valid_in(&g));
+    }
+
+    #[test]
+    fn empty_trajectory_handles() {
+        let t = ConcreteTrajectory {
+            nodes: vec![NodeId(0)],
+            exit_ports: vec![],
+            entry_ports: vec![],
+        };
+        assert!(t.is_empty());
+        assert_eq!(t.reversed(), t);
+    }
+}

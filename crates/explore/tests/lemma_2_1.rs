@@ -1,0 +1,79 @@
+//! Lemma 2.1 of the paper: if the application of `R(2m, v)` in a graph is
+//! *clean* (every visited node has degree ≤ m − 1), then it visits at
+//! least `m` distinct nodes.
+//!
+//! The lemma is what lets ESST conclude, from a clean trunc with few
+//! distinct token codes, that the whole graph has been explored. Here we
+//! check it directly on generated and random graphs, for the actual
+//! provider the implementation uses (the lemma must hold for any universal
+//! sequence; our sequences are universal at these scales — see
+//! `tests/universality.rs`).
+
+use proptest::prelude::*;
+use rv_explore::{r_trajectory, SeededUxs};
+use rv_graph::{generators, GraphFamily, NodeId};
+
+/// Checks the lemma's statement for one application.
+fn check_lemma(g: &rv_graph::Graph, m: u64, start: NodeId) -> Result<(), String> {
+    let t = r_trajectory(g, SeededUxs::default(), 2 * m, start);
+    let clean = t.nodes.iter().all(|&v| g.degree(v) as u64 <= m - 1);
+    if clean {
+        let distinct = t.distinct_nodes().len() as u64;
+        if distinct < m {
+            return Err(format!(
+                "clean R(2·{m}) visited only {distinct} distinct nodes"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn lemma_2_1_on_rings_and_paths() {
+    // Rings/paths have max degree 2, so R(2m) is clean for every m ≥ 3;
+    // the lemma then forces ≥ m distinct nodes whenever the graph has them.
+    for n in [8usize, 12, 20] {
+        for m in 3u64..=6 {
+            check_lemma(&generators::ring(n), m, NodeId(0)).unwrap();
+            check_lemma(&generators::path(n), m, NodeId(n / 2)).unwrap();
+        }
+    }
+}
+
+#[test]
+fn lemma_2_1_on_every_family() {
+    for fam in GraphFamily::ALL {
+        let g = fam.generate(16, 9);
+        for m in 3u64..=8 {
+            for start in [0usize, g.order() - 1] {
+                check_lemma(&g, m, NodeId(start)).unwrap_or_else(|e| panic!("{fam}: {e}"));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lemma_2_1_on_random_graphs(
+        n in 6usize..24,
+        p in 0.1f64..0.6,
+        seed in any::<u64>(),
+        m in 3u64..8,
+        start_sel in any::<u64>(),
+    ) {
+        prop_assume!(m <= n as u64); // the lemma's hypothesis: m ≤ n
+        let g = generators::gnp_connected(n, p, seed);
+        let start = NodeId((start_sel % n as u64) as usize);
+        prop_assert!(check_lemma(&g, m, start).is_ok());
+    }
+
+    /// Trees stress the small-degree regime where cleanness is common.
+    #[test]
+    fn lemma_2_1_on_random_trees(n in 6usize..30, seed in any::<u64>(), m in 3u64..8) {
+        prop_assume!(m <= n as u64); // the lemma's hypothesis: m ≤ n
+        let g = generators::random_tree(n, seed);
+        prop_assert!(check_lemma(&g, m, NodeId(0)).is_ok());
+    }
+}

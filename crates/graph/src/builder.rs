@@ -1,0 +1,243 @@
+//! Incremental construction of valid port-numbered graphs.
+
+use crate::{Graph, NodeId, PortId};
+use std::fmt;
+
+/// Error produced while building a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// An edge `{u, u}` was requested; the model forbids self-loops.
+    SelfLoop(NodeId),
+    /// The edge `{u, v}` was added twice; the model forbids multi-edges.
+    DuplicateEdge(NodeId, NodeId),
+    /// An endpoint refers to a node index `>= node_count`.
+    NodeOutOfRange(NodeId),
+    /// The final graph is not connected.
+    Disconnected,
+    /// The final graph has fewer than two nodes (rendezvous needs at least
+    /// two distinct starting nodes).
+    TooSmall,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::SelfLoop(v) => write!(f, "self-loop at node {}", v.0),
+            BuildError::DuplicateEdge(u, v) => {
+                write!(f, "duplicate edge {{{}, {}}}", u.0, v.0)
+            }
+            BuildError::NodeOutOfRange(v) => write!(f, "node {} out of range", v.0),
+            BuildError::Disconnected => write!(f, "graph is not connected"),
+            BuildError::TooSmall => write!(f, "graph must have at least 2 nodes"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builder for [`Graph`].
+///
+/// Ports are assigned at each endpoint in the order edges are added (the
+/// first edge touching `v` gets port `0` at `v`, and so on). Use
+/// [`GraphBuilder::shuffle_ports`] to re-randomize the local numbering —
+/// the algorithms must work for *every* port numbering, so tests exercise
+/// random ones.
+///
+/// # Examples
+///
+/// ```
+/// use rv_graph::{GraphBuilder, NodeId};
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.edge(0, 1).unwrap();
+/// b.edge(1, 2).unwrap();
+/// let g = b.build().unwrap();
+/// assert_eq!(g.order(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    adj: Vec<Vec<(NodeId, PortId)>>,
+}
+
+impl GraphBuilder {
+    /// Starts a graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds the undirected edge `{u, v}`, assigning the next free port at
+    /// each endpoint.
+    pub fn edge(&mut self, u: usize, v: usize) -> Result<(), BuildError> {
+        let n = self.adj.len();
+        if u >= n {
+            return Err(BuildError::NodeOutOfRange(NodeId(u)));
+        }
+        if v >= n {
+            return Err(BuildError::NodeOutOfRange(NodeId(v)));
+        }
+        if u == v {
+            return Err(BuildError::SelfLoop(NodeId(u)));
+        }
+        if self.adj[u].iter().any(|&(w, _)| w == NodeId(v)) {
+            return Err(BuildError::DuplicateEdge(NodeId(u), NodeId(v)));
+        }
+        let pu = PortId(self.adj[u].len());
+        let pv = PortId(self.adj[v].len());
+        self.adj[u].push((NodeId(v), pv));
+        self.adj[v].push((NodeId(u), pu));
+        Ok(())
+    }
+
+    /// Returns `true` if the edge `{u, v}` is already present.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj
+            .get(u)
+            .map(|nbrs| nbrs.iter().any(|&(w, _)| w == NodeId(v)))
+            .unwrap_or(false)
+    }
+
+    /// Randomly permutes the port numbers at every node, keeping the edge
+    /// set intact, using the caller-supplied permutation source.
+    ///
+    /// `perm_for(degree)` must return a permutation of `0..degree`; this
+    /// indirection keeps `rand` out of the public API surface.
+    pub fn shuffle_ports(&mut self, mut perm_for: impl FnMut(usize) -> Vec<usize>) {
+        let n = self.adj.len();
+        // new_port[v][old_port] = new port at v
+        let mut new_port: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for v in 0..n {
+            let d = self.adj[v].len();
+            let perm = perm_for(d);
+            assert_eq!(perm.len(), d, "perm_for must return a permutation of 0..degree");
+            let mut seen = vec![false; d];
+            for &p in &perm {
+                assert!(p < d && !seen[p], "perm_for must return a permutation of 0..degree");
+                seen[p] = true;
+            }
+            new_port.push(perm);
+        }
+        let mut new_adj: Vec<Vec<(NodeId, PortId)>> =
+            (0..n).map(|v| vec![(NodeId(0), PortId(0)); self.adj[v].len()]).collect();
+        for v in 0..n {
+            for (old_p, &(u, q)) in self.adj[v].iter().enumerate() {
+                let np = new_port[v][old_p];
+                let nq = new_port[u.0][q.0];
+                new_adj[v][np] = (u, PortId(nq));
+            }
+        }
+        self.adj = new_adj;
+    }
+
+    /// Finalizes the graph, checking connectivity and minimum order.
+    pub fn build(self) -> Result<Graph, BuildError> {
+        if self.adj.len() < 2 {
+            return Err(BuildError::TooSmall);
+        }
+        // Connectivity check by BFS.
+        let mut seen = vec![false; self.adj.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &(u, _) in &self.adj[v] {
+                if !seen[u.0] {
+                    seen[u.0] = true;
+                    count += 1;
+                    stack.push(u.0);
+                }
+            }
+        }
+        if count != self.adj.len() {
+            return Err(BuildError::Disconnected);
+        }
+        Ok(Graph::from_adj(self.adj))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(b.edge(0, 0), Err(BuildError::SelfLoop(NodeId(0))));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge_in_either_order() {
+        let mut b = GraphBuilder::new(2);
+        b.edge(0, 1).unwrap();
+        assert_eq!(b.edge(1, 0), Err(BuildError::DuplicateEdge(NodeId(1), NodeId(0))));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(b.edge(0, 5), Err(BuildError::NodeOutOfRange(NodeId(5))));
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        let mut b = GraphBuilder::new(4);
+        b.edge(0, 1).unwrap();
+        b.edge(2, 3).unwrap();
+        assert_eq!(b.build().unwrap_err(), BuildError::Disconnected);
+    }
+
+    #[test]
+    fn rejects_too_small() {
+        assert_eq!(GraphBuilder::new(1).build().unwrap_err(), BuildError::TooSmall);
+        assert_eq!(GraphBuilder::new(0).build().unwrap_err(), BuildError::TooSmall);
+    }
+
+    #[test]
+    fn ports_assigned_in_insertion_order() {
+        let mut b = GraphBuilder::new(3);
+        b.edge(0, 1).unwrap();
+        b.edge(0, 2).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.succ(NodeId(0), PortId(0)), NodeId(1));
+        assert_eq!(g.succ(NodeId(0), PortId(1)), NodeId(2));
+    }
+
+    #[test]
+    fn shuffle_ports_preserves_edge_set_and_consistency() {
+        let mut b = GraphBuilder::new(4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)] {
+            b.edge(u, v).unwrap();
+        }
+        // Reverse every port ordering.
+        b.shuffle_ports(|d| (0..d).rev().collect());
+        let g = b.build().unwrap();
+        crate::validate(&g).unwrap();
+        assert_eq!(g.size(), 5);
+        assert!(g.port_towards(NodeId(0), NodeId(2)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn shuffle_ports_rejects_non_permutation() {
+        let mut b = GraphBuilder::new(3);
+        b.edge(0, 1).unwrap();
+        b.edge(0, 2).unwrap();
+        b.shuffle_ports(|d| vec![0; d]);
+    }
+
+    #[test]
+    fn has_edge_sees_both_orders() {
+        let mut b = GraphBuilder::new(3);
+        b.edge(0, 1).unwrap();
+        assert!(b.has_edge(0, 1));
+        assert!(b.has_edge(1, 0));
+        assert!(!b.has_edge(0, 2));
+        assert!(!b.has_edge(7, 0));
+    }
+}

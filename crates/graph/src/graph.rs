@@ -1,0 +1,280 @@
+//! Core graph representation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node.
+///
+/// Node identities exist only at the simulator level; the agents of the
+/// paper never observe them (the network is anonymous).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// A local port number at some node; ports at a node of degree `d` are
+/// exactly `0..d`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PortId(pub usize);
+
+/// Canonical identity of an undirected edge `{u, v}` with `u <= v`.
+///
+/// Because the graph is simple, the unordered node pair identifies the edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId {
+    /// Smaller endpoint.
+    pub a: NodeId,
+    /// Larger endpoint.
+    pub b: NodeId,
+}
+
+impl EdgeId {
+    /// Builds the canonical edge identity for endpoints in either order.
+    pub fn new(u: NodeId, v: NodeId) -> Self {
+        if u <= v {
+            EdgeId { a: u, b: v }
+        } else {
+            EdgeId { a: v, b: u }
+        }
+    }
+
+    /// The endpoint different from `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not an endpoint of this edge.
+    pub fn other(&self, n: NodeId) -> NodeId {
+        if n == self.a {
+            self.b
+        } else if n == self.b {
+            self.a
+        } else {
+            panic!("node {n:?} is not an endpoint of edge {self:?}");
+        }
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}-{}}}", self.a.0, self.b.0)
+    }
+}
+
+/// Result of traversing an edge: where the agent arrives and through which
+/// port it entered — exactly the information the paper grants an agent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Arrival {
+    /// Node the agent arrives at.
+    pub node: NodeId,
+    /// Port at `node` through which the agent entered.
+    pub entry_port: PortId,
+}
+
+/// A finite simple undirected connected graph with local port numbers.
+///
+/// Construct via [`crate::GraphBuilder`] or [`crate::generators`]; both
+/// guarantee the structural invariants (simplicity, port consistency,
+/// connectivity).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    /// `adj[v][p]` = (neighbor reached from `v` via port `p`,
+    /// port at the neighbor leading back to `v`).
+    pub(crate) adj: Vec<Vec<(NodeId, PortId)>>,
+}
+
+impl Graph {
+    /// Number of nodes (the paper calls this the *size* of the graph; we use
+    /// the standard graph-theoretic *order* to keep [`Graph::size`] for edge
+    /// count — conversions in the algorithm crates use `order`).
+    pub fn order(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn size(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.0].len()
+    }
+
+    /// The neighbor of `v` linked by the edge with port `p` at `v` — the
+    /// paper's `succ(v, p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` or `p` is out of range.
+    pub fn succ(&self, v: NodeId, p: PortId) -> NodeId {
+        self.adj[v.0][p.0].0
+    }
+
+    /// Traverses the edge with port `p` at `v`, returning the arrival node
+    /// and entry port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` or `p` is out of range.
+    pub fn traverse(&self, v: NodeId, p: PortId) -> Arrival {
+        let (node, entry_port) = self.adj[v.0][p.0];
+        Arrival { node, entry_port }
+    }
+
+    /// The canonical edge crossed when leaving `v` via port `p`.
+    pub fn edge_at(&self, v: NodeId, p: PortId) -> EdgeId {
+        EdgeId::new(v, self.succ(v, p))
+    }
+
+    /// Port at `v` whose edge leads to `u`, if `u` is adjacent to `v`.
+    pub fn port_towards(&self, v: NodeId, u: NodeId) -> Option<PortId> {
+        self.adj[v.0]
+            .iter()
+            .position(|&(n, _)| n == u)
+            .map(PortId)
+    }
+
+    /// Iterator over all node identifiers.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len()).map(NodeId)
+    }
+
+    /// Iterator over all canonical edges.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.adj.iter().enumerate().flat_map(|(v, nbrs)| {
+            nbrs.iter()
+                .filter(move |(n, _)| n.0 > v)
+                .map(move |&(n, _)| EdgeId::new(NodeId(v), n))
+        })
+    }
+
+    /// Maximum degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Breadth-first distances from `start` (in edges); `usize::MAX` never
+    /// appears because the graph is connected.
+    pub fn bfs_distances(&self, start: NodeId) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.order()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[start.0] = 0;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &(u, _) in &self.adj[v.0] {
+                if dist[u.0] == usize::MAX {
+                    dist[u.0] = dist[v.0] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Graph diameter (longest shortest path).
+    pub fn diameter(&self) -> usize {
+        self.nodes()
+            .map(|v| self.bfs_distances(v).into_iter().max().unwrap_or(0))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Internal constructor used by the builder after validation.
+    pub(crate) fn from_adj(adj: Vec<Vec<(NodeId, PortId)>>) -> Self {
+        Graph { adj }
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "graph: {} nodes, {} edges", self.order(), self.size())?;
+        for v in self.nodes() {
+            write!(f, "  {}:", v.0)?;
+            for (p, &(u, q)) in self.adj[v.0].iter().enumerate() {
+                write!(f, " [{}]->{}:{}", p, u.0, q.0)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn edge_id_is_canonical() {
+        let e1 = EdgeId::new(NodeId(3), NodeId(1));
+        let e2 = EdgeId::new(NodeId(1), NodeId(3));
+        assert_eq!(e1, e2);
+        assert_eq!(e1.a, NodeId(1));
+        assert_eq!(e1.other(NodeId(1)), NodeId(3));
+        assert_eq!(e1.other(NodeId(3)), NodeId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn edge_other_panics_for_non_endpoint() {
+        EdgeId::new(NodeId(0), NodeId(1)).other(NodeId(2));
+    }
+
+    #[test]
+    fn ring_traverse_round_trip() {
+        let g = generators::ring(5);
+        for v in g.nodes() {
+            for p in 0..g.degree(v) {
+                let arr = g.traverse(v, PortId(p));
+                // Going back through the entry port returns to v.
+                let back = g.traverse(arr.node, arr.entry_port);
+                assert_eq!(back.node, v);
+                assert_eq!(back.entry_port, PortId(p));
+            }
+        }
+    }
+
+    #[test]
+    fn order_size_degree_on_complete_graph() {
+        let g = generators::complete(6);
+        assert_eq!(g.order(), 6);
+        assert_eq!(g.size(), 15);
+        assert!(g.nodes().all(|v| g.degree(v) == 5));
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn port_towards_finds_neighbors_only() {
+        let g = generators::path(4);
+        assert!(g.port_towards(NodeId(0), NodeId(1)).is_some());
+        assert_eq!(g.port_towards(NodeId(0), NodeId(3)), None);
+    }
+
+    #[test]
+    fn bfs_and_diameter_on_path() {
+        let g = generators::path(5);
+        let d = g.bfs_distances(NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        assert_eq!(g.diameter(), 4);
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = generators::complete(5);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 10);
+        let mut dedup = edges.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+    }
+
+    #[test]
+    fn display_contains_adjacency() {
+        let g = generators::ring(3);
+        let s = g.to_string();
+        assert!(s.contains("3 nodes, 3 edges"));
+    }
+}

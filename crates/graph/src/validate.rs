@@ -1,0 +1,120 @@
+//! Structural validation of port-numbered graphs.
+//!
+//! The simulator and all algorithm crates assume the invariants checked
+//! here; tests call [`validate`] on every constructed graph.
+
+use crate::{Graph, NodeId, PortId};
+use std::fmt;
+
+/// A violation of the port-numbered-graph invariants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// `adj[v][p]` points at a node out of range.
+    DanglingNeighbor { node: NodeId, port: PortId },
+    /// The back-pointer of `adj[v][p]` does not return to `(v, p)`.
+    InconsistentPorts { node: NodeId, port: PortId },
+    /// Self-loop at a node.
+    SelfLoop(NodeId),
+    /// Two ports at `node` lead to the same neighbor (multi-edge).
+    MultiEdge { node: NodeId, neighbor: NodeId },
+    /// The graph is not connected.
+    Disconnected,
+    /// Fewer than 2 nodes.
+    TooSmall,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::DanglingNeighbor { node, port } => {
+                write!(f, "port {} at node {} points out of range", port.0, node.0)
+            }
+            ValidationError::InconsistentPorts { node, port } => write!(
+                f,
+                "port {} at node {} has a non-involutive back-pointer",
+                port.0, node.0
+            ),
+            ValidationError::SelfLoop(v) => write!(f, "self-loop at node {}", v.0),
+            ValidationError::MultiEdge { node, neighbor } => {
+                write!(f, "multi-edge between {} and {}", node.0, neighbor.0)
+            }
+            ValidationError::Disconnected => write!(f, "graph is not connected"),
+            ValidationError::TooSmall => write!(f, "graph has fewer than 2 nodes"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Checks every structural invariant of the model: simplicity, port
+/// involution (`traverse(traverse(v, p)) == (v, p)`), and connectivity.
+pub fn validate(g: &Graph) -> Result<(), ValidationError> {
+    let n = g.order();
+    if n < 2 {
+        return Err(ValidationError::TooSmall);
+    }
+    for v in g.nodes() {
+        let mut seen_neighbors = std::collections::HashSet::new();
+        for p in 0..g.degree(v) {
+            let port = PortId(p);
+            let arr = {
+                // Manual bounds checks to produce a diagnostic instead of a panic.
+                let (u, q) = match g_adj(g, v, port) {
+                    Some(x) => x,
+                    None => return Err(ValidationError::DanglingNeighbor { node: v, port }),
+                };
+                if u.0 >= n {
+                    return Err(ValidationError::DanglingNeighbor { node: v, port });
+                }
+                (u, q)
+            };
+            let (u, q) = arr;
+            if u == v {
+                return Err(ValidationError::SelfLoop(v));
+            }
+            if !seen_neighbors.insert(u) {
+                return Err(ValidationError::MultiEdge { node: v, neighbor: u });
+            }
+            match g_adj(g, u, q) {
+                Some((w, r)) if w == v && r == port => {}
+                _ => return Err(ValidationError::InconsistentPorts { node: v, port }),
+            }
+        }
+    }
+    // Connectivity.
+    let dist = g.bfs_distances(NodeId(0));
+    if dist.iter().any(|&d| d == usize::MAX) {
+        return Err(ValidationError::Disconnected);
+    }
+    Ok(())
+}
+
+fn g_adj(g: &Graph, v: NodeId, p: PortId) -> Option<(NodeId, PortId)> {
+    if p.0 < g.degree(v) {
+        let arr = g.traverse(v, p);
+        Some((arr.node, arr.entry_port))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn generated_graphs_validate() {
+        validate(&generators::ring(5)).unwrap();
+        validate(&generators::complete(4)).unwrap();
+        validate(&generators::gnp_connected(20, 0.2, 11)).unwrap();
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ValidationError::MultiEdge { node: NodeId(1), neighbor: NodeId(2) };
+        assert!(e.to_string().contains("multi-edge"));
+        let e = ValidationError::InconsistentPorts { node: NodeId(3), port: PortId(0) };
+        assert!(e.to_string().contains("non-involutive"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for graph generators and structural invariants.
+
+use proptest::prelude::*;
+use rv_graph::{generators, validate, GraphFamily, NodeId, PortId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_trees_are_valid_and_acyclic(n in 2usize..40, seed in any::<u64>()) {
+        let g = generators::random_tree(n, seed);
+        validate(&g).unwrap();
+        prop_assert_eq!(g.size(), n - 1);
+    }
+
+    #[test]
+    fn gnp_is_valid_and_connected(n in 2usize..30, p in 0.0f64..1.0, seed in any::<u64>()) {
+        let g = generators::gnp_connected(n, p, seed);
+        validate(&g).unwrap();
+        // A connected graph has at least n-1 edges.
+        prop_assert!(g.size() >= n - 1);
+    }
+
+    #[test]
+    fn traverse_is_an_involution(n in 2usize..30, p in 0.0f64..1.0, seed in any::<u64>()) {
+        let g = generators::gnp_connected(n, p, seed);
+        for v in g.nodes() {
+            for port in 0..g.degree(v) {
+                let arr = g.traverse(v, PortId(port));
+                let back = g.traverse(arr.node, arr.entry_port);
+                prop_assert_eq!(back.node, v);
+                prop_assert_eq!(back.entry_port, PortId(port));
+            }
+        }
+    }
+
+    #[test]
+    fn degree_sum_is_twice_edge_count(n in 2usize..30, p in 0.0f64..1.0, seed in any::<u64>()) {
+        let g = generators::gnp_connected(n, p, seed);
+        let degsum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degsum, 2 * g.size());
+    }
+
+    #[test]
+    fn port_shuffle_preserves_structure(n in 3usize..25, seed in any::<u64>(), shuf in any::<u64>()) {
+        let g = generators::gnp_connected(n, 0.3, seed);
+        let s = generators::with_shuffled_ports(&g, shuf);
+        validate(&s).unwrap();
+        let mut e1: Vec<_> = g.edges().collect();
+        let mut e2: Vec<_> = s.edges().collect();
+        e1.sort();
+        e2.sort();
+        prop_assert_eq!(e1, e2);
+        for v in g.nodes() {
+            prop_assert_eq!(g.degree(v), s.degree(v));
+        }
+    }
+
+    #[test]
+    fn families_generate_valid_graphs(fam_idx in 0usize..8, n in 4usize..30, seed in any::<u64>()) {
+        let fam = GraphFamily::ALL[fam_idx];
+        let g = fam.generate(n, seed);
+        validate(&g).unwrap();
+        prop_assert!(g.order() >= 2);
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_steps(n in 2usize..25, seed in any::<u64>()) {
+        let g = generators::random_tree(n, seed);
+        let d = g.bfs_distances(NodeId(0));
+        // Adjacent nodes differ by at most 1 in BFS distance.
+        for v in g.nodes() {
+            for port in 0..g.degree(v) {
+                let u = g.succ(v, PortId(port));
+                prop_assert!(d[v.0].abs_diff(d[u.0]) <= 1);
+            }
+        }
+    }
+}

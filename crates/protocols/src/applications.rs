@@ -1,0 +1,88 @@
+//! The four applications solved by SGL (paper §4): team size, leader
+//! election, perfect renaming, gossiping.
+
+use crate::bag::Bag;
+
+/// The four problem outputs, all derived from one complete label/value set
+/// (the output of Algorithm SGL).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Solutions {
+    /// **Team size**: the number of participating agents.
+    pub team_size: usize,
+    /// **Leader election**: the label of the elected leader (the smallest).
+    pub leader: u64,
+    /// **Perfect renaming**: this agent's new name in `{1, …, k}` (the rank
+    /// of its label).
+    pub new_name: usize,
+    /// **Gossiping**: every agent's initial value, keyed by label, in label
+    /// order.
+    pub gossip: Vec<(u64, u64)>,
+}
+
+/// Derives all four solutions for the agent labeled `own_label` from its
+/// SGL output `set`.
+///
+/// # Panics
+///
+/// Panics if `own_label` is not in the set (an SGL output always contains
+/// the owner's label).
+pub fn solve(own_label: u64, set: &Bag) -> Solutions {
+    assert!(set.contains(own_label), "SGL output must contain the owner's label");
+    let labels = set.labels();
+    let rank = labels.iter().position(|&l| l == own_label).expect("just checked") + 1;
+    Solutions {
+        team_size: set.len(),
+        leader: set.min_label(),
+        new_name: rank,
+        gossip: set.iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set_of(pairs: &[(u64, u64)]) -> Bag {
+        let mut b = Bag::singleton(pairs[0].0, pairs[0].1);
+        for &(l, v) in &pairs[1..] {
+            b.merge(&Bag::singleton(l, v));
+        }
+        b
+    }
+
+    #[test]
+    fn solutions_from_a_three_agent_set() {
+        let set = set_of(&[(10, 100), (3, 30), (7, 70)]);
+        let s = solve(7, &set);
+        assert_eq!(s.team_size, 3);
+        assert_eq!(s.leader, 3);
+        assert_eq!(s.new_name, 2); // 7 is the 2nd smallest of {3, 7, 10}
+        assert_eq!(s.gossip, vec![(3, 30), (7, 70), (10, 100)]);
+    }
+
+    #[test]
+    fn renaming_is_a_bijection_onto_1_to_k() {
+        let set = set_of(&[(5, 0), (9, 0), (2, 0), (14, 0)]);
+        let mut names: Vec<usize> =
+            set.labels().iter().map(|&l| solve(l, &set).new_name).collect();
+        names.sort_unstable();
+        assert_eq!(names, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn all_agents_agree_on_leader_and_size() {
+        let set = set_of(&[(5, 0), (9, 0), (2, 0)]);
+        for &l in &set.labels() {
+            let s = solve(l, &set);
+            assert_eq!(s.leader, 2);
+            assert_eq!(s.team_size, 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "owner's label")]
+    fn solve_rejects_foreign_label() {
+        let set = set_of(&[(5, 0)]);
+        solve(6, &set);
+    }
+}

@@ -1,0 +1,91 @@
+//! The bag: the set of (label, value) pairs an agent has heard of.
+
+use std::collections::BTreeMap;
+
+/// An agent's bag `W`: every label it has heard of, with the initial value
+/// attached to that label (for gossiping). Bags only ever grow, by merging
+/// at meetings.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bag {
+    entries: BTreeMap<u64, u64>,
+}
+
+impl Bag {
+    /// A bag holding only the owner's own (label, value).
+    pub fn singleton(label: u64, value: u64) -> Self {
+        let mut entries = BTreeMap::new();
+        entries.insert(label, value);
+        Bag { entries }
+    }
+
+    /// Smallest label heard of (`Min(W)`); bags are never empty.
+    pub fn min_label(&self) -> u64 {
+        *self.entries.keys().next().expect("bags are never empty")
+    }
+
+    /// Number of distinct labels.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Bags are never empty (they always hold the owner's label).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `label` has been heard of.
+    pub fn contains(&self, label: u64) -> bool {
+        self.entries.contains_key(&label)
+    }
+
+    /// Merges another bag in (set union; values agree by construction).
+    pub fn merge(&mut self, other: &Bag) {
+        for (&l, &v) in &other.entries {
+            self.entries.insert(l, v);
+        }
+    }
+
+    /// Iterates `(label, value)` pairs in increasing label order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.entries.iter().map(|(&l, &v)| (l, v))
+    }
+
+    /// The labels in increasing order.
+    pub fn labels(&self) -> Vec<u64> {
+        self.entries.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_and_min() {
+        let b = Bag::singleton(7, 70);
+        assert_eq!(b.min_label(), 7);
+        assert_eq!(b.len(), 1);
+        assert!(b.contains(7));
+        assert!(!b.contains(8));
+    }
+
+    #[test]
+    fn merge_is_union_and_idempotent() {
+        let mut a = Bag::singleton(5, 50);
+        let b = Bag::singleton(3, 30);
+        a.merge(&b);
+        assert_eq!(a.labels(), vec![3, 5]);
+        assert_eq!(a.min_label(), 3);
+        let snapshot = a.clone();
+        a.merge(&b);
+        assert_eq!(a, snapshot, "merging twice changes nothing");
+    }
+
+    #[test]
+    fn values_ride_along_with_labels() {
+        let mut a = Bag::singleton(2, 200);
+        a.merge(&Bag::singleton(9, 900));
+        let pairs: Vec<_> = a.iter().collect();
+        assert_eq!(pairs, vec![(2, 200), (9, 900)]);
+    }
+}

@@ -1,0 +1,148 @@
+//! End-to-end Algorithm SGL (Theorem 4.1): every agent outputs the complete
+//! label/value set, under several adversaries, team sizes and graphs —
+//! and the four applications derived from it are mutually consistent.
+
+use rv_core::Label;
+use rv_explore::SeededUxs;
+use rv_graph::{generators, Graph, GraphFamily, NodeId};
+use rv_protocols::{solve, SglBehavior, SglConfig, StateKind};
+use rv_sim::adversary::AdversaryKind;
+use rv_sim::{RunConfig, RunEnd, Runtime};
+
+fn uxs() -> SeededUxs {
+    SeededUxs::quadratic()
+}
+
+/// Builds a team of `labels.len()` SGL agents spread over `g`, runs it
+/// under `kind`, and returns the runtime for inspection.
+fn run_sgl<'g>(
+    g: &'g Graph,
+    labels: &[u64],
+    kind: AdversaryKind,
+    seed: u64,
+    cutoff: u64,
+) -> (RunEnd, Runtime<'g, SglBehavior<'g, SeededUxs>>) {
+    let n = g.order();
+    assert!(labels.len() <= n);
+    let agents: Vec<_> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| {
+            let start = NodeId(i * n / labels.len());
+            SglBehavior::new(g, uxs(), start, Label::new(l).unwrap(), l * 10, SglConfig::default())
+        })
+        .collect();
+    let mut rt = Runtime::new(g, agents, RunConfig::protocol().with_cutoff(cutoff));
+    let mut adv = kind.build(seed);
+    let out = rt.run(adv.as_mut());
+    (out.end, rt)
+}
+
+/// Asserts Theorem 4.1's postcondition on a finished runtime.
+fn assert_all_output(rt: &Runtime<SglBehavior<SeededUxs>>, labels: &[u64], ctx: &str) {
+    let mut expected: Vec<u64> = labels.to_vec();
+    expected.sort_unstable();
+    for i in 0..rt.agent_count() {
+        let b = rt.behavior(i);
+        let out = b
+            .output()
+            .unwrap_or_else(|| panic!("{ctx}: agent {} ({:?}) produced no output", i, b.state()));
+        assert_eq!(out.labels(), expected, "{ctx}: agent {i} has a wrong label set");
+        // Gossip: values ride along.
+        for (l, v) in out.iter() {
+            assert_eq!(v, l * 10, "{ctx}: wrong value for label {l}");
+        }
+    }
+}
+
+#[test]
+fn two_agents_on_a_ring() {
+    let g = generators::ring(6);
+    let labels = [5, 2];
+    for kind in [AdversaryKind::Random, AdversaryKind::EagerMeet, AdversaryKind::GreedyAvoid] {
+        let (end, rt) = run_sgl(&g, &labels, kind, 11, 30_000_000);
+        assert_eq!(end, RunEnd::AllParked, "{kind}: run must quiesce");
+        assert_all_output(&rt, &labels, &format!("ring6/{kind}"));
+    }
+}
+
+#[test]
+fn three_agents_on_a_random_graph() {
+    let g = generators::gnp_connected(7, 0.4, 33);
+    let labels = [9, 4, 14];
+    for kind in [AdversaryKind::Random, AdversaryKind::EagerMeet] {
+        let (end, rt) = run_sgl(&g, &labels, kind, 5, 30_000_000);
+        assert_eq!(end, RunEnd::AllParked, "{kind}");
+        assert_all_output(&rt, &labels, &format!("gnp7/{kind}"));
+    }
+}
+
+#[test]
+fn five_agents_on_a_tree() {
+    let g = generators::random_tree(9, 77);
+    let labels = [3, 11, 6, 20, 8];
+    let (end, rt) = run_sgl(&g, &labels, AdversaryKind::Random, 21, 60_000_000);
+    assert_eq!(end, RunEnd::AllParked);
+    assert_all_output(&rt, &labels, "tree9/random");
+}
+
+#[test]
+fn applications_are_consistent_across_agents() {
+    let g = generators::ring(5);
+    let labels = [12, 7, 30];
+    let (end, rt) = run_sgl(&g, &labels, AdversaryKind::Random, 3, 30_000_000);
+    assert_eq!(end, RunEnd::AllParked);
+    let mut names = Vec::new();
+    for i in 0..rt.agent_count() {
+        let b = rt.behavior(i);
+        let s = solve(b.label().value(), b.output().unwrap());
+        assert_eq!(s.team_size, 3);
+        assert_eq!(s.leader, 7);
+        assert_eq!(s.gossip.len(), 3);
+        names.push(s.new_name);
+    }
+    names.sort_unstable();
+    assert_eq!(names, vec![1, 2, 3], "renaming must be a perfect bijection");
+}
+
+#[test]
+fn exactly_one_agent_runs_the_collection_sweep() {
+    // Only the minimum-label agent may finish Phase 2 un-aborted; everyone
+    // else must end as a ghost. Check final states.
+    let g = generators::ring(6);
+    let labels = [25, 3, 18, 9];
+    let (end, rt) = run_sgl(&g, &labels, AdversaryKind::Random, 55, 60_000_000);
+    assert_eq!(end, RunEnd::AllParked);
+    let min_idx = 1; // label 3
+    for i in 0..rt.agent_count() {
+        let b = rt.behavior(i);
+        if i == min_idx {
+            assert_eq!(b.state(), StateKind::Explorer, "the minimum stays explorer");
+        } else {
+            assert_eq!(b.state(), StateKind::Ghost, "agent {i} should end as ghost");
+        }
+        assert!(b.output().is_some());
+    }
+}
+
+#[test]
+fn lazy_wakeups_still_terminate() {
+    // Lazy adversary keeps one agent dormant as long as possible: the
+    // protocol must still complete (dormant agents are found and woken).
+    let g = generators::ring(6);
+    let labels = [5, 2, 8];
+    let (end, rt) = run_sgl(&g, &labels, AdversaryKind::LazyFirst, 1, 60_000_000);
+    assert_eq!(end, RunEnd::AllParked);
+    assert_all_output(&rt, &labels, "ring6/lazy");
+}
+
+#[test]
+fn works_on_every_family_with_random_adversary() {
+    for fam in GraphFamily::ALL {
+        let g = fam.generate(6, 13);
+        let labels = [4, 10];
+        let (end, rt) = run_sgl(&g, &labels, AdversaryKind::Random, 29, 60_000_000);
+        assert_eq!(end, RunEnd::AllParked, "{fam}");
+        assert_all_output(&rt, &labels, &format!("{fam}/random"));
+    }
+}

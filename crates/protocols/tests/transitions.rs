@@ -1,0 +1,145 @@
+//! Unit-level tests of the SGL state-transition rules (paper §4,
+//! "state traveller"), driven by synthetic meetings — no simulator.
+
+use rv_core::Label;
+use rv_explore::SeededUxs;
+use rv_graph::{generators, NodeId};
+use rv_protocols::{Bag, SglBehavior, SglConfig, SglInfo, StateKind};
+use rv_sim::{Behavior, MeetingPlace};
+
+fn agent(g: &rv_graph::Graph, label: u64) -> SglBehavior<'_, SeededUxs> {
+    SglBehavior::new(
+        g,
+        SeededUxs::quadratic(),
+        NodeId(0),
+        Label::new(label).unwrap(),
+        label,
+        SglConfig::default(),
+    )
+}
+
+fn info(label: u64, state: StateKind) -> SglInfo {
+    SglInfo {
+        label,
+        state,
+        bag: Bag::singleton(label, label),
+        final_set: None,
+        has_output: false,
+    }
+}
+
+#[test]
+fn traveller_meeting_smaller_bag_becomes_ghost() {
+    let g = generators::ring(5);
+    let mut a = agent(&g, 10);
+    assert_eq!(a.state(), StateKind::Traveller);
+    a.on_meeting(MeetingPlace::Node(NodeId(0)), &[info(3, StateKind::Traveller)]);
+    assert_eq!(a.state(), StateKind::Ghost);
+    // Ghosts park: next_port yields None forever.
+    assert_eq!(a.next_port(), None);
+    assert_eq!(a.next_port(), None);
+}
+
+#[test]
+fn traveller_meeting_larger_traveller_becomes_explorer() {
+    let g = generators::ring(5);
+    let mut a = agent(&g, 3);
+    a.on_meeting(MeetingPlace::Node(NodeId(0)), &[info(10, StateKind::Traveller)]);
+    assert_eq!(a.state(), StateKind::Explorer);
+    // The explorer starts moving (ESST phase 1).
+    assert!(a.next_port().is_some());
+}
+
+#[test]
+fn traveller_meeting_only_explorers_with_larger_bags_stays_traveller() {
+    let g = generators::ring(5);
+    let mut a = agent(&g, 3);
+    a.on_meeting(MeetingPlace::Node(NodeId(0)), &[info(10, StateKind::Explorer)]);
+    assert_eq!(a.state(), StateKind::Traveller, "explorers alone do not convert");
+    // But the bag still merged.
+    assert!(a.bag().contains(10));
+}
+
+#[test]
+fn traveller_meeting_ghost_becomes_explorer_with_that_token() {
+    let g = generators::ring(5);
+    let mut a = agent(&g, 3);
+    a.on_meeting(MeetingPlace::Node(NodeId(0)), &[info(7, StateKind::Ghost)]);
+    assert_eq!(a.state(), StateKind::Explorer);
+}
+
+#[test]
+fn smallest_non_explorer_is_chosen_as_token_in_multiway_meetings() {
+    // Indirect check: with peers {explorer 4, traveller 9, ghost 6}, the
+    // token must be 6 (smallest non-explorer); the agent transitions.
+    let g = generators::ring(5);
+    let mut a = agent(&g, 3);
+    a.on_meeting(
+        MeetingPlace::Node(NodeId(0)),
+        &[
+            info(4, StateKind::Explorer),
+            info(9, StateKind::Traveller),
+            info(6, StateKind::Ghost),
+        ],
+    );
+    assert_eq!(a.state(), StateKind::Explorer);
+    assert!(a.bag().contains(4) && a.bag().contains(9) && a.bag().contains(6));
+}
+
+#[test]
+fn ghost_rule_takes_priority_over_explorer_rule() {
+    // A peer carries a bag with a smaller label AND is a traveller: the
+    // ghost rule fires first (paper order).
+    let g = generators::ring(5);
+    let mut a = agent(&g, 5);
+    let mut peer = info(9, StateKind::Traveller);
+    peer.bag.merge(&Bag::singleton(2, 2)); // heard of label 2 < 5
+    a.on_meeting(MeetingPlace::Node(NodeId(0)), &[peer]);
+    assert_eq!(a.state(), StateKind::Ghost);
+}
+
+#[test]
+fn final_set_propagation_makes_a_ghost_output() {
+    let g = generators::ring(5);
+    let mut a = agent(&g, 10);
+    // Become a ghost first.
+    a.on_meeting(MeetingPlace::Node(NodeId(0)), &[info(3, StateKind::Traveller)]);
+    assert!(a.output().is_none());
+    // Now a peer announces the complete set.
+    let mut full = Bag::singleton(3, 3);
+    full.merge(&Bag::singleton(10, 10));
+    let announcer = SglInfo {
+        label: 3,
+        state: StateKind::Explorer,
+        bag: full.clone(),
+        final_set: Some(full.clone()),
+        has_output: true,
+    };
+    a.on_meeting(MeetingPlace::Node(NodeId(0)), &[announcer]);
+    let out = a.output().expect("ghost outputs on receiving the final set");
+    assert_eq!(out, &full);
+}
+
+#[test]
+fn bags_merge_on_every_meeting_regardless_of_state() {
+    let g = generators::ring(5);
+    let mut a = agent(&g, 2); // smallest — never converts on these meetings
+    for l in [30u64, 40, 50] {
+        a.on_meeting(MeetingPlace::Edge(rv_graph::EdgeId::new(NodeId(0), NodeId(1))), &[
+            info(l, StateKind::Explorer),
+        ]);
+    }
+    assert_eq!(a.bag().len(), 4);
+    assert_eq!(a.bag().min_label(), 2);
+    assert_eq!(a.state(), StateKind::Traveller);
+}
+
+#[test]
+fn traveller_keeps_walking_until_a_decisive_meeting() {
+    let g = generators::ring(6);
+    let mut a = agent(&g, 4);
+    for _ in 0..50 {
+        assert!(a.next_port().is_some(), "travellers never park");
+    }
+    assert_eq!(a.state(), StateKind::Traveller);
+}

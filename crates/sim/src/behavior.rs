@@ -1,0 +1,275 @@
+//! The agent-behavior abstraction and the two rendezvous behaviors.
+
+use crate::meeting::MeetingPlace;
+use rv_core::{Label, NaiveAlgorithm, RvAlgorithm};
+use rv_explore::ExplorationProvider;
+use rv_graph::{Graph, NodeId, PortId};
+use rv_trajectory::TrajectoryCursor;
+
+/// An agent algorithm as seen by the scheduler.
+///
+/// The runtime queries `next_port` whenever the agent stands at a node and
+/// must commit its next move; returning `None` parks the agent. A parked
+/// agent is queried again after each meeting delivered to it (new
+/// information may end the parking), so implementations must tolerate
+/// repeated `None`-after-`None` queries.
+pub trait Behavior {
+    /// Information revealed to peers at a meeting.
+    type Info: Clone;
+
+    /// The node this agent is placed at initially.
+    fn start_node(&self) -> NodeId;
+
+    /// Commits the next traversal (exit port from the current node), or
+    /// parks.
+    fn next_port(&mut self) -> Option<PortId>;
+
+    /// Snapshot of the information this agent shares when met.
+    fn info(&self) -> Self::Info;
+
+    /// Delivery of a meeting with `peers` at `place`.
+    fn on_meeting(&mut self, place: MeetingPlace, peers: &[Self::Info]);
+}
+
+/// Algorithm RV-asynch-poly as a schedulable behavior: streams the infinite
+/// piece/fence schedule through a [`TrajectoryCursor`]. Meetings carry the
+/// agent's label; the behavior itself never reacts to them (rendezvous ends
+/// the run).
+pub struct RvBehavior<'g, P> {
+    cursor: TrajectoryCursor<'g, P>,
+    algorithm: RvAlgorithm,
+    start: NodeId,
+}
+
+impl<'g, P: ExplorationProvider + Clone> RvBehavior<'g, P> {
+    /// Places an agent with `label` at `start`.
+    pub fn new(g: &'g Graph, provider: P, start: NodeId, label: Label) -> Self {
+        Self::with_variant(g, provider, start, label, rv_core::RvVariant::default())
+    }
+
+    /// Places an agent running an ablated variant of the algorithm
+    /// (experiment F6).
+    pub fn with_variant(
+        g: &'g Graph,
+        provider: P,
+        start: NodeId,
+        label: Label,
+        variant: rv_core::RvVariant,
+    ) -> Self {
+        RvBehavior {
+            cursor: TrajectoryCursor::new(g, provider, start),
+            algorithm: RvAlgorithm::with_variant(label, variant),
+            start,
+        }
+    }
+
+    /// The agent's label.
+    pub fn label(&self) -> Label {
+        self.algorithm.label()
+    }
+
+    /// The piece the schedule is currently in (instrumentation).
+    pub fn piece(&self) -> u64 {
+        self.algorithm.piece()
+    }
+}
+
+impl<'g, P: ExplorationProvider + Clone> Behavior for RvBehavior<'g, P> {
+    type Info = Label;
+
+    fn start_node(&self) -> NodeId {
+        self.start
+    }
+
+    fn next_port(&mut self) -> Option<PortId> {
+        loop {
+            if let Some(t) = self.cursor.next_traversal() {
+                return Some(t.exit);
+            }
+            let spec = self.algorithm.next_spec(); // the RV schedule never ends
+            self.cursor.push(spec);
+        }
+    }
+
+    fn info(&self) -> Label {
+        self.algorithm.label()
+    }
+
+    fn on_meeting(&mut self, _place: MeetingPlace, _peers: &[Label]) {}
+}
+
+/// The naive exponential baseline as a behavior: `X(n)` repeated
+/// `(2P(n)+1)^L` times, then parked forever. Requires the graph order.
+pub struct NaiveBehavior<'g, P> {
+    cursor: TrajectoryCursor<'g, P>,
+    algorithm: NaiveAlgorithm,
+    label: Label,
+    start: NodeId,
+}
+
+impl<'g, P: ExplorationProvider + Clone> NaiveBehavior<'g, P> {
+    /// Places a naive agent with `label` at `start`, told the graph order.
+    pub fn new(g: &'g Graph, provider: P, start: NodeId, label: Label) -> Self {
+        let algorithm = NaiveAlgorithm::new(&provider, g.order() as u64, label);
+        NaiveBehavior {
+            cursor: TrajectoryCursor::new(g, provider, start),
+            algorithm,
+            label,
+            start,
+        }
+    }
+}
+
+impl<'g, P: ExplorationProvider + Clone> Behavior for NaiveBehavior<'g, P> {
+    type Info = Label;
+
+    fn start_node(&self) -> NodeId {
+        self.start
+    }
+
+    fn next_port(&mut self) -> Option<PortId> {
+        loop {
+            if let Some(t) = self.cursor.next_traversal() {
+                return Some(t.exit);
+            }
+            let spec = self.algorithm.next_spec()?; // finished → park forever
+            self.cursor.push(spec);
+        }
+    }
+
+    fn info(&self) -> Label {
+        self.label
+    }
+
+    fn on_meeting(&mut self, _place: MeetingPlace, _peers: &[Label]) {}
+}
+
+/// A behavior that follows a fixed list of exit ports then parks — the
+/// workhorse of the meeting-rule tests.
+#[derive(Clone, Debug)]
+pub struct ScriptBehavior {
+    start: NodeId,
+    ports: std::collections::VecDeque<PortId>,
+}
+
+impl ScriptBehavior {
+    /// Creates a scripted agent at `start` following `ports` in order.
+    pub fn new(start: NodeId, ports: impl IntoIterator<Item = usize>) -> Self {
+        ScriptBehavior {
+            start,
+            ports: ports.into_iter().map(PortId).collect(),
+        }
+    }
+}
+
+impl Behavior for ScriptBehavior {
+    type Info = ();
+
+    fn start_node(&self) -> NodeId {
+        self.start
+    }
+
+    fn next_port(&mut self) -> Option<PortId> {
+        self.ports.pop_front()
+    }
+
+    fn info(&self) {}
+
+    fn on_meeting(&mut self, _place: MeetingPlace, _peers: &[()]) {}
+}
+
+/// A behavior that plays a fixed sequence of trajectory [`Spec`]s, optionally
+/// looping over the final spec forever — used by the Lemma 3.1 tests and the
+/// ablation experiments.
+pub struct SpecBehavior<'g, P> {
+    cursor: TrajectoryCursor<'g, P>,
+    specs: std::collections::VecDeque<Spec>,
+    repeat_last: Option<Spec>,
+    start: NodeId,
+}
+
+use rv_trajectory::Spec;
+
+impl<'g, P: ExplorationProvider + Clone> SpecBehavior<'g, P> {
+    /// Plays `specs` in order from `start`, then parks.
+    pub fn new(g: &'g Graph, provider: P, start: NodeId, specs: Vec<Spec>) -> Self {
+        SpecBehavior {
+            cursor: TrajectoryCursor::new(g, provider, start),
+            specs: specs.into(),
+            repeat_last: None,
+            start,
+        }
+    }
+
+    /// Plays `specs` in order, then repeats `forever` indefinitely.
+    pub fn looping(
+        g: &'g Graph,
+        provider: P,
+        start: NodeId,
+        specs: Vec<Spec>,
+        forever: Spec,
+    ) -> Self {
+        SpecBehavior {
+            cursor: TrajectoryCursor::new(g, provider, start),
+            specs: specs.into(),
+            repeat_last: Some(forever),
+            start,
+        }
+    }
+}
+
+impl<'g, P: ExplorationProvider + Clone> Behavior for SpecBehavior<'g, P> {
+    type Info = ();
+
+    fn start_node(&self) -> NodeId {
+        self.start
+    }
+
+    fn next_port(&mut self) -> Option<PortId> {
+        loop {
+            if let Some(t) = self.cursor.next_traversal() {
+                return Some(t.exit);
+            }
+            match self.specs.pop_front().or(self.repeat_last) {
+                Some(spec) => self.cursor.push(spec),
+                None => return None,
+            }
+        }
+    }
+
+    fn info(&self) {}
+
+    fn on_meeting(&mut self, _place: MeetingPlace, _peers: &[()]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_explore::SeededUxs;
+    use rv_graph::generators;
+
+    #[test]
+    fn rv_behavior_streams_forever() {
+        let g = generators::ring(4);
+        let mut b = RvBehavior::new(&g, SeededUxs::default(), NodeId(0), Label::new(3).unwrap());
+        for _ in 0..10_000 {
+            assert!(b.next_port().is_some());
+        }
+        assert_eq!(b.label().value(), 3);
+    }
+
+    #[test]
+    fn naive_behavior_stops_after_its_repetitions() {
+        let g = generators::ring(3);
+        // Tiny provider so the schedule finishes quickly: P(3)=1 → 3 reps
+        // of X(3) with |X(3)| = 2, for label 1.
+        let uxs = rv_explore::TableUxs::new(vec![vec![1]]);
+        let mut b = NaiveBehavior::new(&g, uxs, NodeId(0), Label::new(1).unwrap());
+        let mut steps = 0;
+        while b.next_port().is_some() {
+            steps += 1;
+        }
+        assert_eq!(steps, 6); // 3 repetitions × 2 traversals
+        assert!(b.next_port().is_none(), "parked agents stay parked");
+    }
+}

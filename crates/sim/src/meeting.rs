@@ -1,0 +1,38 @@
+//! Meeting events.
+
+use rv_graph::{EdgeId, NodeId};
+
+/// Where a forced meeting happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MeetingPlace {
+    /// All participants stood at this node.
+    Node(NodeId),
+    /// The participants' position curves crossed strictly inside this edge.
+    Edge(EdgeId),
+}
+
+/// A forced meeting between two or more agents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Meeting {
+    /// Indices (into the runtime's agent vector) of the participants.
+    pub agents: Vec<usize>,
+    /// Where the meeting happened.
+    pub place: MeetingPlace,
+    /// Total completed traversals (over all agents) when the meeting was
+    /// declared — the *cost* at meeting time.
+    pub at_cost: u64,
+    /// Scheduler action counter when the meeting was declared.
+    pub at_action: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meeting_place_comparisons() {
+        let e = EdgeId::new(NodeId(1), NodeId(2));
+        assert_eq!(MeetingPlace::Edge(e), MeetingPlace::Edge(EdgeId::new(NodeId(2), NodeId(1))));
+        assert_ne!(MeetingPlace::Node(NodeId(1)), MeetingPlace::Node(NodeId(2)));
+    }
+}

@@ -1,0 +1,185 @@
+//! Exhaustive worst-case scheduling for *tiny* horizons.
+//!
+//! The simulator's adversaries are heuristics; this module computes the
+//! **true** worst case — the schedule maximising the cost of the first
+//! forced meeting — by exhaustive depth-first search over adversary
+//! choices, up to an action-depth cap. Exponential in the cap (branching
+//! = number of legal actions), so only usable for small instances; it is
+//! the calibration reference for experiment F5.
+//!
+//! Because behaviors are stateful and not cheaply clonable in general,
+//! the search re-executes runs from scratch along each explored prefix
+//! (`B: FnMut() -> behaviors` factory). Cost is `O(b^depth · depth)`
+//! behavior steps — fine for depth ≤ ~14.
+
+use crate::behavior::Behavior;
+use crate::runtime::{RunConfig, Runtime};
+use rv_graph::Graph;
+
+/// Result of an exhaustive search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorstCase {
+    /// Highest meeting cost over all schedules that meet within the depth
+    /// cap (`None` if no schedule meets within the cap).
+    pub max_meeting_cost: Option<u64>,
+    /// Whether some schedule within the cap avoids any meeting entirely.
+    pub some_schedule_avoids: bool,
+    /// Number of schedules (leaves) explored.
+    pub schedules_explored: u64,
+}
+
+/// Exhaustively explores every adversary schedule of at most `max_actions`
+/// actions, re-instantiating the agents through `make_behaviors` for each
+/// prefix.
+pub fn exhaustive_worst_case<B, F>(
+    g: &Graph,
+    mut make_behaviors: F,
+    max_actions: usize,
+) -> WorstCase
+where
+    B: Behavior,
+    F: FnMut() -> Vec<B>,
+{
+    let mut result = WorstCase {
+        max_meeting_cost: None,
+        some_schedule_avoids: false,
+        schedules_explored: 0,
+    };
+    // Iterative deepening over prefixes encoded as choice-index vectors.
+    let mut prefix: Vec<usize> = Vec::new();
+    loop {
+        // Replay the current prefix.
+        let mut rt = Runtime::new(g, make_behaviors(), RunConfig::rendezvous());
+        let mut met = false;
+        let mut replay_ok = true;
+        for (depth, &idx) in prefix.iter().enumerate() {
+            let choices = rt.legal_choices();
+            if idx >= choices.len() {
+                replay_ok = false;
+                // Backtrack: advance the last index.
+                prefix.truncate(depth);
+                if !advance(&mut prefix) {
+                    return result;
+                }
+                break;
+            }
+            let meetings = rt.apply(choices[idx].choice);
+            if !meetings.is_empty() {
+                met = true;
+                result.schedules_explored += 1;
+                result.max_meeting_cost = Some(
+                    result.max_meeting_cost.map_or(rt.total_traversals(), |m| {
+                        m.max(rt.total_traversals())
+                    }),
+                );
+                // This prefix ends here; try its successor.
+                prefix.truncate(depth + 1);
+                if !advance(&mut prefix) {
+                    return result;
+                }
+                break;
+            }
+        }
+        if !replay_ok || met {
+            continue;
+        }
+        if prefix.len() >= max_actions {
+            // Depth cap without a meeting: an avoiding schedule exists.
+            result.some_schedule_avoids = true;
+            result.schedules_explored += 1;
+            if !advance(&mut prefix) {
+                return result;
+            }
+            continue;
+        }
+        // Deepen: no legal choices means all parked (counts as avoiding).
+        if rt.legal_choices().is_empty() {
+            result.some_schedule_avoids = true;
+            result.schedules_explored += 1;
+            if !advance(&mut prefix) {
+                return result;
+            }
+            continue;
+        }
+        prefix.push(0);
+    }
+}
+
+/// Advances the prefix like an odometer whose digit bases are discovered
+/// lazily (the replay detects overflow). Returns `false` when exhausted.
+fn advance(prefix: &mut Vec<usize>) -> bool {
+    match prefix.last_mut() {
+        None => false,
+        Some(last) => {
+            *last += 1;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::ScriptBehavior;
+    use rv_graph::{generators, NodeId};
+
+    #[test]
+    fn two_node_path_forces_meeting_on_every_schedule() {
+        // Both agents must cross the single edge: every schedule meets.
+        let g = generators::path(2);
+        let res = exhaustive_worst_case(
+            &g,
+            || {
+                vec![
+                    ScriptBehavior::new(NodeId(0), [0]),
+                    ScriptBehavior::new(NodeId(1), [0]),
+                ]
+            },
+            10,
+        );
+        assert!(!res.some_schedule_avoids, "path(2) leaves no escape");
+        // Worst case: one agent fully crosses, waking/finding the other —
+        // at most 2 completed traversals before the meeting.
+        assert!(res.max_meeting_cost.unwrap() <= 2);
+        assert!(res.schedules_explored > 0);
+    }
+
+    #[test]
+    fn parked_agents_allow_avoidance() {
+        // Agent 1 never moves and agent 0 walks away from it: within a
+        // short horizon no meeting is forced.
+        let g = generators::path(3);
+        let res = exhaustive_worst_case(
+            &g,
+            || {
+                vec![
+                    ScriptBehavior::new(NodeId(1), [g.port_towards(NodeId(1), NodeId(2)).unwrap().0]),
+                    ScriptBehavior::new(NodeId(0), []),
+                ]
+            },
+            6,
+        );
+        assert!(res.some_schedule_avoids);
+    }
+
+    #[test]
+    fn worst_case_dominates_heuristic_adversaries() {
+        // The exhaustive maximum is at least what greedy-avoid achieves on
+        // the same instance.
+        use crate::adversary::GreedyAvoid;
+        use crate::RunConfig;
+        let g = generators::ring(3);
+        let make = || {
+            vec![
+                ScriptBehavior::new(NodeId(0), [0, 0, 0]),
+                ScriptBehavior::new(NodeId(1), [0, 0, 0]),
+            ]
+        };
+        let exhaustive = exhaustive_worst_case(&g, make, 12);
+        let mut rt = Runtime::new(&g, make(), RunConfig::rendezvous());
+        let out = rt.run(&mut GreedyAvoid::new(3));
+        if let (Some(max), crate::RunEnd::Meeting) = (exhaustive.max_meeting_cost, out.end) {
+            assert!(max >= out.total_traversals);
+        }
+    }
+}

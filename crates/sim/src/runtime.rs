@@ -1,0 +1,496 @@
+//! The scheduler runtime: agent slots, edge occupancy, forced-meeting
+//! detection, and the adversary-driven run loop.
+
+use crate::behavior::Behavior;
+use crate::meeting::{Meeting, MeetingPlace};
+use rv_graph::{EdgeId, Graph, NodeId, PortId};
+use std::collections::HashMap;
+
+/// Agent position at the abstraction level of the model (see crate docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Place {
+    /// Standing at a node.
+    AtNode(NodeId),
+    /// Strictly inside `edge`, committed to arriving at `to`.
+    Inside {
+        /// The occupied edge.
+        edge: EdgeId,
+        /// Departure node.
+        from: NodeId,
+        /// Committed arrival node.
+        to: NodeId,
+    },
+}
+
+/// The primitive scheduling actions available to the adversary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ActionKind {
+    /// Begin the agent's committed traversal (node → edge interior).
+    Start,
+    /// Complete the agent's traversal (edge interior → node).
+    Finish,
+    /// Wake a sleeping agent.
+    Wake,
+}
+
+/// One adversary decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Choice {
+    /// Index of the agent acted upon.
+    pub agent: usize,
+    /// The action.
+    pub kind: ActionKind,
+}
+
+/// A legal choice, annotated with whether taking it forces a meeting —
+/// the information a meeting-avoiding adversary needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChoiceInfo {
+    /// The choice.
+    pub choice: Choice,
+    /// `true` if applying it declares at least one meeting.
+    pub causes_meeting: bool,
+}
+
+/// Why a run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunEnd {
+    /// A meeting occurred and the config stops at the first meeting.
+    Meeting,
+    /// No agent can act: everyone is parked (and nobody is asleep).
+    AllParked,
+    /// The total-traversal cutoff was reached.
+    Cutoff,
+}
+
+/// Result of a run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Why the run ended.
+    pub end: RunEnd,
+    /// Total completed traversals over all agents (the paper's *cost*).
+    pub total_traversals: u64,
+    /// Completed traversals per agent.
+    pub per_agent: Vec<u64>,
+    /// All meetings declared, in order.
+    pub meetings: Vec<Meeting>,
+    /// Number of adversary actions executed.
+    pub actions: u64,
+}
+
+/// Run parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Stop at the first meeting (rendezvous experiments).
+    pub stop_on_first_meeting: bool,
+    /// Abort after this many completed traversals in total.
+    pub max_total_traversals: u64,
+}
+
+impl RunConfig {
+    /// Rendezvous configuration: stop at the first meeting, generous cutoff.
+    pub fn rendezvous() -> Self {
+        RunConfig { stop_on_first_meeting: true, max_total_traversals: 50_000_000 }
+    }
+
+    /// Protocol configuration: meetings are exchanges, run to quiescence.
+    pub fn protocol() -> Self {
+        RunConfig { stop_on_first_meeting: false, max_total_traversals: 50_000_000 }
+    }
+
+    /// Replaces the traversal cutoff.
+    pub fn with_cutoff(mut self, max: u64) -> Self {
+        self.max_total_traversals = max;
+        self
+    }
+}
+
+struct Slot<B> {
+    behavior: B,
+    place: Place,
+    /// Committed next traversal when at a node (`None` = parked).
+    pending: Option<(PortId, NodeId)>,
+    awake: bool,
+    traversals: u64,
+}
+
+/// Per-edge occupancy: FIFO queues of agents inside, one per direction.
+/// Direction is identified by the departure node.
+#[derive(Default)]
+struct EdgeOcc {
+    /// Agents that entered from `edge.a`, in entry order (front = eldest).
+    from_a: Vec<usize>,
+    /// Agents that entered from `edge.b`, in entry order.
+    from_b: Vec<usize>,
+}
+
+impl EdgeOcc {
+    fn queue(&self, from_a_side: bool) -> &Vec<usize> {
+        if from_a_side {
+            &self.from_a
+        } else {
+            &self.from_b
+        }
+    }
+    fn queue_mut(&mut self, from_a_side: bool) -> &mut Vec<usize> {
+        if from_a_side {
+            &mut self.from_a
+        } else {
+            &mut self.from_b
+        }
+    }
+    fn is_empty(&self) -> bool {
+        self.from_a.is_empty() && self.from_b.is_empty()
+    }
+}
+
+/// The adversarial scheduler over a set of agents in one graph.
+///
+/// See the crate documentation for the model; see
+/// [`crate::adversary`] for the strategies that drive it.
+pub struct Runtime<'g, B> {
+    g: &'g Graph,
+    slots: Vec<Slot<B>>,
+    edges: HashMap<EdgeId, EdgeOcc>,
+    meetings: Vec<Meeting>,
+    actions: u64,
+    total_traversals: u64,
+    config: RunConfig,
+}
+
+impl<'g, B: Behavior> Runtime<'g, B> {
+    /// Creates a runtime with all agents asleep at their behaviors' start
+    /// nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two agents are supplied or two agents share a
+    /// start node (the model places agents at distinct nodes).
+    pub fn new(g: &'g Graph, behaviors: Vec<B>, config: RunConfig) -> Self {
+        assert!(behaviors.len() >= 2, "the model has at least two agents");
+        let mut seen = std::collections::HashSet::new();
+        for b in &behaviors {
+            assert!(
+                seen.insert(b.start_node()),
+                "agents must start at distinct nodes (duplicate {:?})",
+                b.start_node()
+            );
+        }
+        let slots = behaviors
+            .into_iter()
+            .map(|behavior| Slot {
+                place: Place::AtNode(behavior.start_node()),
+                behavior,
+                pending: None,
+                awake: false,
+                traversals: 0,
+            })
+            .collect();
+        Runtime {
+            g,
+            slots,
+            edges: HashMap::new(),
+            meetings: Vec::new(),
+            actions: 0,
+            total_traversals: 0,
+            config,
+        }
+    }
+
+    /// Current position of agent `i`.
+    pub fn place(&self, i: usize) -> Place {
+        self.slots[i].place
+    }
+
+    /// Completed traversals of agent `i`.
+    pub fn traversals(&self, i: usize) -> u64 {
+        self.slots[i].traversals
+    }
+
+    /// Total completed traversals.
+    pub fn total_traversals(&self) -> u64 {
+        self.total_traversals
+    }
+
+    /// Immutable access to agent `i`'s behavior (for post-run inspection).
+    pub fn behavior(&self, i: usize) -> &B {
+        &self.slots[i].behavior
+    }
+
+    /// Number of agents.
+    pub fn agent_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Meetings declared so far.
+    pub fn meetings(&self) -> &[Meeting] {
+        &self.meetings
+    }
+
+    /// All currently legal choices with meeting annotations.
+    pub fn legal_choices(&self) -> Vec<ChoiceInfo> {
+        let mut out = Vec::new();
+        for (i, slot) in self.slots.iter().enumerate() {
+            if !slot.awake {
+                out.push(ChoiceInfo {
+                    choice: Choice { agent: i, kind: ActionKind::Wake },
+                    causes_meeting: false,
+                });
+                continue;
+            }
+            match slot.place {
+                Place::AtNode(v) => {
+                    if let Some((port, _to)) = slot.pending {
+                        let edge = self.g.edge_at(v, port);
+                        let causes_meeting = self.start_would_meet(edge, v);
+                        out.push(ChoiceInfo {
+                            choice: Choice { agent: i, kind: ActionKind::Start },
+                            causes_meeting,
+                        });
+                    }
+                }
+                Place::Inside { edge, from, to } => {
+                    let causes_meeting = self.finish_would_meet(i, edge, from, to);
+                    out.push(ChoiceInfo {
+                        choice: Choice { agent: i, kind: ActionKind::Finish },
+                        causes_meeting,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn start_would_meet(&self, edge: EdgeId, from: NodeId) -> bool {
+        // Opposite direction = entered from the other endpoint.
+        self.edges
+            .get(&edge)
+            .map(|occ| !occ.queue(edge.a != from).is_empty())
+            .unwrap_or(false)
+    }
+
+    fn finish_would_meet(&self, i: usize, edge: EdgeId, from: NodeId, to: NodeId) -> bool {
+        // Overtaking: any same-direction occupant that entered before `i`.
+        if let Some(occ) = self.edges.get(&edge) {
+            let q = occ.queue(edge.a == from);
+            let my_pos = q.iter().position(|&a| a == i).expect("agent must be queued");
+            if my_pos > 0 {
+                return true;
+            }
+        }
+        // Node contact at the arrival node.
+        self.slots
+            .iter()
+            .enumerate()
+            .any(|(j, s)| j != i && s.place == Place::AtNode(to))
+    }
+
+    /// Applies one adversary choice; returns the meetings it forced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the choice is not currently legal.
+    pub fn apply(&mut self, choice: Choice) -> Vec<Meeting> {
+        self.actions += 1;
+        let i = choice.agent;
+        match choice.kind {
+            ActionKind::Wake => {
+                assert!(!self.slots[i].awake, "Wake on an awake agent");
+                self.slots[i].awake = true;
+                self.fetch_pending(i);
+                // Waking at an occupied node is a meeting (the agents stand
+                // at the same point).
+                let here = match self.slots[i].place {
+                    Place::AtNode(v) => v,
+                    Place::Inside { .. } => unreachable!("asleep agents are at nodes"),
+                };
+                let mut present: Vec<usize> = self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, s)| *j != i && s.awake && s.place == Place::AtNode(here))
+                    .map(|(j, _)| j)
+                    .collect();
+                if present.is_empty() {
+                    Vec::new()
+                } else {
+                    present.push(i);
+                    present.sort_unstable();
+                    vec![self.declare(present, MeetingPlace::Node(here))]
+                }
+            }
+            ActionKind::Start => {
+                let slot = &mut self.slots[i];
+                assert!(slot.awake, "Start on a sleeping agent");
+                let v = match slot.place {
+                    Place::AtNode(v) => v,
+                    _ => panic!("Start on an agent inside an edge"),
+                };
+                let (port, to) = slot.pending.take().expect("Start without a committed move");
+                let edge = self.g.edge_at(v, port);
+                slot.place = Place::Inside { edge, from: v, to };
+                // Forced crossings with opposite-direction occupants.
+                let opposite: Vec<usize> = self
+                    .edges
+                    .get(&edge)
+                    .map(|occ| occ.queue(edge.a != v).clone())
+                    .unwrap_or_default();
+                self.edges.entry(edge).or_default().queue_mut(edge.a == v).push(i);
+                opposite
+                    .into_iter()
+                    .map(|j| self.declare(vec![i.min(j), i.max(j)], MeetingPlace::Edge(edge)))
+                    .collect()
+            }
+            ActionKind::Finish => {
+                let (edge, from, to) = match self.slots[i].place {
+                    Place::Inside { edge, from, to } => (edge, from, to),
+                    _ => panic!("Finish on an agent not inside an edge"),
+                };
+                // Overtaken same-direction occupants (entered earlier).
+                let occ = self.edges.get_mut(&edge).expect("occupied edge tracked");
+                let q = occ.queue_mut(edge.a == from);
+                let my_pos = q.iter().position(|&a| a == i).expect("agent queued");
+                let overtaken: Vec<usize> = q[..my_pos].to_vec();
+                q.remove(my_pos);
+                if occ.is_empty() {
+                    self.edges.remove(&edge);
+                }
+                self.slots[i].place = Place::AtNode(to);
+                self.slots[i].traversals += 1;
+                self.total_traversals += 1;
+                let mut meetings: Vec<Meeting> = overtaken
+                    .into_iter()
+                    .map(|j| {
+                        self.declare_excluding(
+                            vec![i.min(j), i.max(j)],
+                            MeetingPlace::Edge(edge),
+                            Some(i),
+                        )
+                    })
+                    .collect();
+                // Node contact: everyone standing at the arrival node.
+                // Sleeping agents there are woken by the visit.
+                let mut present: Vec<usize> = self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, s)| *j != i && s.place == Place::AtNode(to))
+                    .map(|(j, _)| j)
+                    .collect();
+                if !present.is_empty() {
+                    for &j in &present {
+                        if !self.slots[j].awake {
+                            self.slots[j].awake = true;
+                            self.fetch_pending(j);
+                        }
+                    }
+                    present.push(i);
+                    present.sort_unstable();
+                    meetings.push(self.declare_excluding(
+                        present,
+                        MeetingPlace::Node(to),
+                        Some(i),
+                    ));
+                }
+                // The agent commits its next move knowing everything that
+                // happened up to and including this arrival. (If a meeting
+                // was declared, `declare` already committed it with the
+                // meeting information in hand.)
+                if self.slots[i].pending.is_none() {
+                    self.fetch_pending(i);
+                }
+                meetings
+            }
+        }
+    }
+
+    /// Records a meeting and delivers it to every participant. Committed
+    /// moves stay binding (see crate docs), but *parked* participants get a
+    /// fresh `next_port` query — parking is a decision, not a commitment,
+    /// and new information may end it (e.g. an SGL explorer whose token
+    /// just arrived).
+    fn declare(&mut self, agents: Vec<usize>, place: MeetingPlace) -> Meeting {
+        self.declare_excluding(agents, place, None)
+    }
+
+    /// Like [`Runtime::declare`] but defers the re-commit of `skip` (the
+    /// agent whose action produced this meeting commits once at the end of
+    /// its action, after *all* resulting meetings are delivered).
+    fn declare_excluding(
+        &mut self,
+        agents: Vec<usize>,
+        place: MeetingPlace,
+        skip: Option<usize>,
+    ) -> Meeting {
+        let infos: Vec<B::Info> =
+            agents.iter().map(|&j| self.slots[j].behavior.info()).collect();
+        for (idx, &j) in agents.iter().enumerate() {
+            let peers: Vec<B::Info> = infos
+                .iter()
+                .enumerate()
+                .filter(|(p, _)| *p != idx)
+                .map(|(_, info)| info.clone())
+                .collect();
+            self.slots[j].behavior.on_meeting(place, &peers);
+            // A parked agent may decide to move again after learning
+            // something new (e.g. an SGL explorer whose token arrives).
+            if Some(j) != skip
+                && self.slots[j].awake
+                && matches!(self.slots[j].place, Place::AtNode(_))
+                && self.slots[j].pending.is_none()
+            {
+                self.fetch_pending(j);
+            }
+        }
+        let m = Meeting {
+            agents,
+            place,
+            at_cost: self.total_traversals,
+            at_action: self.actions,
+        };
+        self.meetings.push(m.clone());
+        m
+    }
+
+    /// Asks the behavior for its next committed move from its current node.
+    fn fetch_pending(&mut self, i: usize) {
+        let v = match self.slots[i].place {
+            Place::AtNode(v) => v,
+            Place::Inside { .. } => unreachable!("pending is only fetched at nodes"),
+        };
+        let slot = &mut self.slots[i];
+        slot.pending = slot.behavior.next_port().map(|port| {
+            assert!(port.0 < self.g.degree(v), "behavior chose an invalid port");
+            (port, self.g.traverse(v, port).node)
+        });
+    }
+
+    /// Runs under `adversary` until a terminal condition (see [`RunEnd`]).
+    pub fn run(&mut self, adversary: &mut dyn crate::adversary::Adversary) -> RunOutcome {
+        let end = loop {
+            if self.total_traversals >= self.config.max_total_traversals {
+                break RunEnd::Cutoff;
+            }
+            let choices = self.legal_choices();
+            if choices.is_empty() {
+                break RunEnd::AllParked;
+            }
+            let choice = adversary.choose(&choices, self.actions);
+            debug_assert!(
+                choices.iter().any(|c| c.choice == choice),
+                "adversary returned an illegal choice"
+            );
+            let new_meetings = self.apply(choice);
+            if self.config.stop_on_first_meeting && !new_meetings.is_empty() {
+                break RunEnd::Meeting;
+            }
+        };
+        RunOutcome {
+            end,
+            total_traversals: self.total_traversals,
+            per_agent: self.slots.iter().map(|s| s.traversals).collect(),
+            meetings: self.meetings.clone(),
+            actions: self.actions,
+        }
+    }
+}

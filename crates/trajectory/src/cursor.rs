@@ -1,0 +1,548 @@
+//! Lazy streaming execution of trajectory specs.
+//!
+//! [`TrajectoryCursor`] plays any [`Spec`] as a stream of edge traversals
+//! using an explicit frame stack, in O(nesting depth · P(k)) memory — never
+//! materialising a trajectory (`|Ω(1)|` ≈ 10²² traversals under the
+//! default provider).
+//!
+//! **Agent-model honesty.** The cursor reads the graph only through
+//! [`rv_graph::Graph::traverse`] — the local operation the paper grants an
+//! agent — plus *recomputation* of `R(k, u)` walks from nodes the cursor has
+//! itself visited (to reverse the sweeps `Y̅′`/`A̅′`). A paper agent with
+//! unbounded memory would replay its own traversal log instead; since the
+//! walks are deterministic, log replay and recomputation produce the same
+//! route, so the cursor is an exact implementation of the agent's behaviour,
+//! not an oracle shortcut.
+
+use crate::lengths::Lengths;
+use crate::spec::Spec;
+use rv_arith::Big;
+use rv_explore::{r_trajectory, ConcreteTrajectory, ExplorationProvider, RWalker};
+use rv_graph::{Graph, NodeId, PortId};
+
+/// One executed edge traversal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Traversal {
+    /// Node the agent left.
+    pub from: NodeId,
+    /// Port it left through.
+    pub exit: PortId,
+    /// Node it arrived at.
+    pub to: NodeId,
+    /// Port it entered through.
+    pub entry: PortId,
+}
+
+/// What a sweep inserts at every node of its `R(k, ·)` spine:
+/// `Q(k)` for `Y′` (Definition 3.3) or `Z(k)` for `A′` (Definition 3.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Inner {
+    Q,
+    Z,
+}
+
+/// Body of a repetition combinator: `Y(k)` for `B`, `X(k)` for `K`/`Ω`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Body {
+    X,
+    Y,
+}
+
+#[derive(Debug)]
+enum Task<P> {
+    /// `R(k, ·)` from the current node.
+    RFwd { walker: RWalker<P> },
+    /// `X(k, ·) = R R̄`: walk forward logging entry ports, then replay the
+    /// log backwards.
+    X {
+        walker: Option<RWalker<P>>,
+        log: Vec<PortId>,
+        rev: usize,
+    },
+    /// `X(1)…X(k)` ascending (Q) or `X(k)…X(1)` descending (Q̄ — valid
+    /// because `X` is a walk-palindrome: `rev(R R̄) = R R̄`).
+    XChain { k: u64, i: u64, descending: bool },
+    /// `Y(1)…Y(k)` ascending (Z) or descending (Z̄; `Y` is a palindrome too).
+    YChain { k: u64, i: u64, descending: bool },
+    /// Forward sweep `Y′`/`A′`: insert `inner` at every node of `R(k, v)`.
+    SweepFwd {
+        k: u64,
+        inner: Inner,
+        r: Option<ConcreteTrajectory>,
+        idx: usize,
+        inner_pushed: bool,
+    },
+    /// Reverse sweep `Y̅′`/`A̅′`: replay from the stored forward start node.
+    SweepRev {
+        k: u64,
+        inner: Inner,
+        start: NodeId,
+        r: Option<ConcreteTrajectory>,
+        idx: usize,
+        inner_pushed: bool,
+    },
+    /// `Y(k)` (`inner = Q`) or `A(k)` (`inner = Z`): forward sweep then
+    /// reverse sweep from the recorded start.
+    Palindrome {
+        k: u64,
+        inner: Inner,
+        start: Option<NodeId>,
+        phase: u8,
+    },
+    /// `body(k)` repeated `remaining` more times (`B`, `K`, `Ω`).
+    Repeat { body: Body, k: u64, remaining: Big },
+}
+
+enum Outcome {
+    Yield(PortId),
+    /// The task to push was stored in the caller-provided slot.
+    Push,
+    Pop,
+}
+
+/// Streaming executor of trajectory [`Spec`]s over a graph.
+///
+/// Push specs with [`TrajectoryCursor::push`]; pushed specs play in LIFO
+/// order (the most recently pushed plays first — callers that sequence
+/// whole-algorithm phases push one spec at a time as the stack drains).
+#[derive(Debug)]
+pub struct TrajectoryCursor<'g, P> {
+    g: &'g Graph,
+    provider: P,
+    lengths: Lengths<P>,
+    stack: Vec<Task<P>>,
+    cur: NodeId,
+    entry: Option<PortId>,
+    steps: u64,
+}
+
+impl<'g, P: ExplorationProvider + Clone> TrajectoryCursor<'g, P> {
+    /// Creates an idle cursor positioned at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is out of range for `g`.
+    pub fn new(g: &'g Graph, provider: P, start: NodeId) -> Self {
+        assert!(start.0 < g.order(), "start node out of range");
+        TrajectoryCursor {
+            g,
+            provider: provider.clone(),
+            lengths: Lengths::new(provider),
+            stack: Vec::new(),
+            cur: start,
+            entry: None,
+            steps: 0,
+        }
+    }
+
+    /// Current node.
+    pub fn position(&self) -> NodeId {
+        self.cur
+    }
+
+    /// Entry port at the current node (`None` before the first traversal).
+    pub fn last_entry(&self) -> Option<PortId> {
+        self.entry
+    }
+
+    /// Total traversals executed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// `true` when no trajectory is pending.
+    pub fn is_idle(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    /// The exact-length evaluator sharing this cursor's provider.
+    pub fn lengths(&self) -> &Lengths<P> {
+        &self.lengths
+    }
+
+    /// Schedules `spec` to play next (LIFO relative to other pushes).
+    pub fn push(&mut self, spec: Spec) {
+        let task = self.task_for(spec);
+        self.stack.push(task);
+    }
+
+    fn task_for(&self, spec: Spec) -> Task<P> {
+        match spec {
+            Spec::R(k) => Task::RFwd { walker: RWalker::new(self.provider.clone(), k) },
+            Spec::X(k) => Task::X {
+                walker: Some(RWalker::new(self.provider.clone(), k)),
+                log: Vec::new(),
+                rev: 0,
+            },
+            Spec::Q(k) => Task::XChain { k, i: 1, descending: false },
+            Spec::Y(k) => Task::Palindrome { k, inner: Inner::Q, start: None, phase: 0 },
+            Spec::Z(k) => Task::YChain { k, i: 1, descending: false },
+            Spec::A(k) => Task::Palindrome { k, inner: Inner::Z, start: None, phase: 0 },
+            Spec::B(k) => Task::Repeat { body: Body::Y, k, remaining: self.lengths.b_reps(k) },
+            Spec::K(k) => Task::Repeat { body: Body::X, k, remaining: self.lengths.k_reps(k) },
+            Spec::Omega(k) => {
+                Task::Repeat { body: Body::X, k, remaining: self.lengths.omega_reps(k) }
+            }
+        }
+    }
+
+    /// Executes and returns the next traversal, or `None` if idle.
+    pub fn next_traversal(&mut self) -> Option<Traversal> {
+        loop {
+            // Decide what the top task wants; push/pop are handled inline,
+            // yields fall through to the traversal execution below.
+            let mut push_task: Option<Task<P>> = None;
+            let outcome = {
+                let (g, provider, cur, entry) = (self.g, &self.provider, self.cur, self.entry);
+                let top = match self.stack.last_mut() {
+                    None => return None,
+                    Some(t) => t,
+                };
+                Self::advance(top, g, provider, cur, entry, &mut push_task)
+            };
+            match outcome {
+                Outcome::Pop => {
+                    self.stack.pop();
+                }
+                Outcome::Push => {
+                    self.stack
+                        .push(push_task.expect("Push outcome always sets pending task"));
+                }
+                Outcome::Yield(port) => {
+                    return Some(self.execute(port));
+                }
+            }
+        }
+    }
+
+    /// Performs the traversal, updates position, and feeds the entry port
+    /// back to a logging `X` task.
+    fn execute(&mut self, port: PortId) -> Traversal {
+        debug_assert!(port.0 < self.g.degree(self.cur), "invalid exit port");
+        let from = self.cur;
+        let arr = self.g.traverse(from, port);
+        self.cur = arr.node;
+        self.entry = Some(arr.entry_port);
+        self.steps += 1;
+        if let Some(Task::X { walker: Some(_), log, .. }) = self.stack.last_mut() {
+            log.push(arr.entry_port);
+        }
+        Traversal { from, exit: port, to: arr.node, entry: arr.entry_port }
+    }
+
+    fn advance(
+        task: &mut Task<P>,
+        g: &Graph,
+        provider: &P,
+        cur: NodeId,
+        entry: Option<PortId>,
+        push_task: &mut Option<Task<P>>,
+    ) -> Outcome {
+        match task {
+            Task::RFwd { walker } => match walker.next_exit(entry, g.degree(cur)) {
+                Some(port) => Outcome::Yield(port),
+                None => Outcome::Pop,
+            },
+            Task::X { walker, log, rev } => {
+                if let Some(w) = walker {
+                    if let Some(port) = w.next_exit(entry, g.degree(cur)) {
+                        return Outcome::Yield(port);
+                    }
+                    *rev = log.len();
+                    *walker = None;
+                }
+                if *rev > 0 {
+                    *rev -= 1;
+                    Outcome::Yield(log[*rev])
+                } else {
+                    Outcome::Pop
+                }
+            }
+            Task::XChain { k, i, descending } => {
+                let next = if *descending {
+                    if *i == 0 {
+                        return Outcome::Pop;
+                    }
+                    let v = *i;
+                    *i -= 1;
+                    v
+                } else {
+                    if *i > *k {
+                        return Outcome::Pop;
+                    }
+                    let v = *i;
+                    *i += 1;
+                    v
+                };
+                *push_task = Some(Task::X {
+                    walker: Some(RWalker::new(provider.clone(), next)),
+                    log: Vec::new(),
+                    rev: 0,
+                });
+                Outcome::Push
+            }
+            Task::YChain { k, i, descending } => {
+                let next = if *descending {
+                    if *i == 0 {
+                        return Outcome::Pop;
+                    }
+                    let v = *i;
+                    *i -= 1;
+                    v
+                } else {
+                    if *i > *k {
+                        return Outcome::Pop;
+                    }
+                    let v = *i;
+                    *i += 1;
+                    v
+                };
+                *push_task =
+                    Some(Task::Palindrome { k: next, inner: Inner::Q, start: None, phase: 0 });
+                Outcome::Push
+            }
+            Task::SweepFwd { k, inner, r, idx, inner_pushed } => {
+                let traj = r.get_or_insert_with(|| r_trajectory(g, provider, *k, cur));
+                if !*inner_pushed {
+                    *inner_pushed = true;
+                    *push_task = Some(chain_task(*inner, *k, false));
+                    return Outcome::Push;
+                }
+                if *idx < traj.len() {
+                    let port = traj.exit_ports[*idx];
+                    *idx += 1;
+                    *inner_pushed = false;
+                    Outcome::Yield(port)
+                } else {
+                    Outcome::Pop
+                }
+            }
+            Task::SweepRev { k, inner, start, r, idx, inner_pushed } => {
+                if r.is_none() {
+                    let traj = r_trajectory(g, provider, *k, *start);
+                    debug_assert_eq!(
+                        traj.nodes.last(),
+                        Some(&cur),
+                        "reverse sweep must begin at the forward sweep's end"
+                    );
+                    *idx = traj.len();
+                    *r = Some(traj);
+                }
+                let traj = r.as_ref().expect("just initialised");
+                if !*inner_pushed {
+                    *inner_pushed = true;
+                    *push_task = Some(chain_task(*inner, *k, true));
+                    return Outcome::Push;
+                }
+                if *idx > 0 {
+                    let port = traj.entry_ports[*idx - 1];
+                    *idx -= 1;
+                    *inner_pushed = false;
+                    Outcome::Yield(port)
+                } else {
+                    Outcome::Pop
+                }
+            }
+            Task::Palindrome { k, inner, start, phase } => match *phase {
+                0 => {
+                    *start = Some(cur);
+                    *phase = 1;
+                    *push_task = Some(Task::SweepFwd {
+                        k: *k,
+                        inner: *inner,
+                        r: None,
+                        idx: 0,
+                        inner_pushed: false,
+                    });
+                    Outcome::Push
+                }
+                1 => {
+                    *phase = 2;
+                    *push_task = Some(Task::SweepRev {
+                        k: *k,
+                        inner: *inner,
+                        start: start.expect("phase 0 sets start"),
+                        r: None,
+                        idx: 0,
+                        inner_pushed: false,
+                    });
+                    Outcome::Push
+                }
+                _ => Outcome::Pop,
+            },
+            Task::Repeat { body, k, remaining } => {
+                match remaining.checked_sub(&Big::one()) {
+                    None => Outcome::Pop,
+                    Some(next) => {
+                        *remaining = next;
+                        *push_task = Some(match body {
+                            Body::X => Task::X {
+                                walker: Some(RWalker::new(provider.clone(), *k)),
+                                log: Vec::new(),
+                                rev: 0,
+                            },
+                            Body::Y => Task::Palindrome {
+                                k: *k,
+                                inner: Inner::Q,
+                                start: None,
+                                phase: 0,
+                            },
+                        });
+                        Outcome::Push
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn chain_task<P>(inner: Inner, k: u64, descending: bool) -> Task<P> {
+    let i = if descending { k } else { 1 };
+    match inner {
+        Inner::Q => Task::XChain { k, i, descending },
+        Inner::Z => Task::YChain { k, i, descending },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rv_explore::{SeededUxs, TableUxs};
+    use rv_graph::generators;
+
+    /// Plays `spec` to completion, asserting walk validity, and returns the
+    /// number of traversals.
+    fn play(g: &Graph, spec: Spec, start: NodeId) -> (u64, NodeId) {
+        let uxs = SeededUxs::default();
+        let mut c = TrajectoryCursor::new(g, uxs, start);
+        c.push(spec);
+        let mut prev = start;
+        while let Some(t) = c.next_traversal() {
+            assert_eq!(t.from, prev, "walk must be contiguous");
+            assert_eq!(g.traverse(t.from, t.exit).node, t.to, "walk must follow edges");
+            prev = t.to;
+        }
+        (c.steps(), c.position())
+    }
+
+    #[test]
+    fn r_length_matches_p() {
+        let g = generators::ring(5);
+        let uxs = SeededUxs::default();
+        let (steps, _) = play(&g, Spec::R(5), NodeId(0));
+        assert_eq!(steps, uxs.len(5));
+    }
+
+    #[test]
+    fn x_is_closed_and_has_exact_length() {
+        let g = generators::gnp_connected(8, 0.4, 9);
+        for k in 1..5 {
+            let uxs = SeededUxs::default();
+            let lengths = Lengths::new(uxs);
+            let (steps, end) = play(&g, Spec::X(k), NodeId(3));
+            assert_eq!(Big::from(steps), lengths.x(k), "X({k})");
+            assert_eq!(end, NodeId(3), "X({k}) must return to start");
+        }
+    }
+
+    #[test]
+    fn q_y_z_a_lengths_and_closure() {
+        let g = generators::ring(4);
+        let uxs = SeededUxs::default();
+        let lengths = Lengths::new(uxs);
+        for (spec, expect) in [
+            (Spec::Q(3), lengths.q(3)),
+            (Spec::Y(2), lengths.y(2)),
+            (Spec::Z(2), lengths.z(2)),
+            (Spec::A(1), lengths.a(1)),
+        ] {
+            let (steps, end) = play(&g, spec, NodeId(1));
+            assert_eq!(Big::from(steps), expect, "{spec}");
+            assert_eq!(end, NodeId(1), "{spec} must be closed");
+        }
+    }
+
+    #[test]
+    fn b_k_omega_lengths_with_unit_provider() {
+        // With P(k) = 1 the giant combinators shrink enough to play fully.
+        let g = generators::ring(3);
+        let uxs = TableUxs::new(vec![vec![1]]);
+        let lengths = Lengths::new(uxs.clone());
+        for spec in [Spec::B(1), Spec::B(2), Spec::K(1)] {
+            let mut c = TrajectoryCursor::new(&g, uxs.clone(), NodeId(0));
+            c.push(spec);
+            let mut steps = 0u64;
+            while c.next_traversal().is_some() {
+                steps += 1;
+            }
+            assert_eq!(Big::from(steps), lengths.of(spec), "{spec}");
+            assert_eq!(c.position(), NodeId(0), "{spec} closed");
+        }
+    }
+
+    #[test]
+    #[ignore = "plays ~2.4M steps; run with --ignored for the full check"]
+    fn omega_length_with_unit_provider() {
+        let g = generators::ring(3);
+        let uxs = TableUxs::new(vec![vec![1]]);
+        let lengths = Lengths::new(uxs.clone());
+        let mut c = TrajectoryCursor::new(&g, uxs, NodeId(0));
+        c.push(Spec::Omega(1));
+        let mut steps = 0u64;
+        while c.next_traversal().is_some() {
+            steps += 1;
+        }
+        assert_eq!(Big::from(steps), lengths.omega(1));
+    }
+
+    #[test]
+    fn sweep_reversal_returns_exactly_backwards() {
+        // Y(k) = Y′ Y̅′: after Y′ the cursor sits at R(k,v)'s end; after the
+        // reverse sweep it must be back at v having retraced the spine.
+        let g = generators::gnp_connected(7, 0.5, 21);
+        let (_, end) = play(&g, Spec::Y(3), NodeId(2));
+        assert_eq!(end, NodeId(2));
+    }
+
+    #[test]
+    fn interleaved_pushes_play_lifo() {
+        let g = generators::ring(4);
+        let mut c = TrajectoryCursor::new(&g, SeededUxs::default(), NodeId(0));
+        c.push(Spec::X(1));
+        c.push(Spec::X(2)); // plays first
+        let lengths = Lengths::new(SeededUxs::default());
+        let first_len = lengths.x(2).to_u128().unwrap() as u64;
+        for _ in 0..first_len {
+            c.next_traversal().unwrap();
+        }
+        // X(2) done, back at start; X(1) remains.
+        assert_eq!(c.position(), NodeId(0));
+        assert!(!c.is_idle());
+        while c.next_traversal().is_some() {}
+        assert_eq!(c.steps(), first_len + lengths.x(1).to_u128().unwrap() as u64);
+    }
+
+    #[test]
+    fn cursor_is_deterministic() {
+        let g = generators::random_tree(9, 77);
+        let run = || {
+            let mut c = TrajectoryCursor::new(&g, SeededUxs::default(), NodeId(4));
+            c.push(Spec::Y(2));
+            let mut v = Vec::new();
+            while let Some(t) = c.next_traversal() {
+                v.push((t.from, t.to));
+            }
+            v
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn idle_cursor_yields_none() {
+        let g = generators::ring(3);
+        let mut c = TrajectoryCursor::new(&g, SeededUxs::default(), NodeId(0));
+        assert!(c.is_idle());
+        assert_eq!(c.next_traversal(), None);
+        assert_eq!(c.steps(), 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! The trajectory algebra of *How to Meet Asynchronously at Polynomial
+//! Cost*, §3.1 (Definitions 3.1–3.8).
+//!
+//! The rendezvous algorithm is built from nine trajectory combinators over
+//! the exploration trajectory `R(k, v)`:
+//!
+//! | Trajectory | Definition | Role |
+//! |---|---|---|
+//! | `X(k,v)`  | `R(k,v) R̄(k,v)` | integral out-and-back probe |
+//! | `Q(k,v)`  | `X(1,v) … X(k,v)` | probes of all scales (Fig. 1) |
+//! | `Y′(k,v)` | `R(k,v)` with `Q(k,·)` inserted at every node (Fig. 2) | probing sweep |
+//! | `Y(k,v)`  | `Y′(k,v) Y̅′(k,v)` | palindromic sweep |
+//! | `Z(k,v)`  | `Y(1,v) … Y(k,v)` | sweeps of all scales (Fig. 3) |
+//! | `A′(k,v)` | `R(k,v)` with `Z(k,·)` inserted at every node (Fig. 4) | deep sweep |
+//! | `A(k,v)`  | `A′(k,v) A̅′(k,v)` | bit-0 atom |
+//! | `B(k,v)`  | `Y(k,v)^(2·|A(4k)|)` | bit-1 atom |
+//! | `K(k,v)`  | `X(k,v)^(2(|B(4k)|+|A(8k)|))` | border (synchroniser) |
+//! | `Ω(k,v)`  | `X(k,v)^((2k−1)·|K(k)|)` | fence (synchroniser) |
+//!
+//! Even `Ω(1)` is billions of edge traversals, so nothing is ever
+//! materialised: [`TrajectoryCursor`] streams traversals from a frame
+//! stack, and [`Lengths`] evaluates the exact sizes with bignums
+//! ([`rv_arith::Big`]). Reversal is structural — `rev(R) = R̄` and both `X`
+//! and `Y` are walk-palindromes — and the cursor's recomputation of earlier
+//! `R` walks stands in for the unbounded memory of the paper's agents (the
+//! walks are deterministic, so replaying a log and recomputing coincide).
+//!
+//! # Examples
+//!
+//! ```
+//! use rv_trajectory::{Lengths, Spec, TrajectoryCursor};
+//! use rv_explore::SeededUxs;
+//! use rv_graph::{generators, NodeId};
+//!
+//! let g = generators::ring(4);
+//! let uxs = SeededUxs::default();
+//!
+//! // Exact length of X(3): 2·P(3).
+//! let lengths = Lengths::new(uxs);
+//! assert_eq!(lengths.x(3).to_string(), (2 * 4 * 27).to_string());
+//!
+//! // Stream the actual walk and confirm it matches.
+//! let mut cur = TrajectoryCursor::new(&g, uxs, NodeId(0));
+//! cur.push(Spec::X(3));
+//! let mut steps = 0u64;
+//! while cur.next_traversal().is_some() { steps += 1; }
+//! assert_eq!(steps.to_string(), lengths.x(3).to_string());
+//! // X returns to its start node.
+//! assert_eq!(cur.position(), NodeId(0));
+//! ```
+
+mod cursor;
+mod lengths;
+mod pretty;
+mod spec;
+
+pub use cursor::{Traversal, TrajectoryCursor};
+pub use lengths::Lengths;
+pub use pretty::describe;
+pub use spec::Spec;

@@ -1,0 +1,87 @@
+//! The trajectory grammar.
+
+use std::fmt;
+
+/// A trajectory combinator from §3.1 of the paper, relative to the node the
+/// cursor occupies when it starts playing (the paper's `v`).
+///
+/// All parameters `k` must be ≥ 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Spec {
+    /// `R(k, v)` — the raw exploration trajectory (Definition: §2).
+    R(u64),
+    /// `X(k, v) = R(k, v) R̄(k, v)` (Definition 3.1). Starts and ends at `v`.
+    X(u64),
+    /// `Q(k, v) = X(1, v) … X(k, v)` (Definition 3.2). Starts and ends at `v`.
+    Q(u64),
+    /// `Y(k, v) = Y′(k, v) Y̅′(k, v)` (Definition 3.3). Starts and ends at `v`.
+    Y(u64),
+    /// `Z(k, v) = Y(1, v) … Y(k, v)` (Definition 3.4). Starts and ends at `v`.
+    Z(u64),
+    /// `A(k, v) = A′(k, v) A̅′(k, v)` (Definition 3.5). Starts and ends at `v`.
+    A(u64),
+    /// `B(k, v) = Y(k, v)^(2·|A(4k)|)` (Definition 3.6). Starts and ends at `v`.
+    B(u64),
+    /// `K(k, v) = X(k, v)^(2(|B(4k)| + |A(8k)|))` (Definition 3.7).
+    K(u64),
+    /// `Ω(k, v) = X(k, v)^((2k−1)·|K(k)|)` (Definition 3.8).
+    Omega(u64),
+}
+
+impl Spec {
+    /// The parameter `k` of the combinator.
+    pub fn k(&self) -> u64 {
+        match *self {
+            Spec::R(k)
+            | Spec::X(k)
+            | Spec::Q(k)
+            | Spec::Y(k)
+            | Spec::Z(k)
+            | Spec::A(k)
+            | Spec::B(k)
+            | Spec::K(k)
+            | Spec::Omega(k) => k,
+        }
+    }
+
+    /// Whether playing this trajectory returns the agent to its start node.
+    pub fn is_closed(&self) -> bool {
+        !matches!(self, Spec::R(_))
+    }
+}
+
+impl fmt::Display for Spec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Spec::R(k) => write!(f, "R({k})"),
+            Spec::X(k) => write!(f, "X({k})"),
+            Spec::Q(k) => write!(f, "Q({k})"),
+            Spec::Y(k) => write!(f, "Y({k})"),
+            Spec::Z(k) => write!(f, "Z({k})"),
+            Spec::A(k) => write!(f, "A({k})"),
+            Spec::B(k) => write!(f, "B({k})"),
+            Spec::K(k) => write!(f, "K({k})"),
+            Spec::Omega(k) => write!(f, "Ω({k})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_extraction_and_display() {
+        assert_eq!(Spec::B(7).k(), 7);
+        assert_eq!(Spec::Omega(3).to_string(), "Ω(3)");
+        assert_eq!(Spec::X(1).to_string(), "X(1)");
+    }
+
+    #[test]
+    fn closedness() {
+        assert!(!Spec::R(2).is_closed());
+        for s in [Spec::X(2), Spec::Q(2), Spec::Y(2), Spec::Z(2), Spec::A(2), Spec::B(2), Spec::K(2), Spec::Omega(2)] {
+            assert!(s.is_closed(), "{s} must be closed");
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests: the trajectory algebra's structural invariants hold on
+//! random graphs, random start nodes and random parameters.
+
+use proptest::prelude::*;
+use rv_arith::Big;
+use rv_explore::SeededUxs;
+use rv_graph::{generators, NodeId};
+use rv_trajectory::{Lengths, Spec, TrajectoryCursor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Streamed length equals the closed-form length, for every combinator
+    /// small enough to play, on random graphs — and closed combinators end
+    /// where they started.
+    #[test]
+    fn cursor_agrees_with_length_algebra(
+        n in 4usize..12,
+        p in 0.2f64..0.8,
+        gseed in any::<u64>(),
+        start_sel in any::<u64>(),
+        k in 1u64..4,
+    ) {
+        let g = generators::gnp_connected(n, p, gseed);
+        let start = NodeId((start_sel % n as u64) as usize);
+        let uxs = SeededUxs::default();
+        let lengths = Lengths::new(uxs);
+        for spec in [Spec::R(k), Spec::X(k), Spec::Q(k), Spec::Y(k), Spec::Z(k)] {
+            let mut c = TrajectoryCursor::new(&g, uxs, start);
+            c.push(spec);
+            let mut steps = 0u64;
+            let mut prev = start;
+            while let Some(t) = c.next_traversal() {
+                prop_assert_eq!(t.from, prev, "contiguity in {}", spec);
+                prop_assert_eq!(g.traverse(t.from, t.exit).node, t.to);
+                prev = t.to;
+                steps += 1;
+            }
+            prop_assert_eq!(Big::from(steps), lengths.of(spec), "length of {}", spec);
+            if spec.is_closed() {
+                prop_assert_eq!(c.position(), start, "{} must close", spec);
+            }
+        }
+    }
+
+    /// A(k) closes too (deep nesting: A′ = Z-insertions over R, reversed).
+    #[test]
+    fn a_trajectory_closes_on_random_trees(n in 4usize..9, seed in any::<u64>()) {
+        let g = generators::random_tree(n, seed);
+        let uxs = SeededUxs::default();
+        let mut c = TrajectoryCursor::new(&g, uxs, NodeId(0));
+        c.push(Spec::A(1));
+        let mut steps = 0u64;
+        while c.next_traversal().is_some() { steps += 1; }
+        prop_assert_eq!(Big::from(steps), Lengths::new(uxs).a(1));
+        prop_assert_eq!(c.position(), NodeId(0));
+    }
+
+    /// The first and second halves of X(k) are exact walk-reverses of each
+    /// other (the palindrome property that structural reversal relies on).
+    #[test]
+    fn x_halves_mirror(n in 4usize..12, gseed in any::<u64>(), k in 1u64..5) {
+        let g = generators::gnp_connected(n, 0.4, gseed);
+        let uxs = SeededUxs::default();
+        let mut c = TrajectoryCursor::new(&g, uxs, NodeId(0));
+        c.push(Spec::X(k));
+        let mut walk = Vec::new();
+        while let Some(t) = c.next_traversal() {
+            walk.push(t);
+        }
+        let half = walk.len() / 2;
+        prop_assert_eq!(half * 2, walk.len());
+        for i in 0..half {
+            let fwd = walk[i];
+            let bwd = walk[walk.len() - 1 - i];
+            prop_assert_eq!(fwd.from, bwd.to);
+            prop_assert_eq!(fwd.to, bwd.from);
+            prop_assert_eq!(fwd.exit, bwd.entry);
+            prop_assert_eq!(fwd.entry, bwd.exit);
+        }
+    }
+
+    /// Lengths are graph-independent: the same spec takes the same number
+    /// of steps on any graph (the defining property of the combinators).
+    #[test]
+    fn lengths_are_graph_independent(
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+        k in 1u64..4,
+    ) {
+        let ga = generators::gnp_connected(6, 0.5, seed_a);
+        let gb = generators::random_tree(9, seed_b);
+        let uxs = SeededUxs::default();
+        let count = |g: &rv_graph::Graph| {
+            let mut c = TrajectoryCursor::new(g, uxs, NodeId(0));
+            c.push(Spec::Y(k));
+            let mut steps = 0u64;
+            while c.next_traversal().is_some() { steps += 1; }
+            steps
+        };
+        prop_assert_eq!(count(&ga), count(&gb));
+    }
+}

@@ -1,0 +1,29 @@
+//! # meet-asynch
+//!
+//! A complete reproduction of *How to Meet Asynchronously at Polynomial
+//! Cost* (Dieudonné, Pelc, Villain; PODC 2013): deterministic rendezvous of
+//! two labeled mobile agents in an arbitrary unknown anonymous network under
+//! a fully asynchronous adversary, at cost polynomial in the graph size and
+//! in the length of the smaller label — plus the paper's applications
+//! (team size, leader election, perfect renaming, gossiping via Algorithm
+//! SGL).
+//!
+//! This crate is a facade re-exporting the workspace's public API. See the
+//! individual crates for details:
+//!
+//! * [`graph`] — anonymous port-numbered networks and generators,
+//! * [`explore`] — universal exploration sequences, `R(k,v)`, procedure ESST,
+//! * [`trajectory`] — the lazy trajectory algebra `X,Q,Y,Z,A,B,K,Ω`,
+//! * [`core`] — Algorithm RV-asynch-poly, the naive baseline, cost bounds,
+//! * [`sim`] — the asynchronous adversarial scheduler with forced-meeting
+//!   semantics,
+//! * [`protocols`] — Algorithm SGL and the four applications,
+//! * [`arith`] — exact bignum arithmetic for the cost bounds.
+
+pub use rv_arith as arith;
+pub use rv_core as core;
+pub use rv_explore as explore;
+pub use rv_graph as graph;
+pub use rv_protocols as protocols;
+pub use rv_sim as sim;
+pub use rv_trajectory as trajectory;

@@ -1,0 +1,96 @@
+//! Workspace-level integration: the full pipeline through the facade crate
+//! — graphs → exploration → trajectories → algorithm → simulator →
+//! protocols — exercising the public API exactly as a downstream user
+//! would.
+
+use meet_asynch::core::{pi_bound, Label};
+use meet_asynch::explore::{is_integral, SeededUxs};
+use meet_asynch::graph::{generators, GraphFamily, NodeId};
+use meet_asynch::protocols::{solve, SglBehavior, SglConfig};
+use meet_asynch::sim::adversary::{AdversaryKind, GreedyAvoid};
+use meet_asynch::sim::{RunConfig, RunEnd, Runtime, RvBehavior};
+use meet_asynch::trajectory::{Lengths, Spec, TrajectoryCursor};
+
+#[test]
+fn rendezvous_pipeline_through_the_facade() {
+    let g = generators::gnp_connected(10, 0.35, 77);
+    let uxs = SeededUxs::quadratic();
+    assert!(is_integral(&g, uxs, g.order() as u64, NodeId(0)));
+    let agents = vec![
+        RvBehavior::new(&g, uxs, NodeId(0), Label::new(100).unwrap()),
+        RvBehavior::new(&g, uxs, NodeId(9), Label::new(101).unwrap()),
+    ];
+    let mut rt = Runtime::new(&g, agents, RunConfig::rendezvous());
+    let out = rt.run(&mut GreedyAvoid::new(5));
+    assert_eq!(out.end, RunEnd::Meeting);
+    // The measurement sits below the theoretical guarantee.
+    let bound = pi_bound(uxs, g.order() as u64, 7);
+    assert!(meet_asynch::arith::Big::from(out.total_traversals) < bound);
+}
+
+#[test]
+fn sgl_pipeline_through_the_facade() {
+    let g = generators::ring(7);
+    let uxs = SeededUxs::quadratic();
+    let labels = [44u64, 17, 90];
+    let agents: Vec<_> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| {
+            SglBehavior::new(&g, uxs, NodeId(2 * i), Label::new(l).unwrap(), l, SglConfig::default())
+        })
+        .collect();
+    let mut rt = Runtime::new(&g, agents, RunConfig::protocol().with_cutoff(40_000_000));
+    let mut adv = AdversaryKind::Random.build(8);
+    let out = rt.run(adv.as_mut());
+    assert_eq!(out.end, RunEnd::AllParked);
+    for i in 0..rt.agent_count() {
+        let b = rt.behavior(i);
+        let s = solve(b.label().value(), b.output().expect("output"));
+        assert_eq!(s.leader, 17);
+        assert_eq!(s.team_size, 3);
+    }
+}
+
+#[test]
+fn trajectory_lengths_match_streamed_execution_across_families() {
+    // Cross-crate consistency: the bignum length algebra agrees with the
+    // streamed cursor on every family (graph-independence of lengths).
+    let uxs = SeededUxs::default();
+    let lengths = Lengths::new(uxs);
+    for fam in [GraphFamily::Ring, GraphFamily::Complete, GraphFamily::RandomTree] {
+        let g = fam.generate(6, 3);
+        for spec in [Spec::X(2), Spec::Q(2), Spec::Y(2), Spec::Z(2)] {
+            let mut c = TrajectoryCursor::new(&g, uxs, NodeId(1));
+            c.push(spec);
+            let mut steps = 0u64;
+            while c.next_traversal().is_some() {
+                steps += 1;
+            }
+            assert_eq!(
+                meet_asynch::arith::Big::from(steps),
+                lengths.of(spec),
+                "{fam}/{spec}"
+            );
+            assert_eq!(c.position(), NodeId(1), "{fam}/{spec} is closed");
+        }
+    }
+}
+
+#[test]
+fn different_providers_preserve_rendezvous() {
+    // The algorithm is parametric in the exploration provider; rendezvous
+    // must hold for any provider that is integral on the graph.
+    let g = generators::ring(6);
+    for uxs in [SeededUxs::default(), SeededUxs::quadratic(), SeededUxs::new(123, 6)] {
+        assert!(is_integral(&g, uxs, 6, NodeId(0)));
+        let agents = vec![
+            RvBehavior::new(&g, uxs, NodeId(0), Label::new(4).unwrap()),
+            RvBehavior::new(&g, uxs, NodeId(3), Label::new(9).unwrap()),
+        ];
+        let mut rt = Runtime::new(&g, agents, RunConfig::rendezvous());
+        let mut adv = AdversaryKind::GreedyAvoid.build(1);
+        let out = rt.run(adv.as_mut());
+        assert_eq!(out.end, RunEnd::Meeting);
+    }
+}
