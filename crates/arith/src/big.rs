@@ -69,8 +69,8 @@ impl Big {
             1 | 2 => (self.to_u128().unwrap() as f64).log10(),
             n => {
                 // Use the top two limbs for the mantissa and count the rest.
-                let top = (self.limbs[n - 1] as f64) * 1.8446744073709552e19
-                    + self.limbs[n - 2] as f64;
+                let top =
+                    (self.limbs[n - 1] as f64) * 1.8446744073709552e19 + self.limbs[n - 2] as f64;
                 top.log10() + 64.0 * (n - 2) as f64 * std::f64::consts::LOG10_2
             }
         }
@@ -144,7 +144,6 @@ impl Big {
         }
         Big { limbs }
     }
-
 }
 
 impl From<u64> for Big {

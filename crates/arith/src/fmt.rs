@@ -76,7 +76,12 @@ mod tests {
 
     #[test]
     fn display_round_trips_through_parse() {
-        for s in ["0", "1", "18446744073709551616", "340282366920938463463374607431768211456"] {
+        for s in [
+            "0",
+            "1",
+            "18446744073709551616",
+            "340282366920938463463374607431768211456",
+        ] {
             let v: Big = s.parse().unwrap();
             assert_eq!(v.to_string(), s);
         }

@@ -11,20 +11,17 @@ fn bench_esst(c: &mut Criterion) {
     group.sample_size(10);
     for (fam, n) in [(GraphFamily::Ring, 6usize), (GraphFamily::RandomTree, 8)] {
         let g = fam.generate(n, 11);
-        group.bench_with_input(
-            BenchmarkId::new(fam.to_string(), n),
-            &g,
-            |b, g| {
-                b.iter(|| {
-                    let mut token = StaticNodeToken { node: NodeId(g.order() - 1) };
-                    let out =
-                        run_esst(g, uxs, NodeId(0), &mut token, 9 * g.order() as u64 + 3)
-                            .expect("terminates");
-                    assert_eq!(out.edges_covered, g.size());
-                    std::hint::black_box(out.cost)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new(fam.to_string(), n), &g, |b, g| {
+            b.iter(|| {
+                let mut token = StaticNodeToken {
+                    node: NodeId(g.order() - 1),
+                };
+                let out = run_esst(g, uxs, NodeId(0), &mut token, 9 * g.order() as u64 + 3)
+                    .expect("terminates");
+                assert_eq!(out.edges_covered, g.size());
+                std::hint::black_box(out.cost)
+            });
+        });
     }
     group.finish();
 }

@@ -22,12 +22,7 @@ fn bench_rendezvous(c: &mut Criterion) {
                     b.iter(|| {
                         let agents = vec![
                             RvBehavior::new(g, uxs, NodeId(0), Label::new(6).unwrap()),
-                            RvBehavior::new(
-                                g,
-                                uxs,
-                                NodeId(g.order() / 2),
-                                Label::new(9).unwrap(),
-                            ),
+                            RvBehavior::new(g, uxs, NodeId(g.order() / 2), Label::new(9).unwrap()),
                         ];
                         let mut rt = Runtime::new(g, agents, RunConfig::rendezvous());
                         let mut adv = kind.build(3);

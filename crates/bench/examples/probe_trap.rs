@@ -6,7 +6,7 @@ use rv_core::Label;
 use rv_explore::{is_integral, ExplorationProvider, SeededUxs};
 use rv_graph::{generators, Graph, NodeId};
 use rv_sim::adversary::AdversaryKind;
-use rv_sim::{NaiveBehavior, RunConfig, RunEnd, Runtime};
+use rv_sim::{NaiveBehavior, RunConfig, Runtime};
 
 fn main() {
     let uxs = SeededUxs::new(0x5EED_CAFE, 2).with_power(2);

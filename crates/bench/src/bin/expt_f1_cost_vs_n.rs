@@ -28,7 +28,11 @@ fn main() {
     // `--json PATH` additionally dumps every raw sample as JSON lines.
     let json_path = {
         let args: Vec<String> = std::env::args().collect();
-        args.iter().position(|a| a == "--json").map(|i| args[i + 1].clone())
+        args.iter().position(|a| a == "--json").map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("--json requires a path argument"))
+                .clone()
+        })
     };
     let mut samples: Vec<Sample> = Vec::new();
     let uxs = SeededUxs::quadratic();
@@ -47,19 +51,20 @@ fn main() {
             let mut curve: Vec<(f64, f64)> = Vec::new();
             let mut row = vec![fam.to_string(), kind.to_string()];
             for &n in &ns {
-                let costs = crossbeam::thread::scope(|scope| {
+                let costs = std::thread::scope(|scope| {
                     let mut handles = Vec::new();
                     for (pair_idx, &(l1, l2)) in LABEL_PAIRS.iter().enumerate() {
                         for seed in 0..3u64 {
-                            let uxs = uxs;
-                            handles.push(scope.spawn(move |_| {
+                            handles.push(scope.spawn(move || {
                                 run_once(fam, n, l1, l2, kind, seed + 100 * pair_idx as u64, uxs)
                             }));
                         }
                     }
-                    handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
-                })
-                .expect("thread scope");
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().unwrap())
+                        .collect::<Vec<_>>()
+                });
                 for (idx, cost) in costs.iter().enumerate() {
                     samples.push(Sample {
                         experiment: "F1".into(),
@@ -86,13 +91,27 @@ fn main() {
             }
             let slope = loglog_slope(&curve);
             row.push(format!("{slope:.2}"));
-            slope_rows.push(vec![fam.to_string(), kind.to_string(), format!("{slope:.2}")]);
+            slope_rows.push(vec![
+                fam.to_string(),
+                kind.to_string(),
+                format!("{slope:.2}"),
+            ]);
             rows.push(row);
         }
     }
     print_table(
         "F1 — median rendezvous cost (edge traversals) vs n",
-        &["family", "adversary", "n=6", "n=9", "n=12", "n=16", "n=20", "n=24", "slope"],
+        &[
+            "family",
+            "adversary",
+            "n=6",
+            "n=9",
+            "n=12",
+            "n=16",
+            "n=20",
+            "n=24",
+            "slope",
+        ],
         &rows,
     );
 

@@ -35,7 +35,10 @@ fn main() {
     // exponential schedule plus the larger agent's final search.
     let g = generators::hypercube(2);
     let n = g.order() as u64;
-    assert!(is_integral(&g, uxs, n, NodeId(0)), "P(4)=32 must cover hypercube(2)");
+    assert!(
+        is_integral(&g, uxs, n, NodeId(0)),
+        "P(4)=32 must cover hypercube(2)"
+    );
     let p_n = uxs.len(n);
 
     // F2a: naive under exact lockstep — cost forced to the full schedule of
@@ -46,8 +49,7 @@ fn main() {
             NaiveBehavior::new(&g, uxs, NodeId(0), Label::new(l).unwrap()),
             NaiveBehavior::new(&g, uxs, NodeId(2), Label::new(l + 1).unwrap()),
         ];
-        let mut rt =
-            Runtime::new(&g, agents, RunConfig::rendezvous().with_cutoff(400_000_000));
+        let mut rt = Runtime::new(&g, agents, RunConfig::rendezvous().with_cutoff(400_000_000));
         let mut adv = AdversaryKind::RoundRobin.build(0);
         let out = rt.run(adv.as_mut());
         // Both agents walk ≈ the smaller schedule before the meeting.
@@ -61,7 +63,12 @@ fn main() {
     }
     print_table(
         "F2a — naive algorithm, hypercube(2), lockstep: measured cost is exponential in L",
-        &["L (smaller)", "end", "measured cost", "predicted 2·(2P+1)^L·2P"],
+        &[
+            "L (smaller)",
+            "end",
+            "measured cost",
+            "predicted 2·(2P+1)^L·2P",
+        ],
         &rows,
     );
 
@@ -92,8 +99,7 @@ fn main() {
                 RvBehavior::new(&g, uxs_q, NodeId(0), Label::new(l_small).unwrap()),
                 RvBehavior::new(&g, uxs_q, NodeId(2), Label::new(l_small + 1).unwrap()),
             ];
-            let mut rt =
-                Runtime::new(&g, agents, RunConfig::rendezvous().with_cutoff(4_000_000));
+            let mut rt = Runtime::new(&g, agents, RunConfig::rendezvous().with_cutoff(4_000_000));
             let mut adv = AdversaryKind::Random.build(seed);
             let out = rt.run(adv.as_mut());
             if out.end == RunEnd::Meeting {
@@ -118,8 +124,16 @@ fn main() {
         rows.push(vec![
             format!("2^{j}-1"),
             format!("{:?}", rv_costs),
-            if rv_costs.len() == 5 { "5/5".into() } else { format!("{}/5", rv_costs.len()) },
-            if j <= 12 { format!("{:?}", nv_costs) } else { "n/a (schedule too long)".into() },
+            if rv_costs.len() == 5 {
+                "5/5".into()
+            } else {
+                format!("{}/5", rv_costs.len())
+            },
+            if j <= 12 {
+                format!("{:?}", nv_costs)
+            } else {
+                "n/a (schedule too long)".into()
+            },
         ]);
     }
     print_table(

@@ -10,7 +10,9 @@
 //!   Algorithm SGL — always in `(n, 9n+3]`).
 
 use rv_bench::{loglog_slope, median, print_table};
-use rv_explore::esst::{run_esst, EvasiveEdgeToken, OscillatingToken, StaticNodeToken, TokenOracle};
+use rv_explore::esst::{
+    run_esst, EvasiveEdgeToken, OscillatingToken, StaticNodeToken, TokenOracle,
+};
 use rv_explore::SeededUxs;
 use rv_graph::{GraphFamily, NodeId};
 
@@ -55,13 +57,19 @@ fn main() {
             }
             let slope = loglog_slope(&curve);
             row.push(format!("{slope:.2}"));
-            slope_rows.push(vec![fam.to_string(), token.to_string(), format!("{slope:.2}")]);
+            slope_rows.push(vec![
+                fam.to_string(),
+                token.to_string(),
+                format!("{slope:.2}"),
+            ]);
             rows.push(row);
         }
     }
     print_table(
         "F3 — ESST median cost (and termination phase t) vs n; all runs cover all edges",
-        &["family", "token", "n=4", "n=6", "n=8", "n=10", "n=12", "slope"],
+        &[
+            "family", "token", "n=4", "n=6", "n=8", "n=10", "n=12", "slope",
+        ],
         &rows,
     );
 

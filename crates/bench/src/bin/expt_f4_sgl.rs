@@ -56,7 +56,11 @@ fn main() {
 
     // Cost vs team size on a fixed graph.
     let mut rows = Vec::new();
-    for kind in [AdversaryKind::Random, AdversaryKind::EagerMeet, AdversaryKind::LazyFirst] {
+    for kind in [
+        AdversaryKind::Random,
+        AdversaryKind::EagerMeet,
+        AdversaryKind::LazyFirst,
+    ] {
         let mut row = vec![kind.to_string()];
         for k in [2usize, 3, 4, 6] {
             let mut costs = Vec::new();
@@ -108,14 +112,20 @@ fn run_sgl(
     let mut rt = Runtime::new(&g, agents, RunConfig::protocol().with_cutoff(80_000_000));
     let mut adv = kind.build(seed);
     let out = rt.run(adv.as_mut());
-    assert_eq!(out.end, RunEnd::AllParked, "{fam} n={n} k={k} {kind}: did not quiesce");
+    assert_eq!(
+        out.end,
+        RunEnd::AllParked,
+        "{fam} n={n} k={k} {kind}: did not quiesce"
+    );
 
     let mut expected = labels.clone();
     expected.sort_unstable();
     let mut names = Vec::new();
     for i in 0..rt.agent_count() {
         let b = rt.behavior(i);
-        let set = b.output().unwrap_or_else(|| panic!("agent {i} has no output"));
+        let set = b
+            .output()
+            .unwrap_or_else(|| panic!("agent {i} has no output"));
         assert_eq!(set.labels(), expected, "agent {i}: wrong label set");
         for (l, v) in set.iter() {
             assert_eq!(v, l + 1000, "gossip value mismatch for label {l}");
@@ -126,6 +136,10 @@ fn run_sgl(
         names.push(s.new_name);
     }
     names.sort_unstable();
-    assert_eq!(names, (1..=k).collect::<Vec<_>>(), "renaming not a bijection");
+    assert_eq!(
+        names,
+        (1..=k).collect::<Vec<_>>(),
+        "renaming not a bijection"
+    );
     out.total_traversals
 }

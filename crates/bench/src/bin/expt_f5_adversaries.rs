@@ -45,7 +45,11 @@ fn main() {
                 }
             }
         }
-        let gm = if costs.is_empty() { f64::NAN } else { geomean(&costs) };
+        let gm = if costs.is_empty() {
+            f64::NAN
+        } else {
+            geomean(&costs)
+        };
         let max = costs.iter().cloned().fold(0f64, f64::max);
         rows.push(vec![
             kind.to_string(),
@@ -65,11 +69,26 @@ fn main() {
     let mut worst_random = 0u64;
     let mut worst_greedy = 0u64;
     for seed in 0..200u64 {
-        if let Some(c) = run(GraphFamily::Ring, 8, 6, 9, &mut RandomAdversary::new(seed), seed, uxs)
-        {
+        if let Some(c) = run(
+            GraphFamily::Ring,
+            8,
+            6,
+            9,
+            &mut RandomAdversary::new(seed),
+            seed,
+            uxs,
+        ) {
             worst_random = worst_random.max(c);
         }
-        if let Some(c) = run(GraphFamily::Ring, 8, 6, 9, &mut GreedyAvoid::new(seed), seed, uxs) {
+        if let Some(c) = run(
+            GraphFamily::Ring,
+            8,
+            6,
+            9,
+            &mut GreedyAvoid::new(seed),
+            seed,
+            uxs,
+        ) {
             worst_greedy = worst_greedy.max(c);
         }
     }

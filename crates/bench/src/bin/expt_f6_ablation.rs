@@ -28,9 +28,27 @@ fn main() {
     let uxs = SeededUxs::quadratic();
     let variants: [(&str, RvVariant); 4] = [
         ("paper", RvVariant::default()),
-        ("raw-label-bits", RvVariant { modified_label: false, ..RvVariant::default() }),
-        ("single-atoms", RvVariant { doubled_atoms: false, ..RvVariant::default() }),
-        ("unscaled-params", RvVariant { scaled_params: false, ..RvVariant::default() }),
+        (
+            "raw-label-bits",
+            RvVariant {
+                modified_label: false,
+                ..RvVariant::default()
+            },
+        ),
+        (
+            "single-atoms",
+            RvVariant {
+                doubled_atoms: false,
+                ..RvVariant::default()
+            },
+        ),
+        (
+            "unscaled-params",
+            RvVariant {
+                scaled_params: false,
+                ..RvVariant::default()
+            },
+        ),
     ];
     // Prefix pairs stress the label transform: raw binary of the first is
     // a prefix of the second's.
@@ -46,9 +64,10 @@ fn main() {
 
     let mut rows = Vec::new();
     for (vname, variant) in variants {
-        for (pairs_name, pairs) in
-            [("prefix-pairs", &prefix_pairs[..]), ("generic-pairs", &generic_pairs[..])]
-        {
+        for (pairs_name, pairs) in [
+            ("prefix-pairs", &prefix_pairs[..]),
+            ("generic-pairs", &generic_pairs[..]),
+        ] {
             let mut met = 0usize;
             let mut total = 0usize;
             let mut costs: Vec<u64> = Vec::new();
@@ -72,11 +91,8 @@ fn main() {
                                 variant,
                             ),
                         ];
-                        let mut rt = Runtime::new(
-                            g,
-                            agents,
-                            RunConfig::rendezvous().with_cutoff(CUTOFF),
-                        );
+                        let mut rt =
+                            Runtime::new(g, agents, RunConfig::rendezvous().with_cutoff(CUTOFF));
                         let mut adv = AdversaryKind::GreedyAvoid.build(seed);
                         let out = rt.run(adv.as_mut());
                         if out.end == RunEnd::Meeting {

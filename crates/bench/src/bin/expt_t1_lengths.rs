@@ -26,12 +26,10 @@ fn main() {
 
     let ks: Vec<u64> = (1..=24).collect();
     let mut rows = Vec::new();
-    let mut series: Vec<(&str, Vec<(f64, f64)>)> = [
-        "X", "Q", "Y", "Z", "A", "B", "K", "Ω",
-    ]
-    .iter()
-    .map(|name| (*name, Vec::new()))
-    .collect();
+    let mut series: Vec<(&str, Vec<(f64, f64)>)> = ["X", "Q", "Y", "Z", "A", "B", "K", "Ω"]
+        .iter()
+        .map(|name| (*name, Vec::new()))
+        .collect();
     for &k in &ks {
         let vals = [
             exact.x(k),

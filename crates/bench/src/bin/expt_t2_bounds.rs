@@ -46,7 +46,7 @@ fn main() {
     let mut rows = Vec::new();
     for j in [1u64, 2, 4, 8, 16, 32] {
         let label_value = (1u64 << j) - 1; // largest label of length j
-        // The naive bound has Θ(L) digits: evaluate its log10 analytically.
+                                           // The naive bound has Θ(L) digits: evaluate its log10 analytically.
         let nv_log10 = naive_bound_log10(uxs, 16, label_value);
         let pi = pi_bound(uxs, 16, j);
         rows.push(vec![
@@ -54,7 +54,11 @@ fn main() {
             label_value.to_string(),
             format!("{nv_log10:.3e}"),
             format!("{:.1}", pi.log10()),
-            if pi.log10() < nv_log10 { "RV-asynch-poly".into() } else { "naive".into() },
+            if pi.log10() < nv_log10 {
+                "RV-asynch-poly".into()
+            } else {
+                "naive".into()
+            },
         ]);
     }
     print_table(
@@ -68,8 +72,9 @@ fn main() {
     let mut rows = Vec::new();
     for &n in &[4u64, 8, 16, 32] {
         // Π depends only on the label's bit length: cache the 13 values.
-        let pi_log10: Vec<f64> =
-            (0u64..=13).map(|b| pi_bound(uxs, n, b.max(1)).log10()).collect();
+        let pi_log10: Vec<f64> = (0u64..=13)
+            .map(|b| pi_bound(uxs, n, b.max(1)).log10())
+            .collect();
         let mut cross = None;
         for label in 1u64..=4096 {
             let bits = 64 - label.leading_zeros() as u64;
@@ -80,7 +85,9 @@ fn main() {
         }
         rows.push(vec![
             n.to_string(),
-            cross.map(|c| c.to_string()).unwrap_or_else(|| ">4096".into()),
+            cross
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| ">4096".into()),
         ]);
     }
     print_table(

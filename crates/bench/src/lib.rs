@@ -41,7 +41,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
     println!(
         "|{}|",
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
     );
     for row in rows {
         line(row);
@@ -104,6 +108,28 @@ mod tests {
         assert_eq!(median(&[5, 1, 9]), 5);
         assert_eq!(median(&[4]), 4);
         assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_serialise_to_json_lines() {
+        // The `--json` path of the experiment binaries depends on this
+        // derive producing one self-contained JSON object per sample.
+        let s = Sample {
+            experiment: "F1".into(),
+            scenario: "ring".into(),
+            n: 12,
+            adversary: "greedy-avoid".into(),
+            param: 3,
+            cost: Some(41),
+        };
+        assert_eq!(
+            serde_json::to_string(&s).unwrap(),
+            r#"{"experiment":"F1","scenario":"ring","n":12,"adversary":"greedy-avoid","param":3,"cost":41}"#
+        );
+        let cut = Sample { cost: None, ..s };
+        assert!(serde_json::to_string(&cut)
+            .unwrap()
+            .ends_with(r#""cost":null}"#));
     }
 
     #[test]

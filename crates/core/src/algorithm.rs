@@ -68,7 +68,11 @@ pub struct RvVariant {
 
 impl Default for RvVariant {
     fn default() -> Self {
-        RvVariant { doubled_atoms: true, scaled_params: true, modified_label: true }
+        RvVariant {
+            doubled_atoms: true,
+            scaled_params: true,
+            modified_label: true,
+        }
     }
 }
 
@@ -106,7 +110,14 @@ impl RvAlgorithm {
             let r = label.bit_length();
             (0..r).rev().map(|p| label.value() >> p & 1 == 1).collect()
         };
-        RvAlgorithm { label, bits, variant, k: 1, i: 1, stage: 0 }
+        RvAlgorithm {
+            label,
+            bits,
+            variant,
+            k: 1,
+            i: 1,
+            stage: 0,
+        }
     }
 
     /// The agent's label.
@@ -136,7 +147,11 @@ impl RvAlgorithm {
         let limit = self.k.min(s);
         debug_assert!(self.i <= limit);
         let bit = self.bits[self.i as usize - 1];
-        let (b_scale, a_scale) = if self.variant.scaled_params { (2, 4) } else { (1, 1) };
+        let (b_scale, a_scale) = if self.variant.scaled_params {
+            (2, 4)
+        } else {
+            (1, 1)
+        };
         let atom_stages: u8 = if self.variant.doubled_atoms { 2 } else { 1 };
         let out = if self.stage < atom_stages {
             let spec = if bit {
@@ -152,7 +167,13 @@ impl RvAlgorithm {
             };
             (spec, role)
         } else if limit > self.i {
-            (Spec::K(self.k), Role::Border { k: self.k, i: self.i })
+            (
+                Spec::K(self.k),
+                Role::Border {
+                    k: self.k,
+                    i: self.i,
+                },
+            )
         } else {
             (Spec::Omega(self.k), Role::Fence { k: self.k })
         };
@@ -188,8 +209,24 @@ mod tests {
         assert_eq!(sched[0].0, Spec::B(2));
         assert_eq!(sched[1].0, Spec::B(2));
         assert_eq!(sched[2].0, Spec::Omega(1));
-        assert!(matches!(sched[0].1, Role::Atom { k: 1, i: 1, bit: true, first: true }));
-        assert!(matches!(sched[1].1, Role::Atom { k: 1, i: 1, bit: true, first: false }));
+        assert!(matches!(
+            sched[0].1,
+            Role::Atom {
+                k: 1,
+                i: 1,
+                bit: true,
+                first: true
+            }
+        ));
+        assert!(matches!(
+            sched[1].1,
+            Role::Atom {
+                k: 1,
+                i: 1,
+                bit: true,
+                first: false
+            }
+        ));
         assert!(matches!(sched[2].1, Role::Fence { k: 1 }));
     }
 
@@ -240,7 +277,9 @@ mod tests {
         for _ in 0..1000 {
             let (_, role) = alg.next_labeled();
             match role {
-                Role::Atom { k: 10, first: true, .. } => segments_in_piece_10 += 1,
+                Role::Atom {
+                    k: 10, first: true, ..
+                } => segments_in_piece_10 += 1,
                 Role::Fence { k: 11 } => break,
                 _ => {}
             }
@@ -281,7 +320,12 @@ mod tests {
 
     #[test]
     fn role_display_is_readable() {
-        let role = Role::Atom { k: 3, i: 2, bit: true, first: false };
+        let role = Role::Atom {
+            k: 3,
+            i: 2,
+            bit: true,
+            first: false,
+        };
         assert_eq!(role.to_string(), "atom 2/2 of S_2(3) [bit 1]");
         assert_eq!(Role::Border { k: 3, i: 1 }.to_string(), "border K_{1,2}(3)");
         assert_eq!(Role::Fence { k: 4 }.to_string(), "fence Ω(4)");

@@ -34,7 +34,10 @@ pub struct StarredLengths<P> {
 impl<P: ExplorationProvider> StarredLengths<P> {
     /// Creates the evaluator for the provider's length polynomial.
     pub fn new(provider: P) -> Self {
-        StarredLengths { provider, memo: Default::default() }
+        StarredLengths {
+            provider,
+            memo: Default::default(),
+        }
     }
 
     fn p(&self, k: u64) -> Big {
@@ -57,13 +60,7 @@ impl<P: ExplorationProvider> StarredLengths<P> {
 
     /// `Q*_k = Σ_{i=1..k} X*_i`.
     pub fn q(&self, k: u64) -> Big {
-        self.memoized(0, k, |s| {
-            if k == 1 {
-                s.x(1)
-            } else {
-                s.q(k - 1) + s.x(k)
-            }
-        })
+        self.memoized(0, k, |s| if k == 1 { s.x(1) } else { s.q(k - 1) + s.x(k) })
     }
 
     /// `Y*_k = 2(P(k)+1) · Q*_k` (tightened; see the type-level erratum).
@@ -73,13 +70,7 @@ impl<P: ExplorationProvider> StarredLengths<P> {
 
     /// `Z*_k = Σ_{i=1..k} Y*_i`.
     pub fn z(&self, k: u64) -> Big {
-        self.memoized(2, k, |s| {
-            if k == 1 {
-                s.y(1)
-            } else {
-                s.z(k - 1) + s.y(k)
-            }
-        })
+        self.memoized(2, k, |s| if k == 1 { s.y(1) } else { s.z(k - 1) + s.y(k) })
     }
 
     /// `A*_k = 2(P(k)+1) · Z*_k` (tightened; see the type-level erratum).
@@ -206,7 +197,10 @@ mod tests {
         // Π at n=4: label length 8 vs 16 — polynomial growth.
         let pi8 = pi_bound(p, 4, 8).log10();
         let pi16 = pi_bound(p, 4, 16).log10();
-        assert!(pi16 / pi8 < 3.0, "Π must be polynomial in m: {pi8} vs {pi16}");
+        assert!(
+            pi16 / pi8 < 3.0,
+            "Π must be polynomial in m: {pi8} vs {pi16}"
+        );
         // Naive at the same n: labels 2^8 and 2^16 (lengths 9 and 17).
         let nv8 = naive_bound(p, 4, 1 << 8).log10();
         let nv16 = naive_bound(p, 4, 1 << 16).log10();

@@ -77,7 +77,11 @@ impl ModifiedLabel {
     ///
     /// Panics if `i == 0` or `i > s`.
     pub fn bit(&self, i: usize) -> bool {
-        assert!(i >= 1 && i <= self.bits.len(), "bit index {i} out of 1..={}", self.bits.len());
+        assert!(
+            i >= 1 && i <= self.bits.len(),
+            "bit index {i} out of 1..={}",
+            self.bits.len()
+        );
         self.bits[i - 1]
     }
 
@@ -91,7 +95,9 @@ impl ModifiedLabel {
     /// length (prefix-freeness).
     pub fn first_difference(&self, other: &ModifiedLabel) -> Option<usize> {
         let shorter = self.bits.len().min(other.bits.len());
-        (0..shorter).find(|&j| self.bits[j] != other.bits[j]).map(|j| j + 1)
+        (0..shorter)
+            .find(|&j| self.bits[j] != other.bits[j])
+            .map(|j| j + 1)
     }
 }
 
@@ -168,15 +174,15 @@ mod tests {
     fn prefix_freeness_small_exhaustive() {
         // M(x) must never be a prefix of M(y), x != y, exhaustively for
         // small labels.
-        let labels: Vec<ModifiedLabel> =
-            (1u64..=64).map(|v| Label::new(v).unwrap().modified()).collect();
+        let labels: Vec<ModifiedLabel> = (1u64..=64)
+            .map(|v| Label::new(v).unwrap().modified())
+            .collect();
         for (i, a) in labels.iter().enumerate() {
             for (j, b) in labels.iter().enumerate() {
                 if i == j {
                     continue;
                 }
-                let is_prefix =
-                    a.len() <= b.len() && a.bits() == &b.bits()[..a.len()];
+                let is_prefix = a.len() <= b.len() && a.bits() == &b.bits()[..a.len()];
                 assert!(!is_prefix, "M({}) is a prefix of M({})", i + 1, j + 1);
             }
         }

@@ -318,7 +318,10 @@ impl<P: ExplorationProvider + Clone> EsstMachine<P> {
                 let port = walker
                     .next_exit(self.cur_entry, self.cur_degree)
                     .expect("trunc completion is handled at arrival");
-                Drive::Traverse { port, interruptible: false }
+                Drive::Traverse {
+                    port,
+                    interruptible: false,
+                }
             }
             State::TruncBack { pos } => Drive::Traverse {
                 port: self.trunc_log[*pos - 1].entry,
@@ -328,9 +331,14 @@ impl<P: ExplorationProvider + Clone> EsstMachine<P> {
                 let port = walker
                     .next_exit(self.cur_entry, self.cur_degree)
                     .expect("inner completion is handled at arrival");
-                Drive::Traverse { port, interruptible: true }
+                Drive::Traverse {
+                    port,
+                    interruptible: true,
+                }
             }
-            State::InnerBack { entries, remaining, .. } => Drive::Traverse {
+            State::InnerBack {
+                entries, remaining, ..
+            } => Drive::Traverse {
                 port: entries[*remaining - 1],
                 interruptible: false,
             },
@@ -349,7 +357,10 @@ impl<P: ExplorationProvider + Clone> EsstMachine<P> {
     ///
     /// Panics if there is no pending traversal.
     pub fn arrived(&mut self, report: ArrivalReport) {
-        let pending = self.pending.take().expect("arrived() without a pending move");
+        let pending = self
+            .pending
+            .take()
+            .expect("arrived() without a pending move");
         let port = match pending {
             Drive::Traverse { port, .. } => port,
             Drive::Done => unreachable!("Done is never pending"),
@@ -363,17 +374,17 @@ impl<P: ExplorationProvider + Clone> EsstMachine<P> {
         let state = std::mem::replace(&mut self.state, State::Done);
         match state {
             State::TruncForward { walker } => {
-                self.trunc_log.push(Step { exit: port, entry: report.entry });
+                self.trunc_log.push(Step {
+                    exit: port,
+                    entry: report.entry,
+                });
                 self.trunc_degrees.push(report.degree);
                 if report.token_inside || report.token_at_node {
                     self.trunc_token_seen = true;
                 }
                 if walker.is_done() {
                     let i = self.phase;
-                    let clean = self
-                        .trunc_degrees
-                        .iter()
-                        .all(|&d| (d as u64) <= i - 1);
+                    let clean = self.trunc_degrees.iter().all(|&d| (d as u64) < i);
                     if !clean || !self.trunc_token_seen {
                         self.abort_phase();
                     } else {
@@ -391,7 +402,12 @@ impl<P: ExplorationProvider + Clone> EsstMachine<P> {
                     self.state = State::TruncBack { pos: pos - 1 };
                 }
             }
-            State::Inner { j, walker, mut exits, mut entries } => {
+            State::Inner {
+                j,
+                walker,
+                mut exits,
+                mut entries,
+            } => {
                 exits.push(port);
                 entries.push(report.entry);
                 if report.token_inside {
@@ -399,27 +415,54 @@ impl<P: ExplorationProvider + Clone> EsstMachine<P> {
                     // the crossing happened inside the completed edge; code
                     // ends with this edge's port, and the backtrack replays
                     // the full edge.
-                    let code = Code { ports: exits, inside_edge: true };
+                    let code = Code {
+                        ports: exits,
+                        inside_edge: true,
+                    };
                     let remaining = entries.len();
-                    self.state = State::InnerBack { j, entries, remaining };
+                    self.state = State::InnerBack {
+                        j,
+                        entries,
+                        remaining,
+                    };
                     self.record_code_and_maybe_abort(code);
                 } else if report.token_at_node {
-                    let code = Code { ports: exits, inside_edge: false };
+                    let code = Code {
+                        ports: exits,
+                        inside_edge: false,
+                    };
                     let remaining = entries.len();
-                    self.state = State::InnerBack { j, entries, remaining };
+                    self.state = State::InnerBack {
+                        j,
+                        entries,
+                        remaining,
+                    };
                     self.record_code_and_maybe_abort(code);
                 } else if walker.is_done() {
                     // R(i, u_j) ended without a sighting → abort the phase.
                     self.abort_phase();
                 } else {
-                    self.state = State::Inner { j, walker, exits, entries };
+                    self.state = State::Inner {
+                        j,
+                        walker,
+                        exits,
+                        entries,
+                    };
                 }
             }
-            State::InnerBack { j, entries, remaining } => {
+            State::InnerBack {
+                j,
+                entries,
+                remaining,
+            } => {
                 if remaining == 1 {
                     self.after_inner_done(j);
                 } else {
-                    self.state = State::InnerBack { j, entries, remaining: remaining - 1 };
+                    self.state = State::InnerBack {
+                        j,
+                        entries,
+                        remaining: remaining - 1,
+                    };
                 }
             }
             State::GotoNext { j } => {
@@ -437,19 +480,37 @@ impl<P: ExplorationProvider + Clone> EsstMachine<P> {
     ///
     /// Panics if the pending move was not an interruptible traversal.
     pub fn interrupted_inside(&mut self) {
-        let pending = self.pending.take().expect("interrupted without a pending move");
+        let pending = self
+            .pending
+            .take()
+            .expect("interrupted without a pending move");
         let port = match pending {
-            Drive::Traverse { port, interruptible: true } => port,
+            Drive::Traverse {
+                port,
+                interruptible: true,
+            } => port,
             other => panic!("interrupted_inside() on non-interruptible move {other:?}"),
         };
         self.cost += 2; // into the edge and back
         let state = std::mem::replace(&mut self.state, State::Done);
         match state {
-            State::Inner { j, mut exits, entries, .. } => {
+            State::Inner {
+                j,
+                mut exits,
+                entries,
+                ..
+            } => {
                 exits.push(port);
-                let code = Code { ports: exits, inside_edge: true };
+                let code = Code {
+                    ports: exits,
+                    inside_edge: true,
+                };
                 let remaining = entries.len();
-                self.state = State::InnerBack { j, entries, remaining };
+                self.state = State::InnerBack {
+                    j,
+                    entries,
+                    remaining,
+                };
                 self.record_code_and_maybe_abort(code);
                 self.resolve_trivial_inner_back();
             }
@@ -461,8 +522,15 @@ impl<P: ExplorationProvider + Clone> EsstMachine<P> {
     /// empty code immediately if the token is right here).
     fn start_inner(&mut self, j: usize) {
         if self.token_here {
-            let code = Code { ports: Vec::new(), inside_edge: false };
-            self.state = State::InnerBack { j, entries: Vec::new(), remaining: 0 };
+            let code = Code {
+                ports: Vec::new(),
+                inside_edge: false,
+            };
+            self.state = State::InnerBack {
+                j,
+                entries: Vec::new(),
+                remaining: 0,
+            };
             self.record_code_and_maybe_abort(code);
             self.resolve_trivial_inner_back();
         } else {
@@ -478,7 +546,10 @@ impl<P: ExplorationProvider + Clone> EsstMachine<P> {
 
     /// If an `InnerBack` has nothing to replay, finish the node now.
     fn resolve_trivial_inner_back(&mut self) {
-        if let State::InnerBack { remaining: 0, j, .. } = self.state {
+        if let State::InnerBack {
+            remaining: 0, j, ..
+        } = self.state
+        {
             self.after_inner_done(j);
         }
     }
@@ -544,7 +615,10 @@ where
         }
         match m.current_request() {
             Drive::Done => break,
-            Drive::Traverse { port, interruptible } => {
+            Drive::Traverse {
+                port,
+                interruptible,
+            } => {
                 let edge = g.edge_at(cur, port);
                 let inside = oracle.observe_traversal(edge, cur);
                 if interruptible && inside {
@@ -593,7 +667,11 @@ mod tests {
         let mut oracle = StaticNodeToken { node: NodeId(2) };
         let out = run_esst(&g, fast_uxs(), NodeId(0), &mut oracle, 9 * 5 + 3)
             .expect("must terminate by phase 9n+3");
-        assert_eq!(out.edges_covered, g.size(), "Theorem 2.1: all edges traversed");
+        assert_eq!(
+            out.edges_covered,
+            g.size(),
+            "Theorem 2.1: all edges traversed"
+        );
         assert!(out.cost > 0);
     }
 
@@ -602,8 +680,8 @@ mod tests {
         let g = generators::ring(4);
         let edge = EdgeId::new(NodeId(1), NodeId(2));
         let mut oracle = EvasiveEdgeToken { edge };
-        let out = run_esst(&g, fast_uxs(), NodeId(0), &mut oracle, 9 * 4 + 3)
-            .expect("must terminate");
+        let out =
+            run_esst(&g, fast_uxs(), NodeId(0), &mut oracle, 9 * 4 + 3).expect("must terminate");
         assert_eq!(out.edges_covered, g.size());
     }
 
@@ -612,8 +690,8 @@ mod tests {
         let g = generators::path(4);
         let edge = EdgeId::new(NodeId(1), NodeId(2));
         let mut oracle = OscillatingToken::new(edge);
-        let out = run_esst(&g, fast_uxs(), NodeId(0), &mut oracle, 9 * 4 + 3)
-            .expect("must terminate");
+        let out =
+            run_esst(&g, fast_uxs(), NodeId(0), &mut oracle, 9 * 4 + 3).expect("must terminate");
         assert_eq!(out.edges_covered, g.size());
     }
 

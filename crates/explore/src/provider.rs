@@ -55,7 +55,11 @@ pub struct RWalker<P> {
 impl<P: ExplorationProvider> RWalker<P> {
     /// Starts a fresh walk of `R(k, ·)`.
     pub fn new(provider: P, k: u64) -> Self {
-        RWalker { provider, k, step: 0 }
+        RWalker {
+            provider,
+            k,
+            step: 0,
+        }
     }
 
     /// Steps already taken.

@@ -19,7 +19,10 @@ use crate::uxs::{SeededUxs, TableUxs};
 ///
 /// Panics if `max_n > 5` (exhaustive verification explodes beyond that).
 pub fn find_universal_seed(coeff: u64, max_k: u64, max_n: usize, tries: u64) -> Option<u64> {
-    assert!(max_n <= 5, "exhaustive verification is feasible only for order <= 5");
+    assert!(
+        max_n <= 5,
+        "exhaustive verification is feasible only for order <= 5"
+    );
     (0..tries).find(|&seed| {
         let uxs = SeededUxs::new(seed, coeff);
         (2..=max_k).all(|k| verify_universal(uxs, k, max_n.min(k as usize)).is_universal())
@@ -31,7 +34,11 @@ pub fn find_universal_seed(coeff: u64, max_k: u64, max_n: usize, tries: u64) -> 
 /// inspected, stored or shipped.
 pub fn freeze_tables<P: ExplorationProvider>(provider: &P, max_k: u64) -> TableUxs {
     let tables: Vec<Vec<u64>> = (1..=max_k)
-        .map(|k| (0..provider.len(k)).map(|i| provider.increment(k, i)).collect())
+        .map(|k| {
+            (0..provider.len(k))
+                .map(|i| provider.increment(k, i))
+                .collect()
+        })
         .collect();
     TableUxs::new(tables)
 }

@@ -44,7 +44,11 @@ impl ConcreteTrajectory {
         exit_ports.reverse();
         let mut entry_ports: Vec<_> = self.exit_ports.clone();
         entry_ports.reverse();
-        ConcreteTrajectory { nodes, exit_ports, entry_ports }
+        ConcreteTrajectory {
+            nodes,
+            exit_ports,
+            entry_ports,
+        }
     }
 
     /// Checks this is a valid walk in `g` (each step follows an actual edge
@@ -96,7 +100,11 @@ pub fn r_trajectory<P: ExplorationProvider>(
         cur = arr.node;
         entry = Some(arr.entry_port);
     }
-    ConcreteTrajectory { nodes, exit_ports, entry_ports }
+    ConcreteTrajectory {
+        nodes,
+        exit_ports,
+        entry_ports,
+    }
 }
 
 #[cfg(test)]

@@ -42,7 +42,11 @@ impl SeededUxs {
     /// Panics if `coeff == 0`.
     pub fn new(seed: u64, coeff: u64) -> Self {
         assert!(coeff > 0, "SeededUxs: coeff must be positive");
-        SeededUxs { seed, coeff, power: 3 }
+        SeededUxs {
+            seed,
+            coeff,
+            power: 3,
+        }
     }
 
     /// Replaces the polynomial degree of the length function
@@ -95,7 +99,10 @@ impl ExplorationProvider for SeededUxs {
     }
 
     fn increment(&self, k: u64, i: u64) -> u64 {
-        assert!(i < self.len(k), "increment index {i} out of range for k={k}");
+        assert!(
+            i < self.len(k),
+            "increment index {i} out of range for k={k}"
+        );
         // Mix seed, k and i so sequences for different k are independent.
         splitmix64(self.seed ^ splitmix64(k) ^ i.wrapping_mul(0xA24B_AED4_963E_E407))
     }

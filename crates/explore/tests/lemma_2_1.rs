@@ -16,7 +16,7 @@ use rv_graph::{generators, GraphFamily, NodeId};
 /// Checks the lemma's statement for one application.
 fn check_lemma(g: &rv_graph::Graph, m: u64, start: NodeId) -> Result<(), String> {
     let t = r_trajectory(g, SeededUxs::default(), 2 * m, start);
-    let clean = t.nodes.iter().all(|&v| g.degree(v) as u64 <= m - 1);
+    let clean = t.nodes.iter().all(|&v| (g.degree(v) as u64) < m);
     if clean {
         let distinct = t.distinct_nodes().len() as u64;
         if distinct < m {

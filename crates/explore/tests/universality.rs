@@ -19,7 +19,11 @@ fn default_uxs_is_universal_up_to_order_4() {
         report.checked,
     );
     // 1 graph on 2 nodes, 14 port graphs on 3 nodes, and all on 4 nodes.
-    assert!(report.checked > 1000, "enumeration shrank: {}", report.checked);
+    assert!(
+        report.checked > 1000,
+        "enumeration shrank: {}",
+        report.checked
+    );
 }
 
 /// The quadratic provider must also be universal at small orders (it is the

@@ -115,16 +115,24 @@ impl GraphBuilder {
         for v in 0..n {
             let d = self.adj[v].len();
             let perm = perm_for(d);
-            assert_eq!(perm.len(), d, "perm_for must return a permutation of 0..degree");
+            assert_eq!(
+                perm.len(),
+                d,
+                "perm_for must return a permutation of 0..degree"
+            );
             let mut seen = vec![false; d];
             for &p in &perm {
-                assert!(p < d && !seen[p], "perm_for must return a permutation of 0..degree");
+                assert!(
+                    p < d && !seen[p],
+                    "perm_for must return a permutation of 0..degree"
+                );
                 seen[p] = true;
             }
             new_port.push(perm);
         }
-        let mut new_adj: Vec<Vec<(NodeId, PortId)>> =
-            (0..n).map(|v| vec![(NodeId(0), PortId(0)); self.adj[v].len()]).collect();
+        let mut new_adj: Vec<Vec<(NodeId, PortId)>> = (0..n)
+            .map(|v| vec![(NodeId(0), PortId(0)); self.adj[v].len()])
+            .collect();
         for v in 0..n {
             for (old_p, &(u, q)) in self.adj[v].iter().enumerate() {
                 let np = new_port[v][old_p];
@@ -175,7 +183,10 @@ mod tests {
     fn rejects_duplicate_edge_in_either_order() {
         let mut b = GraphBuilder::new(2);
         b.edge(0, 1).unwrap();
-        assert_eq!(b.edge(1, 0), Err(BuildError::DuplicateEdge(NodeId(1), NodeId(0))));
+        assert_eq!(
+            b.edge(1, 0),
+            Err(BuildError::DuplicateEdge(NodeId(1), NodeId(0)))
+        );
     }
 
     #[test]
@@ -194,8 +205,14 @@ mod tests {
 
     #[test]
     fn rejects_too_small() {
-        assert_eq!(GraphBuilder::new(1).build().unwrap_err(), BuildError::TooSmall);
-        assert_eq!(GraphBuilder::new(0).build().unwrap_err(), BuildError::TooSmall);
+        assert_eq!(
+            GraphBuilder::new(1).build().unwrap_err(),
+            BuildError::TooSmall
+        );
+        assert_eq!(
+            GraphBuilder::new(0).build().unwrap_err(),
+            BuildError::TooSmall
+        );
     }
 
     #[test]

@@ -73,7 +73,10 @@ pub fn star(n: usize) -> Graph {
 ///
 /// Panics if `w * h < 2` or either dimension is zero.
 pub fn grid(w: usize, h: usize) -> Graph {
-    assert!(w >= 1 && h >= 1 && w * h >= 2, "grid needs at least 2 nodes");
+    assert!(
+        w >= 1 && h >= 1 && w * h >= 2,
+        "grid needs at least 2 nodes"
+    );
     let id = |x: usize, y: usize| y * w + x;
     let mut b = GraphBuilder::new(w * h);
     for y in 0..h {
@@ -114,7 +117,10 @@ pub fn torus(w: usize, h: usize) -> Graph {
 ///
 /// Panics if `d == 0` or `d > 20`.
 pub fn hypercube(d: usize) -> Graph {
-    assert!(d >= 1 && d <= 20, "hypercube dimension must be in 1..=20");
+    assert!(
+        (1..=20).contains(&d),
+        "hypercube dimension must be in 1..=20"
+    );
     let n = 1usize << d;
     let mut b = GraphBuilder::new(n);
     for v in 0..n {

@@ -130,10 +130,7 @@ impl Graph {
 
     /// Port at `v` whose edge leads to `u`, if `u` is adjacent to `v`.
     pub fn port_towards(&self, v: NodeId, u: NodeId) -> Option<PortId> {
-        self.adj[v.0]
-            .iter()
-            .position(|&(n, _)| n == u)
-            .map(PortId)
+        self.adj[v.0].iter().position(|&(n, _)| n == u).map(PortId)
     }
 
     /// Iterator over all node identifiers.

@@ -58,7 +58,7 @@ impl GraphFamily {
             GraphFamily::Grid => {
                 let w = (n as f64).sqrt().round() as usize;
                 let w = w.max(2);
-                let h = (n + w - 1) / w;
+                let h = n.div_ceil(w);
                 generators::grid(w, h.max(2))
             }
             GraphFamily::Hypercube => {

@@ -131,7 +131,14 @@ mod tests {
     #[test]
     fn degree_stats_on_star() {
         let s = degree_stats(&generators::star(6));
-        assert_eq!(s, DegreeStats { min: 1, max: 5, sum: 10 });
+        assert_eq!(
+            s,
+            DegreeStats {
+                min: 1,
+                max: 5,
+                sum: 10
+            }
+        );
     }
 
     #[test]

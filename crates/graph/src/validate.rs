@@ -73,7 +73,10 @@ pub fn validate(g: &Graph) -> Result<(), ValidationError> {
                 return Err(ValidationError::SelfLoop(v));
             }
             if !seen_neighbors.insert(u) {
-                return Err(ValidationError::MultiEdge { node: v, neighbor: u });
+                return Err(ValidationError::MultiEdge {
+                    node: v,
+                    neighbor: u,
+                });
             }
             match g_adj(g, u, q) {
                 Some((w, r)) if w == v && r == port => {}
@@ -83,7 +86,7 @@ pub fn validate(g: &Graph) -> Result<(), ValidationError> {
     }
     // Connectivity.
     let dist = g.bfs_distances(NodeId(0));
-    if dist.iter().any(|&d| d == usize::MAX) {
+    if dist.contains(&usize::MAX) {
         return Err(ValidationError::Disconnected);
     }
     Ok(())
@@ -112,9 +115,15 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = ValidationError::MultiEdge { node: NodeId(1), neighbor: NodeId(2) };
+        let e = ValidationError::MultiEdge {
+            node: NodeId(1),
+            neighbor: NodeId(2),
+        };
         assert!(e.to_string().contains("multi-edge"));
-        let e = ValidationError::InconsistentPorts { node: NodeId(3), port: PortId(0) };
+        let e = ValidationError::InconsistentPorts {
+            node: NodeId(3),
+            port: PortId(0),
+        };
         assert!(e.to_string().contains("non-involutive"));
     }
 }

@@ -27,9 +27,16 @@ pub struct Solutions {
 /// Panics if `own_label` is not in the set (an SGL output always contains
 /// the owner's label).
 pub fn solve(own_label: u64, set: &Bag) -> Solutions {
-    assert!(set.contains(own_label), "SGL output must contain the owner's label");
+    assert!(
+        set.contains(own_label),
+        "SGL output must contain the owner's label"
+    );
     let labels = set.labels();
-    let rank = labels.iter().position(|&l| l == own_label).expect("just checked") + 1;
+    let rank = labels
+        .iter()
+        .position(|&l| l == own_label)
+        .expect("just checked")
+        + 1;
     Solutions {
         team_size: set.len(),
         leader: set.min_label(),
@@ -63,8 +70,11 @@ mod tests {
     #[test]
     fn renaming_is_a_bijection_onto_1_to_k() {
         let set = set_of(&[(5, 0), (9, 0), (2, 0), (14, 0)]);
-        let mut names: Vec<usize> =
-            set.labels().iter().map(|&l| solve(l, &set).new_name).collect();
+        let mut names: Vec<usize> = set
+            .labels()
+            .iter()
+            .map(|&l| solve(l, &set).new_name)
+            .collect();
         names.sort_unstable();
         assert_eq!(names, vec![1, 2, 3, 4]);
     }

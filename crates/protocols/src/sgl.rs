@@ -51,7 +51,9 @@ pub struct SglConfig {
 
 impl Default for SglConfig {
     fn default() -> Self {
-        SglConfig { completion_coeff: 2 }
+        SglConfig {
+            completion_coeff: 2,
+        }
     }
 }
 
@@ -68,9 +70,16 @@ impl SglConfig {
 }
 
 /// Explorer sub-state.
+// The Esst variant dominates the enum's size, but Phase is held once per
+// agent (not per node or per step), so boxing would cost more in indirection
+// than it saves in memory.
+#[allow(clippy::large_enum_variant)]
 enum Phase<P> {
     /// Phase 1: procedure ESST with the token.
-    Esst { machine: EsstMachine<P>, fresh: bool },
+    Esst {
+        machine: EsstMachine<P>,
+        fresh: bool,
+    },
     /// Phase 2a: backtracking the ESST trajectory (entries to replay).
     Backtrack { remaining: Vec<PortId> },
     /// Phase 2b: resumed RV-asynch-poly until threshold or smaller label.
@@ -79,7 +88,10 @@ enum Phase<P> {
     SeekToken { walker: RWalker<P> },
     /// Phase 3 (minimal agent): forward collection sweep `R(E(n), ·)`,
     /// logging entry ports for the backward announcement sweep.
-    CollectFwd { walker: RWalker<P>, log: Vec<PortId> },
+    CollectFwd {
+        walker: RWalker<P>,
+        log: Vec<PortId>,
+    },
     /// Phase 3 (minimal agent): backward announcement sweep.
     AnnounceBack { log: Vec<PortId> },
 }
@@ -271,12 +283,12 @@ impl<'g, P: ExplorationProvider + Clone> Behavior for SglBehavior<'g, P> {
                 if self.needs_esst_init {
                     self.needs_esst_init = false;
                     let (at_node, _inside) = self.take_token_flags();
-                    let machine = EsstMachine::new(
-                        self.provider.clone(),
-                        self.g.degree(self.cur),
-                        at_node,
-                    );
-                    self.phase = Some(Phase::Esst { machine, fresh: true });
+                    let machine =
+                        EsstMachine::new(self.provider.clone(), self.g.degree(self.cur), at_node);
+                    self.phase = Some(Phase::Esst {
+                        machine,
+                        fresh: true,
+                    });
                 }
                 if self.phase.is_none() {
                     // Finished (output produced) or otherwise parked.
@@ -347,10 +359,8 @@ impl<'g, P: ExplorationProvider + Clone> Behavior for SglBehavior<'g, P> {
                             if at_node || inside {
                                 // Met the token: adopt its outcome.
                                 if self.token_had_output || self.final_set.is_some() {
-                                    let set = self
-                                        .final_set
-                                        .clone()
-                                        .unwrap_or_else(|| self.bag.clone());
+                                    let set =
+                                        self.final_set.clone().unwrap_or_else(|| self.bag.clone());
                                     self.produce_output(set);
                                 } else {
                                     self.state = StateKind::Ghost;
@@ -439,9 +449,7 @@ impl<'g, P: ExplorationProvider + Clone> Behavior for SglBehavior<'g, P> {
         }
         // 4. Traveller transition rules (paper §4, state traveller).
         if self.state == StateKind::Traveller {
-            let heard_smaller = peers
-                .iter()
-                .any(|p| p.bag.min_label() < self.label.value());
+            let heard_smaller = peers.iter().any(|p| p.bag.min_label() < self.label.value());
             if heard_smaller {
                 self.state = StateKind::Ghost;
                 self.phase = None;

@@ -29,7 +29,14 @@ fn run_sgl<'g>(
         .enumerate()
         .map(|(i, &l)| {
             let start = NodeId(i * n / labels.len());
-            SglBehavior::new(g, uxs(), start, Label::new(l).unwrap(), l * 10, SglConfig::default())
+            SglBehavior::new(
+                g,
+                uxs(),
+                start,
+                Label::new(l).unwrap(),
+                l * 10,
+                SglConfig::default(),
+            )
         })
         .collect();
     let mut rt = Runtime::new(g, agents, RunConfig::protocol().with_cutoff(cutoff));
@@ -47,7 +54,11 @@ fn assert_all_output(rt: &Runtime<SglBehavior<SeededUxs>>, labels: &[u64], ctx: 
         let out = b
             .output()
             .unwrap_or_else(|| panic!("{ctx}: agent {} ({:?}) produced no output", i, b.state()));
-        assert_eq!(out.labels(), expected, "{ctx}: agent {i} has a wrong label set");
+        assert_eq!(
+            out.labels(),
+            expected,
+            "{ctx}: agent {i} has a wrong label set"
+        );
         // Gossip: values ride along.
         for (l, v) in out.iter() {
             assert_eq!(v, l * 10, "{ctx}: wrong value for label {l}");
@@ -59,7 +70,11 @@ fn assert_all_output(rt: &Runtime<SglBehavior<SeededUxs>>, labels: &[u64], ctx: 
 fn two_agents_on_a_ring() {
     let g = generators::ring(6);
     let labels = [5, 2];
-    for kind in [AdversaryKind::Random, AdversaryKind::EagerMeet, AdversaryKind::GreedyAvoid] {
+    for kind in [
+        AdversaryKind::Random,
+        AdversaryKind::EagerMeet,
+        AdversaryKind::GreedyAvoid,
+    ] {
         let (end, rt) = run_sgl(&g, &labels, kind, 11, 30_000_000);
         assert_eq!(end, RunEnd::AllParked, "{kind}: run must quiesce");
         assert_all_output(&rt, &labels, &format!("ring6/{kind}"));

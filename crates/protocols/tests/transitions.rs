@@ -33,7 +33,10 @@ fn traveller_meeting_smaller_bag_becomes_ghost() {
     let g = generators::ring(5);
     let mut a = agent(&g, 10);
     assert_eq!(a.state(), StateKind::Traveller);
-    a.on_meeting(MeetingPlace::Node(NodeId(0)), &[info(3, StateKind::Traveller)]);
+    a.on_meeting(
+        MeetingPlace::Node(NodeId(0)),
+        &[info(3, StateKind::Traveller)],
+    );
     assert_eq!(a.state(), StateKind::Ghost);
     // Ghosts park: next_port yields None forever.
     assert_eq!(a.next_port(), None);
@@ -44,7 +47,10 @@ fn traveller_meeting_smaller_bag_becomes_ghost() {
 fn traveller_meeting_larger_traveller_becomes_explorer() {
     let g = generators::ring(5);
     let mut a = agent(&g, 3);
-    a.on_meeting(MeetingPlace::Node(NodeId(0)), &[info(10, StateKind::Traveller)]);
+    a.on_meeting(
+        MeetingPlace::Node(NodeId(0)),
+        &[info(10, StateKind::Traveller)],
+    );
     assert_eq!(a.state(), StateKind::Explorer);
     // The explorer starts moving (ESST phase 1).
     assert!(a.next_port().is_some());
@@ -54,8 +60,15 @@ fn traveller_meeting_larger_traveller_becomes_explorer() {
 fn traveller_meeting_only_explorers_with_larger_bags_stays_traveller() {
     let g = generators::ring(5);
     let mut a = agent(&g, 3);
-    a.on_meeting(MeetingPlace::Node(NodeId(0)), &[info(10, StateKind::Explorer)]);
-    assert_eq!(a.state(), StateKind::Traveller, "explorers alone do not convert");
+    a.on_meeting(
+        MeetingPlace::Node(NodeId(0)),
+        &[info(10, StateKind::Explorer)],
+    );
+    assert_eq!(
+        a.state(),
+        StateKind::Traveller,
+        "explorers alone do not convert"
+    );
     // But the bag still merged.
     assert!(a.bag().contains(10));
 }
@@ -103,7 +116,10 @@ fn final_set_propagation_makes_a_ghost_output() {
     let g = generators::ring(5);
     let mut a = agent(&g, 10);
     // Become a ghost first.
-    a.on_meeting(MeetingPlace::Node(NodeId(0)), &[info(3, StateKind::Traveller)]);
+    a.on_meeting(
+        MeetingPlace::Node(NodeId(0)),
+        &[info(3, StateKind::Traveller)],
+    );
     assert!(a.output().is_none());
     // Now a peer announces the complete set.
     let mut full = Bag::singleton(3, 3);
@@ -116,7 +132,9 @@ fn final_set_propagation_makes_a_ghost_output() {
         has_output: true,
     };
     a.on_meeting(MeetingPlace::Node(NodeId(0)), &[announcer]);
-    let out = a.output().expect("ghost outputs on receiving the final set");
+    let out = a
+        .output()
+        .expect("ghost outputs on receiving the final set");
     assert_eq!(out, &full);
 }
 
@@ -125,9 +143,10 @@ fn bags_merge_on_every_meeting_regardless_of_state() {
     let g = generators::ring(5);
     let mut a = agent(&g, 2); // smallest — never converts on these meetings
     for l in [30u64, 40, 50] {
-        a.on_meeting(MeetingPlace::Edge(rv_graph::EdgeId::new(NodeId(0), NodeId(1))), &[
-            info(l, StateKind::Explorer),
-        ]);
+        a.on_meeting(
+            MeetingPlace::Edge(rv_graph::EdgeId::new(NodeId(0), NodeId(1))),
+            &[info(l, StateKind::Explorer)],
+        );
     }
     assert_eq!(a.bag().len(), 4);
     assert_eq!(a.bag().min_label(), 2);

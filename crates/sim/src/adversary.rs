@@ -66,7 +66,9 @@ pub struct RandomAdversary {
 impl RandomAdversary {
     /// Creates the strategy from a seed (runs are reproducible).
     pub fn new(seed: u64) -> Self {
-        RandomAdversary { rng: StdRng::seed_from_u64(seed) }
+        RandomAdversary {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -96,11 +98,15 @@ impl Adversary for Lazy {
         let non_victim = |c: &&ChoiceInfo| c.choice.agent != self.victim;
         // Prefer acting on non-victims; among them, wake first, then finish
         // before start (keeps at most one inside-edge at a time per agent).
-        if let Some(c) = choices.iter().filter(non_victim).min_by_key(|c| match c.choice.kind {
-            ActionKind::Wake => 0,
-            ActionKind::Finish => 1,
-            ActionKind::Start => 2,
-        }) {
+        if let Some(c) = choices
+            .iter()
+            .filter(non_victim)
+            .min_by_key(|c| match c.choice.kind {
+                ActionKind::Wake => 0,
+                ActionKind::Finish => 1,
+                ActionKind::Start => 2,
+            })
+        {
             return c.choice;
         }
         choices[0].choice
@@ -117,7 +123,9 @@ pub struct GreedyAvoid {
 impl GreedyAvoid {
     /// Creates the strategy from a seed.
     pub fn new(seed: u64) -> Self {
-        GreedyAvoid { rng: StdRng::seed_from_u64(seed) }
+        GreedyAvoid {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 

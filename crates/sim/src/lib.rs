@@ -58,13 +58,11 @@
 //! ```
 
 pub mod adversary;
-pub mod minimax;
 mod behavior;
 mod meeting;
+pub mod minimax;
 mod runtime;
 
 pub use behavior::{Behavior, NaiveBehavior, RvBehavior, ScriptBehavior, SpecBehavior};
 pub use meeting::{Meeting, MeetingPlace};
-pub use runtime::{
-    ActionKind, Choice, ChoiceInfo, Place, RunConfig, RunEnd, RunOutcome, Runtime,
-};
+pub use runtime::{ActionKind, Choice, ChoiceInfo, Place, RunConfig, RunEnd, RunOutcome, Runtime};

@@ -32,7 +32,10 @@ mod tests {
     #[test]
     fn meeting_place_comparisons() {
         let e = EdgeId::new(NodeId(1), NodeId(2));
-        assert_eq!(MeetingPlace::Edge(e), MeetingPlace::Edge(EdgeId::new(NodeId(2), NodeId(1))));
+        assert_eq!(
+            MeetingPlace::Edge(e),
+            MeetingPlace::Edge(EdgeId::new(NodeId(2), NodeId(1)))
+        );
         assert_ne!(MeetingPlace::Node(NodeId(1)), MeetingPlace::Node(NodeId(2)));
     }
 }

@@ -68,9 +68,9 @@ where
                 met = true;
                 result.schedules_explored += 1;
                 result.max_meeting_cost = Some(
-                    result.max_meeting_cost.map_or(rt.total_traversals(), |m| {
-                        m.max(rt.total_traversals())
-                    }),
+                    result
+                        .max_meeting_cost
+                        .map_or(rt.total_traversals(), |m| m.max(rt.total_traversals())),
                 );
                 // This prefix ends here; try its successor.
                 prefix.truncate(depth + 1);
@@ -107,7 +107,7 @@ where
 
 /// Advances the prefix like an odometer whose digit bases are discovered
 /// lazily (the replay detects overflow). Returns `false` when exhausted.
-fn advance(prefix: &mut Vec<usize>) -> bool {
+fn advance(prefix: &mut [usize]) -> bool {
     match prefix.last_mut() {
         None => false,
         Some(last) => {
@@ -153,7 +153,10 @@ mod tests {
             &g,
             || {
                 vec![
-                    ScriptBehavior::new(NodeId(1), [g.port_towards(NodeId(1), NodeId(2)).unwrap().0]),
+                    ScriptBehavior::new(
+                        NodeId(1),
+                        [g.port_towards(NodeId(1), NodeId(2)).unwrap().0],
+                    ),
                     ScriptBehavior::new(NodeId(0), []),
                 ]
             },

@@ -90,12 +90,18 @@ pub struct RunConfig {
 impl RunConfig {
     /// Rendezvous configuration: stop at the first meeting, generous cutoff.
     pub fn rendezvous() -> Self {
-        RunConfig { stop_on_first_meeting: true, max_total_traversals: 50_000_000 }
+        RunConfig {
+            stop_on_first_meeting: true,
+            max_total_traversals: 50_000_000,
+        }
     }
 
     /// Protocol configuration: meetings are exchanges, run to quiescence.
     pub fn protocol() -> Self {
-        RunConfig { stop_on_first_meeting: false, max_total_traversals: 50_000_000 }
+        RunConfig {
+            stop_on_first_meeting: false,
+            max_total_traversals: 50_000_000,
+        }
     }
 
     /// Replaces the traversal cutoff.
@@ -233,7 +239,10 @@ impl<'g, B: Behavior> Runtime<'g, B> {
         for (i, slot) in self.slots.iter().enumerate() {
             if !slot.awake {
                 out.push(ChoiceInfo {
-                    choice: Choice { agent: i, kind: ActionKind::Wake },
+                    choice: Choice {
+                        agent: i,
+                        kind: ActionKind::Wake,
+                    },
                     causes_meeting: false,
                 });
                 continue;
@@ -244,7 +253,10 @@ impl<'g, B: Behavior> Runtime<'g, B> {
                         let edge = self.g.edge_at(v, port);
                         let causes_meeting = self.start_would_meet(edge, v);
                         out.push(ChoiceInfo {
-                            choice: Choice { agent: i, kind: ActionKind::Start },
+                            choice: Choice {
+                                agent: i,
+                                kind: ActionKind::Start,
+                            },
                             causes_meeting,
                         });
                     }
@@ -252,7 +264,10 @@ impl<'g, B: Behavior> Runtime<'g, B> {
                 Place::Inside { edge, from, to } => {
                     let causes_meeting = self.finish_would_meet(i, edge, from, to);
                     out.push(ChoiceInfo {
-                        choice: Choice { agent: i, kind: ActionKind::Finish },
+                        choice: Choice {
+                            agent: i,
+                            kind: ActionKind::Finish,
+                        },
                         causes_meeting,
                     });
                 }
@@ -273,7 +288,10 @@ impl<'g, B: Behavior> Runtime<'g, B> {
         // Overtaking: any same-direction occupant that entered before `i`.
         if let Some(occ) = self.edges.get(&edge) {
             let q = occ.queue(edge.a == from);
-            let my_pos = q.iter().position(|&a| a == i).expect("agent must be queued");
+            let my_pos = q
+                .iter()
+                .position(|&a| a == i)
+                .expect("agent must be queued");
             if my_pos > 0 {
                 return true;
             }
@@ -335,7 +353,11 @@ impl<'g, B: Behavior> Runtime<'g, B> {
                     .get(&edge)
                     .map(|occ| occ.queue(edge.a != v).clone())
                     .unwrap_or_default();
-                self.edges.entry(edge).or_default().queue_mut(edge.a == v).push(i);
+                self.edges
+                    .entry(edge)
+                    .or_default()
+                    .queue_mut(edge.a == v)
+                    .push(i);
                 opposite
                     .into_iter()
                     .map(|j| self.declare(vec![i.min(j), i.max(j)], MeetingPlace::Edge(edge)))
@@ -386,11 +408,7 @@ impl<'g, B: Behavior> Runtime<'g, B> {
                     }
                     present.push(i);
                     present.sort_unstable();
-                    meetings.push(self.declare_excluding(
-                        present,
-                        MeetingPlace::Node(to),
-                        Some(i),
-                    ));
+                    meetings.push(self.declare_excluding(present, MeetingPlace::Node(to), Some(i)));
                 }
                 // The agent commits its next move knowing everything that
                 // happened up to and including this arrival. (If a meeting
@@ -422,8 +440,10 @@ impl<'g, B: Behavior> Runtime<'g, B> {
         place: MeetingPlace,
         skip: Option<usize>,
     ) -> Meeting {
-        let infos: Vec<B::Info> =
-            agents.iter().map(|&j| self.slots[j].behavior.info()).collect();
+        let infos: Vec<B::Info> = agents
+            .iter()
+            .map(|&j| self.slots[j].behavior.info())
+            .collect();
         for (idx, &j) in agents.iter().enumerate() {
             let peers: Vec<B::Info> = infos
                 .iter()

@@ -16,7 +16,12 @@ fn outcome_fingerprint(seed: u64, aseed: u64) -> (RunEnd, u64, Vec<u64>, usize) 
     ];
     let mut rt = Runtime::new(&g, agents, RunConfig::rendezvous());
     let out = rt.run(&mut RandomAdversary::new(aseed));
-    (out.end, out.total_traversals, out.per_agent.clone(), out.meetings.len())
+    (
+        out.end,
+        out.total_traversals,
+        out.per_agent.clone(),
+        out.meetings.len(),
+    )
 }
 
 proptest! {

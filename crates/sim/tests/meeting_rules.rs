@@ -3,11 +3,10 @@
 
 use rv_graph::{generators, EdgeId, NodeId};
 use rv_sim::adversary::{Adversary, GreedyAvoid};
-use rv_sim::{
-    ActionKind, Choice, ChoiceInfo, MeetingPlace, RunConfig, Runtime, ScriptBehavior,
-};
+use rv_sim::{ActionKind, Choice, ChoiceInfo, MeetingPlace, RunConfig, Runtime, ScriptBehavior};
 
 /// A scripted adversary replaying a fixed action list (panics if illegal).
+#[allow(dead_code)] // scaffold for hand-scripted schedules
 struct Scripted(Vec<Choice>, usize);
 
 impl Adversary for Scripted {
@@ -23,13 +22,22 @@ impl Adversary for Scripted {
 }
 
 fn wake(agent: usize) -> Choice {
-    Choice { agent, kind: ActionKind::Wake }
+    Choice {
+        agent,
+        kind: ActionKind::Wake,
+    }
 }
 fn start(agent: usize) -> Choice {
-    Choice { agent, kind: ActionKind::Start }
+    Choice {
+        agent,
+        kind: ActionKind::Start,
+    }
 }
 fn finish(agent: usize) -> Choice {
-    Choice { agent, kind: ActionKind::Finish }
+    Choice {
+        agent,
+        kind: ActionKind::Finish,
+    }
 }
 
 /// Opposite-direction co-occupancy forces a meeting, declared at the
@@ -79,7 +87,10 @@ fn same_direction_overtake_meets_but_gap_does_not() {
     assert_eq!(m.len(), 1, "B arrives at node 1 where A stands");
     // A enters edge 1→2; B follows (same direction): no forced meeting.
     assert!(rt.apply(start(0)).is_empty());
-    assert!(rt.apply(start(1)).is_empty(), "same direction entry is safe");
+    assert!(
+        rt.apply(start(1)).is_empty(),
+        "same direction entry is safe"
+    );
     // B (entered second) finishes first: it must overtake A → meeting.
     let m = rt.apply(finish(1));
     assert_eq!(m.len(), 1);
@@ -101,7 +112,10 @@ fn same_direction_fifo_exit_is_meeting_free() {
     let p12 = g.port_towards(NodeId(1), NodeId(2)).unwrap().0;
     let p01 = g.port_towards(NodeId(0), NodeId(1)).unwrap().0;
     let agents = vec![
-        ScriptBehavior::new(NodeId(1), [p12, g.port_towards(NodeId(2), NodeId(0)).unwrap().0]),
+        ScriptBehavior::new(
+            NodeId(1),
+            [p12, g.port_towards(NodeId(2), NodeId(0)).unwrap().0],
+        ),
         ScriptBehavior::new(NodeId(0), [p01, p12]),
     ];
     let mut rt = Runtime::new(&g, agents, RunConfig::protocol());
@@ -127,7 +141,11 @@ fn visiting_a_dormant_agent_wakes_and_meets_it() {
     rt.apply(wake(0));
     rt.apply(start(0));
     let m = rt.apply(finish(0));
-    assert_eq!(m.len(), 1, "arrival at the dormant agent's node is a meeting");
+    assert_eq!(
+        m.len(),
+        1,
+        "arrival at the dormant agent's node is a meeting"
+    );
     assert_eq!(m[0].place, MeetingPlace::Node(NodeId(1)));
 }
 

@@ -69,15 +69,29 @@ fn rendezvous_on_every_family_under_every_adversary() {
 fn fence_trap_under_exact_lockstep() {
     let g = generators::hypercube(3);
     let trapped = run_rendezvous(&g, (0, 4), (6, 9), AdversaryKind::RoundRobin, 1, 200_000);
-    assert!(matches!(trapped.end, RunEnd::Cutoff), "the Ω(1) trap should persist");
+    assert!(
+        matches!(trapped.end, RunEnd::Cutoff),
+        "the Ω(1) trap should persist"
+    );
     // The same configuration under a fair *random* scheduler meets at once.
     let free = run_rendezvous(&g, (0, 4), (6, 9), AdversaryKind::Random, 1, 200_000);
     assert!(matches!(free.end, RunEnd::Meeting));
     // And round-robin itself is fine on the ring, where the X(1) loops of
     // the two agents overlap.
     let ring = generators::ring(8);
-    let out = run_rendezvous(&ring, (0, 4), (6, 9), AdversaryKind::RoundRobin, 1, 5_000_000);
-    assert!(matches!(out.end, RunEnd::Meeting), "cost {}", out.total_traversals);
+    let out = run_rendezvous(
+        &ring,
+        (0, 4),
+        (6, 9),
+        AdversaryKind::RoundRobin,
+        1,
+        5_000_000,
+    );
+    assert!(
+        matches!(out.end, RunEnd::Meeting),
+        "cost {}",
+        out.total_traversals
+    );
 }
 
 #[test]

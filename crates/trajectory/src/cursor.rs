@@ -168,21 +168,51 @@ impl<'g, P: ExplorationProvider + Clone> TrajectoryCursor<'g, P> {
 
     fn task_for(&self, spec: Spec) -> Task<P> {
         match spec {
-            Spec::R(k) => Task::RFwd { walker: RWalker::new(self.provider.clone(), k) },
+            Spec::R(k) => Task::RFwd {
+                walker: RWalker::new(self.provider.clone(), k),
+            },
             Spec::X(k) => Task::X {
                 walker: Some(RWalker::new(self.provider.clone(), k)),
                 log: Vec::new(),
                 rev: 0,
             },
-            Spec::Q(k) => Task::XChain { k, i: 1, descending: false },
-            Spec::Y(k) => Task::Palindrome { k, inner: Inner::Q, start: None, phase: 0 },
-            Spec::Z(k) => Task::YChain { k, i: 1, descending: false },
-            Spec::A(k) => Task::Palindrome { k, inner: Inner::Z, start: None, phase: 0 },
-            Spec::B(k) => Task::Repeat { body: Body::Y, k, remaining: self.lengths.b_reps(k) },
-            Spec::K(k) => Task::Repeat { body: Body::X, k, remaining: self.lengths.k_reps(k) },
-            Spec::Omega(k) => {
-                Task::Repeat { body: Body::X, k, remaining: self.lengths.omega_reps(k) }
-            }
+            Spec::Q(k) => Task::XChain {
+                k,
+                i: 1,
+                descending: false,
+            },
+            Spec::Y(k) => Task::Palindrome {
+                k,
+                inner: Inner::Q,
+                start: None,
+                phase: 0,
+            },
+            Spec::Z(k) => Task::YChain {
+                k,
+                i: 1,
+                descending: false,
+            },
+            Spec::A(k) => Task::Palindrome {
+                k,
+                inner: Inner::Z,
+                start: None,
+                phase: 0,
+            },
+            Spec::B(k) => Task::Repeat {
+                body: Body::Y,
+                k,
+                remaining: self.lengths.b_reps(k),
+            },
+            Spec::K(k) => Task::Repeat {
+                body: Body::X,
+                k,
+                remaining: self.lengths.k_reps(k),
+            },
+            Spec::Omega(k) => Task::Repeat {
+                body: Body::X,
+                k,
+                remaining: self.lengths.omega_reps(k),
+            },
         }
     }
 
@@ -194,10 +224,7 @@ impl<'g, P: ExplorationProvider + Clone> TrajectoryCursor<'g, P> {
             let mut push_task: Option<Task<P>> = None;
             let outcome = {
                 let (g, provider, cur, entry) = (self.g, &self.provider, self.cur, self.entry);
-                let top = match self.stack.last_mut() {
-                    None => return None,
-                    Some(t) => t,
-                };
+                let top = self.stack.last_mut()?;
                 Self::advance(top, g, provider, cur, entry, &mut push_task)
             };
             match outcome {
@@ -224,10 +251,20 @@ impl<'g, P: ExplorationProvider + Clone> TrajectoryCursor<'g, P> {
         self.cur = arr.node;
         self.entry = Some(arr.entry_port);
         self.steps += 1;
-        if let Some(Task::X { walker: Some(_), log, .. }) = self.stack.last_mut() {
+        if let Some(Task::X {
+            walker: Some(_),
+            log,
+            ..
+        }) = self.stack.last_mut()
+        {
             log.push(arr.entry_port);
         }
-        Traversal { from, exit: port, to: arr.node, entry: arr.entry_port }
+        Traversal {
+            from,
+            exit: port,
+            to: arr.node,
+            entry: arr.entry_port,
+        }
     }
 
     fn advance(
@@ -297,11 +334,21 @@ impl<'g, P: ExplorationProvider + Clone> TrajectoryCursor<'g, P> {
                     *i += 1;
                     v
                 };
-                *push_task =
-                    Some(Task::Palindrome { k: next, inner: Inner::Q, start: None, phase: 0 });
+                *push_task = Some(Task::Palindrome {
+                    k: next,
+                    inner: Inner::Q,
+                    start: None,
+                    phase: 0,
+                });
                 Outcome::Push
             }
-            Task::SweepFwd { k, inner, r, idx, inner_pushed } => {
+            Task::SweepFwd {
+                k,
+                inner,
+                r,
+                idx,
+                inner_pushed,
+            } => {
                 let traj = r.get_or_insert_with(|| r_trajectory(g, provider, *k, cur));
                 if !*inner_pushed {
                     *inner_pushed = true;
@@ -317,7 +364,14 @@ impl<'g, P: ExplorationProvider + Clone> TrajectoryCursor<'g, P> {
                     Outcome::Pop
                 }
             }
-            Task::SweepRev { k, inner, start, r, idx, inner_pushed } => {
+            Task::SweepRev {
+                k,
+                inner,
+                start,
+                r,
+                idx,
+                inner_pushed,
+            } => {
                 if r.is_none() {
                     let traj = r_trajectory(g, provider, *k, *start);
                     debug_assert_eq!(
@@ -343,7 +397,12 @@ impl<'g, P: ExplorationProvider + Clone> TrajectoryCursor<'g, P> {
                     Outcome::Pop
                 }
             }
-            Task::Palindrome { k, inner, start, phase } => match *phase {
+            Task::Palindrome {
+                k,
+                inner,
+                start,
+                phase,
+            } => match *phase {
                 0 => {
                     *start = Some(cur);
                     *phase = 1;
@@ -370,28 +429,26 @@ impl<'g, P: ExplorationProvider + Clone> TrajectoryCursor<'g, P> {
                 }
                 _ => Outcome::Pop,
             },
-            Task::Repeat { body, k, remaining } => {
-                match remaining.checked_sub(&Big::one()) {
-                    None => Outcome::Pop,
-                    Some(next) => {
-                        *remaining = next;
-                        *push_task = Some(match body {
-                            Body::X => Task::X {
-                                walker: Some(RWalker::new(provider.clone(), *k)),
-                                log: Vec::new(),
-                                rev: 0,
-                            },
-                            Body::Y => Task::Palindrome {
-                                k: *k,
-                                inner: Inner::Q,
-                                start: None,
-                                phase: 0,
-                            },
-                        });
-                        Outcome::Push
-                    }
+            Task::Repeat { body, k, remaining } => match remaining.checked_sub(&Big::one()) {
+                None => Outcome::Pop,
+                Some(next) => {
+                    *remaining = next;
+                    *push_task = Some(match body {
+                        Body::X => Task::X {
+                            walker: Some(RWalker::new(provider.clone(), *k)),
+                            log: Vec::new(),
+                            rev: 0,
+                        },
+                        Body::Y => Task::Palindrome {
+                            k: *k,
+                            inner: Inner::Q,
+                            start: None,
+                            phase: 0,
+                        },
+                    });
+                    Outcome::Push
                 }
-            }
+            },
         }
     }
 }
@@ -419,7 +476,11 @@ mod tests {
         let mut prev = start;
         while let Some(t) = c.next_traversal() {
             assert_eq!(t.from, prev, "walk must be contiguous");
-            assert_eq!(g.traverse(t.from, t.exit).node, t.to, "walk must follow edges");
+            assert_eq!(
+                g.traverse(t.from, t.exit).node,
+                t.to,
+                "walk must follow edges"
+            );
             prev = t.to;
         }
         (c.steps(), c.position())
@@ -519,7 +580,10 @@ mod tests {
         assert_eq!(c.position(), NodeId(0));
         assert!(!c.is_idle());
         while c.next_traversal().is_some() {}
-        assert_eq!(c.steps(), first_len + lengths.x(1).to_u128().unwrap() as u64);
+        assert_eq!(
+            c.steps(),
+            first_len + lengths.x(1).to_u128().unwrap() as u64
+        );
     }
 
     #[test]

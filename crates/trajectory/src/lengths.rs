@@ -58,7 +58,10 @@ enum Kind {
 impl<P: ExplorationProvider> Lengths<P> {
     /// Creates an evaluator over `provider`'s length polynomial `P`.
     pub fn new(provider: P) -> Self {
-        Lengths { provider, memo: RefCell::new(HashMap::new()) }
+        Lengths {
+            provider,
+            memo: RefCell::new(HashMap::new()),
+        }
     }
 
     fn p(&self, k: u64) -> Big {

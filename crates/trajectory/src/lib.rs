@@ -54,7 +54,7 @@ mod lengths;
 mod pretty;
 mod spec;
 
-pub use cursor::{Traversal, TrajectoryCursor};
+pub use cursor::{TrajectoryCursor, Traversal};
 pub use lengths::Lengths;
 pub use pretty::describe;
 pub use spec::Spec;

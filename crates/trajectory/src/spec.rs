@@ -80,7 +80,16 @@ mod tests {
     #[test]
     fn closedness() {
         assert!(!Spec::R(2).is_closed());
-        for s in [Spec::X(2), Spec::Q(2), Spec::Y(2), Spec::Z(2), Spec::A(2), Spec::B(2), Spec::K(2), Spec::Omega(2)] {
+        for s in [
+            Spec::X(2),
+            Spec::Q(2),
+            Spec::Y(2),
+            Spec::Z(2),
+            Spec::A(2),
+            Spec::B(2),
+            Spec::K(2),
+            Spec::Omega(2),
+        ] {
             assert!(s.is_closed(), "{s} must be closed");
         }
     }

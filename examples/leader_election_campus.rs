@@ -50,8 +50,15 @@ fn main() {
     );
     for i in 0..runtime.agent_count() {
         let robot = runtime.behavior(i);
-        let s = solve(robot.label().value(), robot.output().expect("all robots output"));
-        let role = if s.leader == robot.label().value() { "COORDINATOR" } else { "worker" };
+        let s = solve(
+            robot.label().value(),
+            robot.output().expect("all robots output"),
+        );
+        let role = if s.leader == robot.label().value() {
+            "COORDINATOR"
+        } else {
+            "worker"
+        };
         println!(
             "robot serial {:>6} → short name {} of {}  [{role}]",
             robot.label(),

@@ -37,7 +37,14 @@ fn sgl_pipeline_through_the_facade() {
         .iter()
         .enumerate()
         .map(|(i, &l)| {
-            SglBehavior::new(&g, uxs, NodeId(2 * i), Label::new(l).unwrap(), l, SglConfig::default())
+            SglBehavior::new(
+                &g,
+                uxs,
+                NodeId(2 * i),
+                Label::new(l).unwrap(),
+                l,
+                SglConfig::default(),
+            )
         })
         .collect();
     let mut rt = Runtime::new(&g, agents, RunConfig::protocol().with_cutoff(40_000_000));
@@ -58,7 +65,11 @@ fn trajectory_lengths_match_streamed_execution_across_families() {
     // streamed cursor on every family (graph-independence of lengths).
     let uxs = SeededUxs::default();
     let lengths = Lengths::new(uxs);
-    for fam in [GraphFamily::Ring, GraphFamily::Complete, GraphFamily::RandomTree] {
+    for fam in [
+        GraphFamily::Ring,
+        GraphFamily::Complete,
+        GraphFamily::RandomTree,
+    ] {
         let g = fam.generate(6, 3);
         for spec in [Spec::X(2), Spec::Q(2), Spec::Y(2), Spec::Z(2)] {
             let mut c = TrajectoryCursor::new(&g, uxs, NodeId(1));
@@ -82,7 +93,11 @@ fn different_providers_preserve_rendezvous() {
     // The algorithm is parametric in the exploration provider; rendezvous
     // must hold for any provider that is integral on the graph.
     let g = generators::ring(6);
-    for uxs in [SeededUxs::default(), SeededUxs::quadratic(), SeededUxs::new(123, 6)] {
+    for uxs in [
+        SeededUxs::default(),
+        SeededUxs::quadratic(),
+        SeededUxs::new(123, 6),
+    ] {
         assert!(is_integral(&g, uxs, 6, NodeId(0)));
         let agents = vec![
             RvBehavior::new(&g, uxs, NodeId(0), Label::new(4).unwrap()),

@@ -1,0 +1,237 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this proc-macro
+//! crate implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the vendored `serde` stub without `syn`/`quote`: the item's token stream
+//! is scanned by hand. Supported shapes — the only ones the workspace
+//! derives on — are structs with named fields, tuple structs, and enums
+//! (variant payloads serialise by name only).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<(String, VariantPayload)>),
+}
+
+enum VariantPayload {
+    None,
+    Tuple,
+    Struct,
+}
+
+/// Scans the item declaration for its kind (`struct`/`enum`), name, and
+/// field/variant list. Attributes, doc comments, visibility, and `where`
+/// clauses are skipped; generics are rejected (nothing in the workspace
+/// derives on a generic type).
+fn parse(input: TokenStream) -> (String, Shape) {
+    let mut tokens = input.into_iter().peekable();
+    let mut kind = None;
+    // Find the `struct` / `enum` keyword, skipping attrs and visibility.
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kind = Some(s);
+                    break;
+                }
+                // `pub`, possibly followed by `(crate)` etc. — skipped below.
+            }
+            _ => {}
+        }
+    }
+    let kind = kind.expect("derive input must be a struct or enum");
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("the vendored serde derive does not support generic types");
+    }
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break Some(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return (name, Shape::Tuple(count_fields(g.stream())));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => break None,
+            Some(_) => continue,
+            None => break None,
+        }
+    };
+    let Some(body) = body else {
+        return (name, Shape::Unit);
+    };
+    if kind == "struct" {
+        (name, Shape::Named(named_fields(body)))
+    } else {
+        (name, Shape::Enum(variants(body)))
+    }
+}
+
+/// Counts the comma-separated fields of a tuple struct body.
+fn count_fields(stream: TokenStream) -> usize {
+    let mut fields = 0;
+    let mut saw_token = false;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                fields += 1;
+                saw_token = false;
+            }
+            _ => saw_token = true,
+        }
+    }
+    fields + usize::from(saw_token)
+}
+
+/// Extracts the field names of a named-field struct body.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Field prefix: attributes and visibility.
+        let name = loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if matches!(tokens.peek(), Some(TokenTree::Group(_))) {
+                        tokens.next(); // `(crate)` / `(super)`
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("unexpected token in struct body: {other}"),
+                None => return fields,
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        // Skip the type up to the next top-level comma. Generic argument
+        // lists need explicit tracking: their `,` are at this token level.
+        let mut angle_depth = 0i32;
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Extracts `(name, payload-kind)` for each variant of an enum body.
+fn variants(stream: TokenStream) -> Vec<(String, VariantPayload)> {
+    let mut out = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let payload = match tokens.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        tokens.next();
+                        VariantPayload::Tuple
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        tokens.next();
+                        VariantPayload::Struct
+                    }
+                    _ => VariantPayload::None,
+                };
+                out.push((id.to_string(), payload));
+                // Skip to the next comma (discriminants, etc.).
+                while let Some(tt) = tokens.peek() {
+                    if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                        tokens.next();
+                        break;
+                    }
+                    tokens.next();
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse(input);
+    let body = match shape {
+        Shape::Named(fields) => {
+            let mut s = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("out.push(',');\n");
+                }
+                s.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\n\
+                     ::serde::Serialize::serialize_json(&self.{f}, out);\n"
+                ));
+            }
+            s.push_str("out.push('}');");
+            s
+        }
+        Shape::Tuple(1) => "::serde::Serialize::serialize_json(&self.0, out);".to_string(),
+        Shape::Tuple(n) => {
+            let mut s = String::from("out.push('[');\n");
+            for i in 0..n {
+                if i > 0 {
+                    s.push_str("out.push(',');\n");
+                }
+                s.push_str(&format!(
+                    "::serde::Serialize::serialize_json(&self.{i}, out);\n"
+                ));
+            }
+            s.push_str("out.push(']');");
+            s
+        }
+        Shape::Unit => "out.push_str(\"null\");".to_string(),
+        Shape::Enum(vars) => {
+            let mut s = String::from("match self {\n");
+            for (v, payload) in &vars {
+                let pat = match payload {
+                    VariantPayload::None => format!("{name}::{v}"),
+                    VariantPayload::Tuple => format!("{name}::{v}(..)"),
+                    VariantPayload::Struct => format!("{name}::{v} {{ .. }}"),
+                };
+                s.push_str(&format!("{pat} => out.push_str(\"\\\"{v}\\\"\"),\n"));
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, _) = parse(input);
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,38 @@
+//! Offline stand-in for `serde_json`: JSON rendering over the vendored
+//! `serde` stub's [`serde::Serialize`] trait. Only `to_string` is provided —
+//! the experiment binaries emit JSON lines and never parse them back.
+
+use std::fmt;
+
+/// Serialisation error. The vendored [`serde::Serialize`] is infallible, so
+/// this is never constructed; it exists to keep `to_string`'s signature
+/// source-compatible with real serde_json.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialisation error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as a JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn primitives_and_containers_render() {
+        assert_eq!(super::to_string(&42u64).unwrap(), "42");
+        assert_eq!(super::to_string("a \"b\"\n").unwrap(), r#""a \"b\"\n""#);
+        assert_eq!(super::to_string(&Some(3usize)).unwrap(), "3");
+        assert_eq!(super::to_string(&None::<u64>).unwrap(), "null");
+        assert_eq!(super::to_string(&vec![1u8, 2, 3]).unwrap(), "[1,2,3]");
+    }
+}
