@@ -5,45 +5,62 @@ use std::ops::{Add, AddAssign, Mul, MulAssign, Sub, SubAssign};
 
 /// An arbitrary-precision unsigned integer.
 ///
-/// Stored as little-endian `u64` limbs with no trailing zero limbs
-/// (the canonical representation of zero is an empty limb vector).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+/// Values below `2^128` are stored inline (no heap allocation — the length
+/// recurrences this crate serves are evaluated millions of times inside the
+/// simulator's replay loops, and almost all intermediate values fit);
+/// larger values spill to little-endian `u64` limbs. The representation is
+/// canonical: a value is heap-allocated **iff** it needs three or more
+/// limbs, so derived equality and hashing agree with numeric equality.
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Big {
-    /// Little-endian limbs; invariant: `limbs.last() != Some(&0)`.
-    limbs: Vec<u64>,
+    repr: Repr,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Repr {
+    /// Any value `< 2^128`, stored inline.
+    Small(u128),
+    /// A value `>= 2^128`: little-endian limbs, at least three of them,
+    /// no trailing zero limbs.
+    Heap(Vec<u64>),
 }
 
 impl Big {
     /// The value `0`.
     pub const fn zero() -> Self {
-        Big { limbs: Vec::new() }
+        Big {
+            repr: Repr::Small(0),
+        }
     }
 
     /// The value `1`.
     pub fn one() -> Self {
-        Big::from(1u64)
+        Big {
+            repr: Repr::Small(1),
+        }
     }
 
     /// Returns `true` if this value is zero.
     pub fn is_zero(&self) -> bool {
-        self.limbs.is_empty()
+        matches!(self.repr, Repr::Small(0))
     }
 
     /// Number of significant bits (`0` for zero).
     pub fn bit_len(&self) -> usize {
-        match self.limbs.last() {
-            None => 0,
-            Some(&top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        match &self.repr {
+            Repr::Small(v) => 128 - v.leading_zeros() as usize,
+            Repr::Heap(limbs) => {
+                let top = *limbs.last().expect("heap repr is never empty");
+                64 * (limbs.len() - 1) + (64 - top.leading_zeros() as usize)
+            }
         }
     }
 
     /// Converts to `u128` if the value fits.
     pub fn to_u128(&self) -> Option<u128> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => Some(self.limbs[0] as u128),
-            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
-            _ => None,
+        match &self.repr {
+            Repr::Small(v) => Some(*v),
+            Repr::Heap(_) => None,
         }
     }
 
@@ -51,26 +68,31 @@ impl Big {
     ///
     /// Useful for plotting/log-scale output where exactness is not needed.
     pub fn to_f64(&self) -> f64 {
-        let mut acc = 0.0f64;
-        for &limb in self.limbs.iter().rev() {
-            acc = acc * 1.8446744073709552e19 + limb as f64;
-            if acc.is_infinite() {
-                return f64::INFINITY;
+        match &self.repr {
+            Repr::Small(v) => *v as f64,
+            Repr::Heap(limbs) => {
+                let mut acc = 0.0f64;
+                for &limb in limbs.iter().rev() {
+                    acc = acc * 1.8446744073709552e19 + limb as f64;
+                    if acc.is_infinite() {
+                        return f64::INFINITY;
+                    }
+                }
+                acc
             }
         }
-        acc
     }
 
     /// Base-10 logarithm as `f64` (`-inf` for zero); accurate to ~1e-9,
     /// enough for "how many digits" style reporting far beyond `f64` range.
     pub fn log10(&self) -> f64 {
-        match self.limbs.len() {
-            0 => f64::NEG_INFINITY,
-            1 | 2 => (self.to_u128().unwrap() as f64).log10(),
-            n => {
+        match &self.repr {
+            Repr::Small(0) => f64::NEG_INFINITY,
+            Repr::Small(v) => (*v as f64).log10(),
+            Repr::Heap(limbs) => {
                 // Use the top two limbs for the mantissa and count the rest.
-                let top =
-                    (self.limbs[n - 1] as f64) * 1.8446744073709552e19 + self.limbs[n - 2] as f64;
+                let n = limbs.len();
+                let top = (limbs[n - 1] as f64) * 1.8446744073709552e19 + limbs[n - 2] as f64;
                 top.log10() + 64.0 * (n - 2) as f64 * std::f64::consts::LOG10_2
             }
         }
@@ -104,14 +126,21 @@ impl Big {
 
     /// Subtraction returning `None` if `other > self`.
     pub fn checked_sub(&self, other: &Big) -> Option<Big> {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            return a.checked_sub(*b).map(Big::from);
+        }
         if self < other {
             return None;
         }
-        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut a_buf = [0u64; 2];
+        let mut b_buf = [0u64; 2];
+        let a = self.limbs(&mut a_buf);
+        let b = other.limbs(&mut b_buf);
+        let mut out = Vec::with_capacity(a.len());
         let mut borrow = 0u64;
-        for i in 0..self.limbs.len() {
-            let rhs = other.limbs.get(i).copied().unwrap_or(0);
-            let (d1, b1) = self.limbs[i].overflowing_sub(rhs);
+        for (i, &limb) in a.iter().enumerate() {
+            let rhs = b.get(i).copied().unwrap_or(0);
+            let (d1, b1) = limb.overflowing_sub(rhs);
             let (d2, b2) = d1.overflowing_sub(borrow);
             out.push(d2);
             borrow = (b1 | b2) as u64;
@@ -127,34 +156,78 @@ impl Big {
     /// Panics if `divisor == 0`.
     pub fn div_rem_u64(&self, divisor: u64) -> (Big, u64) {
         assert_ne!(divisor, 0, "Big::div_rem_u64: division by zero");
-        let mut quot = vec![0u64; self.limbs.len()];
-        let mut rem = 0u128;
-        for i in (0..self.limbs.len()).rev() {
-            let cur = rem << 64 | self.limbs[i] as u128;
-            quot[i] = (cur / divisor as u128) as u64;
-            rem = cur % divisor as u128;
+        match &self.repr {
+            Repr::Small(v) => (Big::from(v / divisor as u128), (v % divisor as u128) as u64),
+            Repr::Heap(limbs) => {
+                let mut quot = vec![0u64; limbs.len()];
+                let mut rem = 0u128;
+                for i in (0..limbs.len()).rev() {
+                    let cur = rem << 64 | limbs[i] as u128;
+                    quot[i] = (cur / divisor as u128) as u64;
+                    rem = cur % divisor as u128;
+                }
+                (Big::from_limbs(quot), rem as u64)
+            }
         }
-        (Big::from_limbs(quot), rem as u64)
     }
 
-    /// Builds from little-endian limbs, trimming trailing zeros.
+    /// The little-endian limb view, materialising an inline value into the
+    /// caller's stack buffer.
+    fn limbs<'a>(&'a self, buf: &'a mut [u64; 2]) -> &'a [u64] {
+        match &self.repr {
+            Repr::Small(v) => {
+                buf[0] = *v as u64;
+                buf[1] = (*v >> 64) as u64;
+                let n = 2 - (*v >> 64 == 0) as usize - (*v == 0) as usize;
+                &buf[..n]
+            }
+            Repr::Heap(limbs) => limbs,
+        }
+    }
+
+    /// Builds from little-endian limbs, trimming trailing zeros and
+    /// selecting the canonical representation.
     pub(crate) fn from_limbs(mut limbs: Vec<u64>) -> Big {
         while limbs.last() == Some(&0) {
             limbs.pop();
         }
-        Big { limbs }
+        match limbs.len() {
+            0 => Big::zero(),
+            1 => Big::from(limbs[0] as u128),
+            2 => Big::from((limbs[1] as u128) << 64 | limbs[0] as u128),
+            _ => Big {
+                repr: Repr::Heap(limbs),
+            },
+        }
+    }
+}
+
+impl Default for Big {
+    fn default() -> Self {
+        Big::zero()
+    }
+}
+
+impl std::fmt::Debug for Big {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Debug output in terms of the value, not the representation.
+        write!(f, "Big({self})")
     }
 }
 
 impl From<u64> for Big {
     fn from(v: u64) -> Self {
-        Big::from_limbs(vec![v])
+        Big {
+            repr: Repr::Small(v as u128),
+        }
     }
 }
 
 impl From<u128> for Big {
     fn from(v: u128) -> Self {
-        Big::from_limbs(vec![v as u64, (v >> 64) as u64])
+        Big {
+            repr: Repr::Small(v),
+        }
     }
 }
 
@@ -172,9 +245,15 @@ impl From<u32> for Big {
 
 impl Ord for Big {
     fn cmp(&self, other: &Self) -> Ordering {
-        match self.limbs.len().cmp(&other.limbs.len()) {
-            Ordering::Equal => self.limbs.iter().rev().cmp(other.limbs.iter().rev()),
-            ord => ord,
+        match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => a.cmp(b),
+            // Heap values are >= 2^128 by the canonical invariant.
+            (Repr::Small(_), Repr::Heap(_)) => Ordering::Less,
+            (Repr::Heap(_), Repr::Small(_)) => Ordering::Greater,
+            (Repr::Heap(a), Repr::Heap(b)) => match a.len().cmp(&b.len()) {
+                Ordering::Equal => a.iter().rev().cmp(b.iter().rev()),
+                ord => ord,
+            },
         }
     }
 }
@@ -188,16 +267,27 @@ impl PartialOrd for Big {
 impl Add for &Big {
     type Output = Big;
     fn add(self, rhs: &Big) -> Big {
-        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
-            (self, rhs)
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            let (sum, overflow) = a.overflowing_add(*b);
+            if !overflow {
+                return Big::from(sum);
+            }
+            return Big {
+                repr: Repr::Heap(vec![sum as u64, (sum >> 64) as u64, 1]),
+            };
+        }
+        let mut a_buf = [0u64; 2];
+        let mut b_buf = [0u64; 2];
+        let (long, short) = if self.bit_len() >= rhs.bit_len() {
+            (self.limbs(&mut a_buf), rhs.limbs(&mut b_buf))
         } else {
-            (rhs, self)
+            (rhs.limbs(&mut a_buf), self.limbs(&mut b_buf))
         };
-        let mut out = Vec::with_capacity(long.limbs.len() + 1);
+        let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.limbs.len() {
-            let b = short.limbs.get(i).copied().unwrap_or(0);
-            let (s1, c1) = long.limbs[i].overflowing_add(b);
+        for (i, &limb) in long.iter().enumerate() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = limb.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
             carry = (c1 | c2) as u64;
@@ -215,15 +305,25 @@ impl Mul for &Big {
         if self.is_zero() || rhs.is_zero() {
             return Big::zero();
         }
-        let mut out = vec![0u64; self.limbs.len() + rhs.limbs.len()];
-        for (i, &a) in self.limbs.iter().enumerate() {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &rhs.repr) {
+            // Safe exactly when the product fits 128 bits.
+            if self.bit_len() + rhs.bit_len() <= 128 {
+                return Big::from(a * b);
+            }
+        }
+        let mut a_buf = [0u64; 2];
+        let mut b_buf = [0u64; 2];
+        let a = self.limbs(&mut a_buf);
+        let b = rhs.limbs(&mut b_buf);
+        let mut out = vec![0u64; a.len() + b.len()];
+        for (i, &x) in a.iter().enumerate() {
             let mut carry = 0u128;
-            for (j, &b) in rhs.limbs.iter().enumerate() {
-                let cur = out[i + j] as u128 + a as u128 * b as u128 + carry;
+            for (j, &y) in b.iter().enumerate() {
+                let cur = out[i + j] as u128 + x as u128 * y as u128 + carry;
                 out[i + j] = cur as u64;
                 carry = cur >> 64;
             }
-            let mut k = i + rhs.limbs.len();
+            let mut k = i + b.len();
             while carry > 0 {
                 let cur = out[k] as u128 + carry;
                 out[k] = cur as u64;
@@ -326,6 +426,7 @@ mod tests {
         assert!(Big::zero().is_zero());
         assert_eq!(Big::from(0u64), Big::zero());
         assert_eq!(Big::zero().bit_len(), 0);
+        assert_eq!(Big::default(), Big::zero());
     }
 
     #[test]
@@ -336,10 +437,32 @@ mod tests {
     }
 
     #[test]
+    fn add_with_carry_across_u128() {
+        let a = Big::from(u128::MAX);
+        let sum = &a + &Big::one();
+        assert_eq!(sum.to_u128(), None);
+        assert_eq!(sum.bit_len(), 129);
+        assert_eq!(sum.checked_sub(&Big::one()), Some(a));
+    }
+
+    #[test]
     fn mul_across_limb_boundary() {
         let a = Big::from(u64::MAX);
         let prod = &a * &a;
         assert_eq!(prod.to_u128(), Some(u64::MAX as u128 * u64::MAX as u128));
+    }
+
+    #[test]
+    fn mul_across_u128_boundary_round_trips() {
+        // (2^127)·2 = 2^128 must spill to the heap representation and
+        // divide back down to the inline one.
+        let a = Big::from(1u128 << 127);
+        let prod = &a * 2u64;
+        assert_eq!(prod.to_u128(), None);
+        assert_eq!(prod.bit_len(), 129);
+        let (half, rem) = prod.div_rem_u64(2);
+        assert_eq!(rem, 0);
+        assert_eq!(half, a);
     }
 
     #[test]
@@ -379,12 +502,26 @@ mod tests {
     }
 
     #[test]
+    fn sub_borrows_across_heap_boundary() {
+        let a = Big::from(2u64).pow(192);
+        let b = Big::from(2u64).pow(130);
+        let d = &a - &b;
+        assert_eq!(&d + &b, a);
+        assert!(Big::from(2u64).pow(200).checked_sub(&Big::one()).unwrap() > a);
+    }
+
+    #[test]
     fn ordering_by_length_then_lexicographic() {
         let small = Big::from(u64::MAX);
         let big = Big::from(1u128 << 64);
         assert!(small < big);
         assert!(Big::from(5u64) > Big::from(4u64));
         assert_eq!(Big::from(5u64).cmp(&Big::from(5u64)), Ordering::Equal);
+        // Across the representation boundary.
+        let huge = Big::from(2u64).pow(300);
+        assert!(Big::from(u128::MAX) < huge);
+        assert!(huge > Big::from(u128::MAX));
+        assert!(Big::from(2u64).pow(300) < Big::from(2u64).pow(301));
     }
 
     #[test]
@@ -421,5 +558,10 @@ mod tests {
     fn sum_iterator() {
         let total: Big = (1u64..=100).map(Big::from).sum();
         assert_eq!(total, Big::from(5050u64));
+    }
+
+    #[test]
+    fn debug_shows_the_value() {
+        assert_eq!(format!("{:?}", Big::from(42u64)), "Big(42)");
     }
 }

@@ -1,0 +1,202 @@
+//! **perf_baseline** — the committed performance trajectory of the
+//! simulator hot path.
+//!
+//! Times four fixed scenarios that together cover every layer the
+//! experiments exercise — end-to-end rendezvous runs under two adversaries,
+//! raw trajectory-cursor streaming, and the exhaustive minimax search —
+//! with warmup and repeated trials, and writes the median ns/op per
+//! scenario as JSON (default `BENCH_baseline.json`, the repo-root perf
+//! baseline future PRs are compared against).
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_baseline [--quick] [--out PATH]   # measure and write JSON
+//! perf_baseline --check PATH             # validate an existing JSON file
+//! ```
+//!
+//! `--quick` runs fewer trials (CI smoke); `--check` verifies that the file
+//! parses and covers all expected scenarios (used by CI after `--quick`).
+
+use rv_core::Label;
+use rv_explore::SeededUxs;
+use rv_graph::{GraphFamily, NodeId};
+use rv_sim::adversary::AdversaryKind;
+use rv_sim::{RunConfig, RunEnd, Runtime, RvBehavior};
+use rv_trajectory::{Spec, TrajectoryCursor};
+use serde::Serialize;
+use std::time::Instant;
+
+/// The scenarios a baseline file must cover, in reporting order.
+pub const SCENARIOS: [&str; 4] = [
+    "f1_rendezvous/ring12/greedy-avoid",
+    "f1_rendezvous/ring12/lazy-second",
+    "cursor_stream/gnp16/B8",
+    "minimax/path3/depth10",
+];
+
+/// One measured scenario, serialised into the baseline JSON.
+#[derive(Clone, Debug, Serialize)]
+struct Record {
+    /// Scenario id (see [`SCENARIOS`]).
+    scenario: String,
+    /// Median over trials of per-operation wall time, nanoseconds.
+    /// Fractional so high-throughput scenarios (tens of ns per op) keep
+    /// sub-nanosecond resolution instead of quantizing to whole ns.
+    median_ns_per_op: f64,
+    /// Timed trials taken (after one warmup trial).
+    trials: usize,
+    /// Operations timed per trial.
+    ops_per_trial: u64,
+    /// What one operation is.
+    unit: String,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let path = args
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("--check requires a path argument"));
+        check(path);
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("--out requires a path argument"))
+                .clone()
+        })
+        .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let trials = if quick { 3 } else { 15 };
+
+    let records = vec![
+        rendezvous_scenario(AdversaryKind::GreedyAvoid, SCENARIOS[0], trials),
+        rendezvous_scenario(AdversaryKind::LazySecond, SCENARIOS[1], trials),
+        cursor_scenario(trials),
+        minimax_scenario(trials),
+    ];
+
+    let json = serde_json::to_string(&records).expect("records serialise");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write baseline JSON");
+    println!("\nwrote {} scenarios to {out_path}", records.len());
+}
+
+/// Times `reps` calls of `op` per trial — where one call of `op` performs
+/// `ops_per_rep` logical operations — and reports the median per-operation
+/// nanoseconds (fractional) over `trials` timed trials, after one untimed
+/// warmup trial.
+fn measure(
+    scenario: &str,
+    unit: &str,
+    trials: usize,
+    reps: u64,
+    ops_per_rep: u64,
+    mut op: impl FnMut(),
+) -> Record {
+    for _ in 0..reps {
+        op(); // warmup
+    }
+    let ops_per_trial = reps * ops_per_rep;
+    let mut samples = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let start = Instant::now();
+        for _ in 0..reps {
+            op();
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / ops_per_trial.max(1) as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let med = samples[samples.len() / 2];
+    println!("{scenario}: median {med:.2} ns/{unit} ({trials} trials x {ops_per_trial} ops)");
+    Record {
+        scenario: scenario.to_string(),
+        median_ns_per_op: med,
+        trials,
+        ops_per_trial,
+        unit: unit.to_string(),
+    }
+}
+
+/// End-to-end F1 rendezvous on ring(12), labels (6, 9) — mirrors the
+/// `rendezvous` criterion bench so numbers line up across harnesses.
+fn rendezvous_scenario(kind: AdversaryKind, scenario: &str, trials: usize) -> Record {
+    let uxs = SeededUxs::quadratic();
+    let g = GraphFamily::Ring.generate(12, 5);
+    measure(scenario, "run", trials, 20, 1, || {
+        let agents = vec![
+            RvBehavior::new(&g, uxs, NodeId(0), Label::new(6).unwrap()),
+            RvBehavior::new(&g, uxs, NodeId(g.order() / 2), Label::new(9).unwrap()),
+        ];
+        let mut rt = Runtime::new(&g, agents, RunConfig::rendezvous());
+        let mut adv = kind.build(3);
+        let out = rt.run(adv.as_mut());
+        assert_eq!(out.end, RunEnd::Meeting, "{scenario} must rendezvous");
+        std::hint::black_box(out.total_traversals);
+    })
+}
+
+/// Raw cursor streaming throughput: ns per traversal over a deep `B(8)`
+/// trajectory on a Gnp graph — the simulator's inner-loop cost.
+fn cursor_scenario(trials: usize) -> Record {
+    const STEPS: u64 = 100_000;
+    let uxs = SeededUxs::quadratic();
+    let g = GraphFamily::Gnp.generate(16, 9);
+    measure(SCENARIOS[2], "traversal", trials, 1, STEPS, || {
+        let mut cur = TrajectoryCursor::new(&g, uxs, NodeId(0));
+        cur.push(Spec::B(8));
+        for _ in 0..STEPS {
+            std::hint::black_box(cur.next_traversal());
+        }
+    })
+}
+
+/// Exhaustive worst-case search (the F5c calibration reference) on path(3)
+/// with real RV agents, horizon 10 actions.
+fn minimax_scenario(trials: usize) -> Record {
+    let uxs = SeededUxs::quadratic();
+    let g = rv_graph::generators::path(3);
+    measure(SCENARIOS[3], "search", trials, 1, 1, || {
+        let res = rv_sim::minimax::exhaustive_worst_case(
+            &g,
+            || {
+                vec![
+                    RvBehavior::new(&g, uxs, NodeId(0), Label::new(1).unwrap()),
+                    RvBehavior::new(&g, uxs, NodeId(2), Label::new(2).unwrap()),
+                ]
+            },
+            10,
+        );
+        assert!(res.schedules_explored > 0);
+        std::hint::black_box(res.schedules_explored);
+    })
+}
+
+/// `--check`: the CI smoke gate. Asserts the file parses as JSON and has a
+/// positive `median_ns_per_op` for every expected scenario. Not a timing
+/// gate — numbers are machine-dependent; coverage and well-formedness are
+/// not.
+fn check(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline file {path}: {e}"));
+    let doc = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("baseline file {path} is not valid JSON: {e}"));
+    let records = doc
+        .as_array()
+        .unwrap_or_else(|| panic!("baseline file {path} must be a JSON array"));
+    for scenario in SCENARIOS {
+        let rec = records
+            .iter()
+            .find(|r| r.get("scenario").and_then(|s| s.as_str()) == Some(scenario))
+            .unwrap_or_else(|| panic!("baseline file {path} is missing scenario {scenario}"));
+        let ns = rec
+            .get("median_ns_per_op")
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("scenario {scenario} has no numeric median_ns_per_op"));
+        assert!(ns > 0.0, "scenario {scenario} has zero timing");
+    }
+    println!("{path}: OK — {} scenarios covered", SCENARIOS.len());
+}

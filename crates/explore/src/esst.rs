@@ -29,7 +29,7 @@
 //! claim of Theorem 2.1.
 
 use crate::provider::{ExplorationProvider, RWalker};
-use rv_graph::{EdgeId, Graph, NodeId, PortId};
+use rv_graph::{EdgeId, EdgeSet, Graph, NodeId, PortId};
 use std::collections::HashSet;
 
 /// A recorded code: the sequence of exit ports walked from a trunc node to
@@ -608,7 +608,7 @@ where
     let token_at_start = oracle.observe_node(start);
     let mut m = EsstMachine::new(provider, g.degree(start), token_at_start);
     let mut cur = start;
-    let mut covered: HashSet<EdgeId> = HashSet::new();
+    let mut covered = EdgeSet::new(g);
     loop {
         if m.phase() > max_phase {
             return None;
@@ -619,15 +619,15 @@ where
                 port,
                 interruptible,
             } => {
-                let edge = g.edge_at(cur, port);
-                let inside = oracle.observe_traversal(edge, cur);
+                let index = g.edge_index_at(cur, port);
+                let inside = oracle.observe_traversal(g.edge_id(index), cur);
                 if interruptible && inside {
-                    covered.insert(edge);
+                    covered.insert(index);
                     m.interrupted_inside();
                 } else {
                     let arr = g.traverse(cur, port);
                     cur = arr.node;
-                    covered.insert(edge);
+                    covered.insert(index);
                     let at_node = oracle.observe_node(cur);
                     m.arrived(ArrivalReport {
                         entry: arr.entry_port,

@@ -14,17 +14,16 @@
 
 use crate::provider::ExplorationProvider;
 use crate::trajectory_r::r_trajectory;
-use rv_graph::{EdgeId, Graph, GraphBuilder, NodeId};
-use std::collections::HashSet;
+use rv_graph::{EdgeSet, Graph, GraphBuilder, NodeId};
 
 /// Returns `true` if `R(k, start)` traverses every edge of `g`.
 pub fn is_integral<P: ExplorationProvider>(g: &Graph, provider: P, k: u64, start: NodeId) -> bool {
     let t = r_trajectory(g, provider, k, start);
-    let mut covered: HashSet<EdgeId> = HashSet::new();
+    let mut covered = EdgeSet::new(g);
     for i in 0..t.len() {
-        covered.insert(EdgeId::new(t.nodes[i], t.nodes[i + 1]));
+        covered.insert(g.edge_index_at(t.nodes[i], t.exit_ports[i]));
     }
-    covered.len() == g.size()
+    covered.is_full()
 }
 
 /// Outcome of an exhaustive universality check.

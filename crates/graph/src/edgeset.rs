@@ -1,0 +1,133 @@
+//! Dense bitset over a graph's edges.
+
+use crate::Graph;
+
+/// A set of edges of one [`Graph`], keyed by the dense edge index
+/// ([`Graph::edge_index_at`]).
+///
+/// Replaces `HashSet<EdgeId>` in edge-coverage tracking (ESST runs,
+/// integrality checks): membership is one shift/mask on a flat word array,
+/// insertion keeps a running count so [`EdgeSet::len`] is O(1), and
+/// [`EdgeSet::clear`] reuses the allocation across runs.
+///
+/// # Examples
+///
+/// ```
+/// use rv_graph::{generators, EdgeSet, NodeId, PortId};
+///
+/// let g = generators::ring(5);
+/// let mut covered = EdgeSet::new(&g);
+/// covered.insert(g.edge_index_at(NodeId(0), PortId(0)));
+/// assert_eq!(covered.len(), 1);
+/// assert!(!covered.is_full());
+/// ```
+#[derive(Clone, Debug)]
+pub struct EdgeSet {
+    bits: Vec<u64>,
+    len: usize,
+    capacity: usize,
+}
+
+impl EdgeSet {
+    /// An empty set sized for `g`'s edges.
+    pub fn new(g: &Graph) -> Self {
+        Self::with_capacity(g.size())
+    }
+
+    /// An empty set over dense indices `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EdgeSet {
+            bits: vec![0; capacity.div_ceil(64)],
+            len: 0,
+            capacity,
+        }
+    }
+
+    /// Inserts the edge with dense index `index`; returns `true` if it was
+    /// not already present (mirroring `HashSet::insert`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the capacity.
+    pub fn insert(&mut self, index: usize) -> bool {
+        assert!(index < self.capacity, "edge index {index} out of range");
+        let (word, mask) = (index / 64, 1u64 << (index % 64));
+        let fresh = self.bits[word] & mask == 0;
+        self.bits[word] |= mask;
+        self.len += usize::from(fresh);
+        fresh
+    }
+
+    /// Membership test.
+    pub fn contains(&self, index: usize) -> bool {
+        index < self.capacity && self.bits[index / 64] & (1 << (index % 64)) != 0
+    }
+
+    /// Number of edges in the set (O(1)).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no edge is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` if every edge of the graph is covered.
+    pub fn is_full(&self) -> bool {
+        self.len == self.capacity
+    }
+
+    /// Empties the set, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, NodeId, PortId};
+
+    #[test]
+    fn insert_contains_len() {
+        let g = generators::complete(6); // 15 edges
+        let mut s = EdgeSet::new(&g);
+        assert!(s.is_empty());
+        assert!(s.insert(3));
+        assert!(!s.insert(3), "second insert reports already-present");
+        assert!(s.insert(14));
+        assert!(s.contains(3) && s.contains(14) && !s.contains(0));
+        assert_eq!(s.len(), 2);
+        s.clear();
+        assert!(s.is_empty() && !s.contains(3));
+    }
+
+    #[test]
+    fn covering_every_port_slot_fills_the_set() {
+        let g = generators::gnp_connected(9, 0.5, 4);
+        let mut s = EdgeSet::new(&g);
+        for v in g.nodes() {
+            for p in 0..g.degree(v) {
+                s.insert(g.edge_index_at(v, PortId(p)));
+            }
+        }
+        assert!(s.is_full());
+        assert_eq!(s.len(), g.size());
+        let _ = NodeId(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_rejects_out_of_range() {
+        let g = generators::ring(4);
+        EdgeSet::new(&g).insert(4);
+    }
+
+    #[test]
+    fn contains_is_false_out_of_range() {
+        let g = generators::ring(4);
+        assert!(!EdgeSet::new(&g).contains(99));
+    }
+}

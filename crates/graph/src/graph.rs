@@ -73,11 +73,31 @@ pub struct Arrival {
 /// Construct via [`crate::GraphBuilder`] or [`crate::generators`]; both
 /// guarantee the structural invariants (simplicity, port consistency,
 /// connectivity).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// # Representation
+///
+/// The adjacency is stored in CSR (compressed sparse row) form: one flat
+/// `(neighbor, back-port)` array with per-node offsets, so [`Graph::traverse`]
+/// — the simulator's single hottest operation — is one bounds check and one
+/// flat array read. In addition, every undirected edge is assigned a **dense
+/// edge index** in `0..size()` at construction ([`Graph::edge_index_at`]),
+/// which the simulator and coverage trackers use to replace hash maps keyed
+/// by [`EdgeId`] with plain arrays.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Graph {
-    /// `adj[v][p]` = (neighbor reached from `v` via port `p`,
-    /// port at the neighbor leading back to `v`).
-    pub(crate) adj: Vec<Vec<(NodeId, PortId)>>,
+    /// Flat adjacency: the entries of node `v` occupy
+    /// `flat[offsets[v]..offsets[v + 1]]`, ordered by port; each entry is
+    /// (neighbor reached via that port, port at the neighbor leading back).
+    flat: Vec<(NodeId, PortId)>,
+    /// Per-node slice starts into `flat`; `offsets.len() == order + 1`.
+    offsets: Vec<usize>,
+    /// Dense edge index of the edge behind each `flat` slot (both directed
+    /// slots of an undirected edge carry the same index).
+    edge_index: Vec<usize>,
+    /// Canonical [`EdgeId`] per dense edge index. Index order equals the
+    /// iteration order of [`Graph::edges`]: ascending smaller endpoint,
+    /// then port order at that endpoint.
+    edge_list: Vec<EdgeId>,
 }
 
 impl Graph {
@@ -85,12 +105,12 @@ impl Graph {
     /// the standard graph-theoretic *order* to keep [`Graph::size`] for edge
     /// count — conversions in the algorithm crates use `order`).
     pub fn order(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
-    /// Number of edges.
+    /// Number of edges (cached at construction; O(1)).
     pub fn size(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+        self.edge_list.len()
     }
 
     /// Degree of node `v`.
@@ -99,7 +119,34 @@ impl Graph {
     ///
     /// Panics if `v` is out of range.
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v.0].len()
+        self.offsets[v.0 + 1] - self.offsets[v.0]
+    }
+
+    /// The CSR slot of `(v, p)`, bounds-checked against `v`'s degree (a
+    /// raw `offsets[v] + p` could silently land in the next node's slice).
+    #[inline]
+    fn slot(&self, v: NodeId, p: PortId) -> usize {
+        let start = self.offsets[v.0];
+        let end = self.offsets[v.0 + 1];
+        // Compare before adding: `start + p.0` could wrap for a huge port
+        // in release builds and land inside another node's slice.
+        assert!(
+            p.0 < end - start,
+            "port {} out of range at node {}",
+            p.0,
+            v.0
+        );
+        start + p.0
+    }
+
+    /// The adjacency entries of `v`, ordered by port: `(neighbor, port at
+    /// the neighbor leading back to v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, PortId)] {
+        &self.flat[self.offsets[v.0]..self.offsets[v.0 + 1]]
     }
 
     /// The neighbor of `v` linked by the edge with port `p` at `v` — the
@@ -109,7 +156,7 @@ impl Graph {
     ///
     /// Panics if `v` or `p` is out of range.
     pub fn succ(&self, v: NodeId, p: PortId) -> NodeId {
-        self.adj[v.0][p.0].0
+        self.flat[self.slot(v, p)].0
     }
 
     /// Traverses the edge with port `p` at `v`, returning the arrival node
@@ -119,37 +166,61 @@ impl Graph {
     ///
     /// Panics if `v` or `p` is out of range.
     pub fn traverse(&self, v: NodeId, p: PortId) -> Arrival {
-        let (node, entry_port) = self.adj[v.0][p.0];
+        let (node, entry_port) = self.flat[self.slot(v, p)];
         Arrival { node, entry_port }
     }
 
     /// The canonical edge crossed when leaving `v` via port `p`.
     pub fn edge_at(&self, v: NodeId, p: PortId) -> EdgeId {
-        EdgeId::new(v, self.succ(v, p))
+        self.edge_list[self.edge_index_at(v, p)]
+    }
+
+    /// Dense index in `0..size()` of the edge behind port `p` at `v`. Both
+    /// endpoints of an undirected edge map to the same index, and
+    /// `edge_index_at` enumerates [`Graph::edges`] order — so the index can
+    /// key plain arrays and bitsets (see [`crate::EdgeSet`]) where an
+    /// `EdgeId`-keyed hash map would otherwise be needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` or `p` is out of range.
+    pub fn edge_index_at(&self, v: NodeId, p: PortId) -> usize {
+        self.edge_index[self.slot(v, p)]
+    }
+
+    /// The canonical [`EdgeId`] of dense edge index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= size()`.
+    pub fn edge_id(&self, index: usize) -> EdgeId {
+        self.edge_list[index]
     }
 
     /// Port at `v` whose edge leads to `u`, if `u` is adjacent to `v`.
     pub fn port_towards(&self, v: NodeId, u: NodeId) -> Option<PortId> {
-        self.adj[v.0].iter().position(|&(n, _)| n == u).map(PortId)
+        self.neighbors(v)
+            .iter()
+            .position(|&(n, _)| n == u)
+            .map(PortId)
     }
 
     /// Iterator over all node identifiers.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.adj.len()).map(NodeId)
+        (0..self.order()).map(NodeId)
     }
 
-    /// Iterator over all canonical edges.
+    /// Iterator over all canonical edges, in dense-index order.
     pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
-        self.adj.iter().enumerate().flat_map(|(v, nbrs)| {
-            nbrs.iter()
-                .filter(move |(n, _)| n.0 > v)
-                .map(move |&(n, _)| EdgeId::new(NodeId(v), n))
-        })
+        self.edge_list.iter().copied()
     }
 
     /// Maximum degree over all nodes.
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        (0..self.order())
+            .map(|v| self.offsets[v + 1] - self.offsets[v])
+            .max()
+            .unwrap_or(0)
     }
 
     /// Breadth-first distances from `start` (in edges); `usize::MAX` never
@@ -160,7 +231,7 @@ impl Graph {
         dist[start.0] = 0;
         queue.push_back(start);
         while let Some(v) = queue.pop_front() {
-            for &(u, _) in &self.adj[v.0] {
+            for &(u, _) in self.neighbors(v) {
                 if dist[u.0] == usize::MAX {
                     dist[u.0] = dist[v.0] + 1;
                     queue.push_back(u);
@@ -178,18 +249,67 @@ impl Graph {
             .unwrap_or(0)
     }
 
-    /// Internal constructor used by the builder after validation.
+    /// Internal constructor used by the builder after validation: flattens
+    /// the nested adjacency into CSR form and assigns dense edge indices.
     pub(crate) fn from_adj(adj: Vec<Vec<(NodeId, PortId)>>) -> Self {
-        Graph { adj }
+        let n = adj.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for nbrs in &adj {
+            offsets.push(offsets[offsets.len() - 1] + nbrs.len());
+        }
+        let mut flat = Vec::with_capacity(offsets[n]);
+        for nbrs in &adj {
+            flat.extend_from_slice(nbrs);
+        }
+        let mut edge_index = vec![usize::MAX; flat.len()];
+        let mut edge_list = Vec::with_capacity(flat.len() / 2);
+        for (v, nbrs) in adj.iter().enumerate() {
+            for (p, &(u, q)) in nbrs.iter().enumerate() {
+                if u.0 > v {
+                    let idx = edge_list.len();
+                    edge_list.push(EdgeId::new(NodeId(v), u));
+                    edge_index[offsets[v] + p] = idx;
+                    edge_index[offsets[u.0] + q.0] = idx;
+                }
+            }
+        }
+        debug_assert!(
+            edge_index.iter().all(|&i| i != usize::MAX),
+            "every port slot must belong to exactly one undirected edge"
+        );
+        Graph {
+            flat,
+            offsets,
+            edge_index,
+            edge_list,
+        }
     }
 }
+
+/// Serialises in the pre-CSR wire shape `{"adj": [[[u, q], …], …]}` so the
+/// representation change is invisible to anything consuming the JSON.
+impl Serialize for Graph {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("{\"adj\":[");
+        for (i, v) in self.nodes().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            self.neighbors(v).serialize_json(out);
+        }
+        out.push_str("]}");
+    }
+}
+
+impl Deserialize for Graph {}
 
 impl fmt::Display for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "graph: {} nodes, {} edges", self.order(), self.size())?;
         for v in self.nodes() {
             write!(f, "  {}:", v.0)?;
-            for (p, &(u, q)) in self.adj[v.0].iter().enumerate() {
+            for (p, &(u, q)) in self.neighbors(v).iter().enumerate() {
                 write!(f, " [{}]->{}:{}", p, u.0, q.0)?;
             }
             writeln!(f)?;
@@ -273,5 +393,63 @@ mod tests {
         let g = generators::ring(3);
         let s = g.to_string();
         assert!(s.contains("3 nodes, 3 edges"));
+    }
+
+    #[test]
+    fn edge_indices_are_dense_and_shared_by_both_endpoints() {
+        for g in [
+            generators::ring(7),
+            generators::complete(6),
+            generators::gnp_connected(12, 0.4, 3),
+            generators::lollipop(5, 4),
+        ] {
+            let mut seen = vec![false; g.size()];
+            for v in g.nodes() {
+                for p in 0..g.degree(v) {
+                    let idx = g.edge_index_at(v, PortId(p));
+                    assert!(idx < g.size(), "index {idx} out of 0..{}", g.size());
+                    seen[idx] = true;
+                    // Both directed slots of the edge share the index.
+                    let arr = g.traverse(v, PortId(p));
+                    assert_eq!(idx, g.edge_index_at(arr.node, arr.entry_port));
+                    // The index resolves back to the canonical EdgeId.
+                    assert_eq!(g.edge_id(idx), EdgeId::new(v, arr.node));
+                    assert_eq!(g.edge_at(v, PortId(p)), EdgeId::new(v, arr.node));
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "every dense index must be used");
+        }
+    }
+
+    #[test]
+    fn edge_index_order_matches_edges_iterator() {
+        let g = generators::gnp_connected(10, 0.5, 8);
+        let listed: Vec<_> = g.edges().collect();
+        for (idx, e) in listed.iter().enumerate() {
+            assert_eq!(g.edge_id(idx), *e);
+            let p = g.port_towards(e.a, e.b).expect("endpoints are adjacent");
+            assert_eq!(g.edge_index_at(e.a, p), idx);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn traverse_rejects_out_of_range_port() {
+        let g = generators::ring(4);
+        g.traverse(NodeId(0), PortId(2));
+    }
+
+    #[test]
+    fn serde_shape_is_the_nested_adjacency() {
+        let g = generators::path(3);
+        let json = serde_json::to_string(&g).unwrap();
+        // path(3): 0 -[0]- 1 -[1]- 2 with back-ports 0/0 and 1/0.
+        assert_eq!(json, r#"{"adj":[[[1,0]],[[0,0],[2,0]],[[1,1]]]}"#);
+        // And the emitted document is well-formed JSON.
+        let doc = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            doc.get("adj").and_then(|v| v.as_array()).map(<[_]>::len),
+            Some(3)
+        );
     }
 }

@@ -27,6 +27,7 @@
 //! ```
 
 mod builder;
+mod edgeset;
 pub mod generators;
 mod graph;
 mod names;
@@ -34,6 +35,7 @@ pub mod properties;
 mod validate;
 
 pub use builder::{BuildError, GraphBuilder};
+pub use edgeset::EdgeSet;
 pub use graph::{Arrival, EdgeId, Graph, NodeId, PortId};
 pub use names::GraphFamily;
 pub use validate::{validate, ValidationError};

@@ -131,12 +131,20 @@ impl GreedyAvoid {
 
 impl Adversary for GreedyAvoid {
     fn choose(&mut self, choices: &[ChoiceInfo], _tick: u64) -> Choice {
-        let safe: Vec<&ChoiceInfo> = choices.iter().filter(|c| !c.causes_meeting).collect();
-        if safe.is_empty() {
+        // Count-then-select keeps the per-step path allocation-free while
+        // drawing the same RNG stream as the collect-into-Vec original.
+        let safe = choices.iter().filter(|c| !c.causes_meeting).count();
+        if safe == 0 {
             // Meeting unavoidable: concede the cheapest one.
             choices[0].choice
         } else {
-            safe[self.rng.gen_range(0..safe.len())].choice
+            let pick = self.rng.gen_range(0..safe);
+            choices
+                .iter()
+                .filter(|c| !c.causes_meeting)
+                .nth(pick)
+                .expect("pick < safe count")
+                .choice
         }
     }
 }

@@ -9,11 +9,18 @@
 //!
 //! Because behaviors are stateful and not cheaply clonable in general,
 //! the search re-executes runs from scratch along each explored prefix
-//! (`B: FnMut() -> behaviors` factory). Cost is `O(b^depth · depth)`
-//! behavior steps — fine for depth ≤ ~14.
+//! (`F: Fn() -> behaviors` factory). Three things keep that affordable:
+//! the top-level branches fan out across threads (`std::thread::scope`,
+//! one per root choice — the branches are disjoint subtrees); each thread
+//! reuses one [`Runtime`] (via [`Runtime::reset`]) and one choice/meeting
+//! buffer pair for every replay; and descent is *incremental* — after a
+//! prefix replays clean, the search keeps stepping the same runtime down
+//! the leftmost unexplored path instead of re-replaying one level deeper.
+//! A full replay is paid only when a sibling branch is entered. Cost is
+//! `O(b^depth · depth)` behavior steps — fine for depth ≤ ~14.
 
 use crate::behavior::Behavior;
-use crate::runtime::{RunConfig, Runtime};
+use crate::runtime::{ChoiceInfo, RunConfig, Runtime};
 use rv_graph::Graph;
 
 /// Result of an exhaustive search.
@@ -28,93 +35,152 @@ pub struct WorstCase {
     pub schedules_explored: u64,
 }
 
+impl WorstCase {
+    fn record_meeting(&mut self, cost: u64) {
+        self.schedules_explored += 1;
+        self.max_meeting_cost = Some(self.max_meeting_cost.map_or(cost, |m| m.max(cost)));
+    }
+
+    fn record_avoidance(&mut self) {
+        self.schedules_explored += 1;
+        self.some_schedule_avoids = true;
+    }
+
+    fn merge(&mut self, other: WorstCase) {
+        self.max_meeting_cost = match (self.max_meeting_cost, other.max_meeting_cost) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.some_schedule_avoids |= other.some_schedule_avoids;
+        self.schedules_explored += other.schedules_explored;
+    }
+}
+
 /// Exhaustively explores every adversary schedule of at most `max_actions`
 /// actions, re-instantiating the agents through `make_behaviors` for each
-/// prefix.
-pub fn exhaustive_worst_case<B, F>(
-    g: &Graph,
-    mut make_behaviors: F,
-    max_actions: usize,
-) -> WorstCase
+/// prefix. The disjoint subtrees under each root choice are searched in
+/// parallel (scoped threads), so the factory must be callable from several
+/// threads at once.
+pub fn exhaustive_worst_case<B, F>(g: &Graph, make_behaviors: F, max_actions: usize) -> WorstCase
 where
     B: Behavior,
-    F: FnMut() -> Vec<B>,
+    F: Fn() -> Vec<B> + Sync,
+{
+    let empty = WorstCase {
+        max_meeting_cost: None,
+        some_schedule_avoids: false,
+        schedules_explored: 0,
+    };
+    // Root branching factor (asleep agents all offer Wake, so this is
+    // normally the agent count). Deterministic: every replay re-derives it.
+    let root_width = {
+        let rt = Runtime::new(g, make_behaviors(), RunConfig::rendezvous());
+        rt.legal_choices().len()
+    };
+    if max_actions == 0 || root_width == 0 {
+        // The empty schedule is the only leaf, and it meets nothing.
+        let mut result = empty;
+        result.record_avoidance();
+        return result;
+    }
+    let branches: Vec<WorstCase> = std::thread::scope(|scope| {
+        let make = &make_behaviors;
+        let handles: Vec<_> = (0..root_width)
+            .map(|root| scope.spawn(move || explore_branch(g, make, max_actions, root)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut result = empty;
+    for b in branches {
+        result.merge(b);
+    }
+    result
+}
+
+/// Depth-first search of the subtree whose first action is root choice
+/// `root`, enumerating exactly the schedules the sequential odometer of the
+/// pre-parallel implementation visited under that digit.
+fn explore_branch<B, F>(g: &Graph, make_behaviors: &F, max_actions: usize, root: usize) -> WorstCase
+where
+    B: Behavior,
+    F: Fn() -> Vec<B>,
 {
     let mut result = WorstCase {
         max_meeting_cost: None,
         some_schedule_avoids: false,
         schedules_explored: 0,
     };
-    // Iterative deepening over prefixes encoded as choice-index vectors.
-    let mut prefix: Vec<usize> = Vec::new();
-    loop {
-        // Replay the current prefix.
-        let mut rt = Runtime::new(g, make_behaviors(), RunConfig::rendezvous());
-        let mut met = false;
-        let mut replay_ok = true;
-        for (depth, &idx) in prefix.iter().enumerate() {
-            let choices = rt.legal_choices();
+    let mut rt = Runtime::new(g, make_behaviors(), RunConfig::rendezvous());
+    let mut choices: Vec<ChoiceInfo> = Vec::new();
+    let mut meetings = Vec::new();
+    // The prefix under exploration, encoded as choice indices; digit 0 is
+    // pinned to `root`. Bases are discovered lazily: replay detects
+    // overflowed digits and backtracks.
+    let mut prefix: Vec<usize> = vec![root];
+    'outer: loop {
+        // Replay the current prefix on a fresh run.
+        rt.reset(make_behaviors());
+        for depth in 0..prefix.len() {
+            let idx = prefix[depth];
+            rt.legal_choices_into(&mut choices);
             if idx >= choices.len() {
-                replay_ok = false;
-                // Backtrack: advance the last index.
+                // Overflowed digit: backtrack to its parent's next sibling.
                 prefix.truncate(depth);
                 if !advance(&mut prefix) {
                     return result;
                 }
-                break;
+                continue 'outer;
             }
-            let meetings = rt.apply(choices[idx].choice);
+            meetings.clear();
+            rt.apply_into(choices[idx].choice, &mut meetings);
             if !meetings.is_empty() {
-                met = true;
-                result.schedules_explored += 1;
-                result.max_meeting_cost = Some(
-                    result
-                        .max_meeting_cost
-                        .map_or(rt.total_traversals(), |m| m.max(rt.total_traversals())),
-                );
-                // This prefix ends here; try its successor.
+                // This prefix ends in a meeting; score the leaf and try its
+                // successor.
+                result.record_meeting(rt.total_traversals());
                 prefix.truncate(depth + 1);
                 if !advance(&mut prefix) {
                     return result;
                 }
+                continue 'outer;
+            }
+        }
+        // Clean replay: descend the leftmost unexplored path incrementally
+        // in this same runtime (no re-replay per level).
+        loop {
+            if prefix.len() >= max_actions {
+                // Depth cap without a meeting: an avoiding schedule exists.
+                result.record_avoidance();
+                break;
+            }
+            rt.legal_choices_into(&mut choices);
+            if choices.is_empty() {
+                // All parked counts as avoiding.
+                result.record_avoidance();
+                break;
+            }
+            prefix.push(0);
+            meetings.clear();
+            rt.apply_into(choices[0].choice, &mut meetings);
+            if !meetings.is_empty() {
+                result.record_meeting(rt.total_traversals());
                 break;
             }
         }
-        if !replay_ok || met {
-            continue;
+        if !advance(&mut prefix) {
+            return result;
         }
-        if prefix.len() >= max_actions {
-            // Depth cap without a meeting: an avoiding schedule exists.
-            result.some_schedule_avoids = true;
-            result.schedules_explored += 1;
-            if !advance(&mut prefix) {
-                return result;
-            }
-            continue;
-        }
-        // Deepen: no legal choices means all parked (counts as avoiding).
-        if rt.legal_choices().is_empty() {
-            result.some_schedule_avoids = true;
-            result.schedules_explored += 1;
-            if !advance(&mut prefix) {
-                return result;
-            }
-            continue;
-        }
-        prefix.push(0);
     }
 }
 
 /// Advances the prefix like an odometer whose digit bases are discovered
-/// lazily (the replay detects overflow). Returns `false` when exhausted.
+/// lazily (the replay detects overflow). Digit 0 is the thread's pinned
+/// root choice; returns `false` when the subtree is exhausted.
 fn advance(prefix: &mut [usize]) -> bool {
-    match prefix.last_mut() {
-        None => false,
-        Some(last) => {
-            *last += 1;
-            true
-        }
+    if prefix.len() <= 1 {
+        return false;
     }
+    *prefix.last_mut().expect("non-empty by the length check") += 1;
+    true
 }
 
 #[cfg(test)]
@@ -184,5 +250,23 @@ mod tests {
         if let (Some(max), crate::RunEnd::Meeting) = (exhaustive.max_meeting_cost, out.end) {
             assert!(max >= out.total_traversals);
         }
+    }
+
+    #[test]
+    fn zero_horizon_has_one_avoiding_schedule() {
+        let g = generators::path(2);
+        let res = exhaustive_worst_case(
+            &g,
+            || {
+                vec![
+                    ScriptBehavior::new(NodeId(0), [0]),
+                    ScriptBehavior::new(NodeId(1), [0]),
+                ]
+            },
+            0,
+        );
+        assert_eq!(res.max_meeting_cost, None);
+        assert!(res.some_schedule_avoids);
+        assert_eq!(res.schedules_explored, 1);
     }
 }

@@ -1,10 +1,16 @@
 //! The scheduler runtime: agent slots, edge occupancy, forced-meeting
 //! detection, and the adversary-driven run loop.
+//!
+//! The hot path is allocation-free in steady state: edge occupancy is a
+//! dense `Vec<EdgeOcc>` indexed by [`Graph::edge_index_at`] (no hashing,
+//! queues keep their capacity across occupancy changes), and the `_into`
+//! variants of [`Runtime::legal_choices`] / [`Runtime::apply`] write into
+//! caller-owned buffers that [`Runtime::run`] and the minimax search reuse
+//! across steps.
 
 use crate::behavior::Behavior;
 use crate::meeting::{Meeting, MeetingPlace};
 use rv_graph::{EdgeId, Graph, NodeId, PortId};
-use std::collections::HashMap;
 
 /// Agent position at the abstraction level of the model (see crate docs).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -114,6 +120,10 @@ impl RunConfig {
 struct Slot<B> {
     behavior: B,
     place: Place,
+    /// Dense edge index of the occupied edge; valid iff `place` is
+    /// `Inside { .. }` (kept beside `place` so occupancy lookups skip the
+    /// port scan an `EdgeId` → index conversion would need).
+    inside_index: usize,
     /// Committed next traversal when at a node (`None` = parked).
     pending: Option<(PortId, NodeId)>,
     awake: bool,
@@ -122,7 +132,7 @@ struct Slot<B> {
 
 /// Per-edge occupancy: FIFO queues of agents inside, one per direction.
 /// Direction is identified by the departure node.
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct EdgeOcc {
     /// Agents that entered from `edge.a`, in entry order (front = eldest).
     from_a: Vec<usize>,
@@ -145,9 +155,6 @@ impl EdgeOcc {
             &mut self.from_b
         }
     }
-    fn is_empty(&self) -> bool {
-        self.from_a.is_empty() && self.from_b.is_empty()
-    }
 }
 
 /// The adversarial scheduler over a set of agents in one graph.
@@ -157,11 +164,17 @@ impl EdgeOcc {
 pub struct Runtime<'g, B> {
     g: &'g Graph,
     slots: Vec<Slot<B>>,
-    edges: HashMap<EdgeId, EdgeOcc>,
+    /// Occupancy per dense edge index (`edges.len() == g.size()`). Queues
+    /// of edges that empty out keep their capacity for the next occupant.
+    edges: Vec<EdgeOcc>,
     meetings: Vec<Meeting>,
     actions: u64,
     total_traversals: u64,
     config: RunConfig,
+    /// Reusable scratch for participant lists built while `self.edges` or
+    /// `self.slots` is borrowed (meeting declaration is rare; the scratch
+    /// keeps the common paths allocation-free even when it fires).
+    scratch: Vec<usize>,
 }
 
 impl<'g, B: Behavior> Runtime<'g, B> {
@@ -173,34 +186,60 @@ impl<'g, B: Behavior> Runtime<'g, B> {
     /// Panics if fewer than two agents are supplied or two agents share a
     /// start node (the model places agents at distinct nodes).
     pub fn new(g: &'g Graph, behaviors: Vec<B>, config: RunConfig) -> Self {
-        assert!(behaviors.len() >= 2, "the model has at least two agents");
-        let mut seen = std::collections::HashSet::new();
-        for b in &behaviors {
-            assert!(
-                seen.insert(b.start_node()),
-                "agents must start at distinct nodes (duplicate {:?})",
-                b.start_node()
-            );
-        }
-        let slots = behaviors
-            .into_iter()
-            .map(|behavior| Slot {
-                place: Place::AtNode(behavior.start_node()),
-                behavior,
-                pending: None,
-                awake: false,
-                traversals: 0,
-            })
-            .collect();
-        Runtime {
+        let mut rt = Runtime {
             g,
-            slots,
-            edges: HashMap::new(),
+            slots: Vec::new(),
+            edges: vec![EdgeOcc::default(); g.size()],
             meetings: Vec::new(),
             actions: 0,
             total_traversals: 0,
             config,
+            scratch: Vec::new(),
+        };
+        rt.install(behaviors);
+        rt
+    }
+
+    /// Rewinds the runtime to the initial state with a fresh set of agents,
+    /// reusing every internal allocation (edge queues, slot storage,
+    /// scratch). The workhorse of the exhaustive minimax search, which
+    /// re-executes runs for thousands of schedule prefixes.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Runtime::new`].
+    pub fn reset(&mut self, behaviors: Vec<B>) {
+        for occ in &mut self.edges {
+            occ.from_a.clear();
+            occ.from_b.clear();
         }
+        self.meetings.clear();
+        self.actions = 0;
+        self.total_traversals = 0;
+        self.slots.clear();
+        self.install(behaviors);
+    }
+
+    fn install(&mut self, behaviors: Vec<B>) {
+        assert!(behaviors.len() >= 2, "the model has at least two agents");
+        for (i, b) in behaviors.iter().enumerate() {
+            assert!(
+                behaviors[..i]
+                    .iter()
+                    .all(|o| o.start_node() != b.start_node()),
+                "agents must start at distinct nodes (duplicate {:?})",
+                b.start_node()
+            );
+        }
+        self.slots
+            .extend(behaviors.into_iter().map(|behavior| Slot {
+                place: Place::AtNode(behavior.start_node()),
+                behavior,
+                inside_index: usize::MAX,
+                pending: None,
+                awake: false,
+                traversals: 0,
+            }));
     }
 
     /// Current position of agent `i`.
@@ -234,8 +273,19 @@ impl<'g, B: Behavior> Runtime<'g, B> {
     }
 
     /// All currently legal choices with meeting annotations.
+    ///
+    /// Allocates a fresh vector; the run loop and search use
+    /// [`Runtime::legal_choices_into`] to reuse a buffer across steps.
     pub fn legal_choices(&self) -> Vec<ChoiceInfo> {
         let mut out = Vec::new();
+        self.legal_choices_into(&mut out);
+        out
+    }
+
+    /// Writes all currently legal choices into `out` (cleared first), in
+    /// the same order as [`Runtime::legal_choices`].
+    pub fn legal_choices_into(&self, out: &mut Vec<ChoiceInfo>) {
+        out.clear();
         for (i, slot) in self.slots.iter().enumerate() {
             if !slot.awake {
                 out.push(ChoiceInfo {
@@ -250,8 +300,8 @@ impl<'g, B: Behavior> Runtime<'g, B> {
             match slot.place {
                 Place::AtNode(v) => {
                     if let Some((port, _to)) = slot.pending {
-                        let edge = self.g.edge_at(v, port);
-                        let causes_meeting = self.start_would_meet(edge, v);
+                        let index = self.g.edge_index_at(v, port);
+                        let causes_meeting = self.start_would_meet(index, v);
                         out.push(ChoiceInfo {
                             choice: Choice {
                                 agent: i,
@@ -261,8 +311,8 @@ impl<'g, B: Behavior> Runtime<'g, B> {
                         });
                     }
                 }
-                Place::Inside { edge, from, to } => {
-                    let causes_meeting = self.finish_would_meet(i, edge, from, to);
+                Place::Inside { from, to, .. } => {
+                    let causes_meeting = self.finish_would_meet(i, slot.inside_index, from, to);
                     out.push(ChoiceInfo {
                         choice: Choice {
                             agent: i,
@@ -273,28 +323,30 @@ impl<'g, B: Behavior> Runtime<'g, B> {
                 }
             }
         }
-        out
     }
 
-    fn start_would_meet(&self, edge: EdgeId, from: NodeId) -> bool {
+    /// `true` if the departure node is the canonical smaller endpoint of
+    /// the edge with dense index `index` — the key of the direction queues.
+    fn departs_a_side(&self, index: usize, from: NodeId) -> bool {
+        self.g.edge_id(index).a == from
+    }
+
+    fn start_would_meet(&self, index: usize, from: NodeId) -> bool {
         // Opposite direction = entered from the other endpoint.
-        self.edges
-            .get(&edge)
-            .map(|occ| !occ.queue(edge.a != from).is_empty())
-            .unwrap_or(false)
+        !self.edges[index]
+            .queue(!self.departs_a_side(index, from))
+            .is_empty()
     }
 
-    fn finish_would_meet(&self, i: usize, edge: EdgeId, from: NodeId, to: NodeId) -> bool {
+    fn finish_would_meet(&self, i: usize, index: usize, from: NodeId, to: NodeId) -> bool {
         // Overtaking: any same-direction occupant that entered before `i`.
-        if let Some(occ) = self.edges.get(&edge) {
-            let q = occ.queue(edge.a == from);
-            let my_pos = q
-                .iter()
-                .position(|&a| a == i)
-                .expect("agent must be queued");
-            if my_pos > 0 {
-                return true;
-            }
+        let q = self.edges[index].queue(self.departs_a_side(index, from));
+        let my_pos = q
+            .iter()
+            .position(|&a| a == i)
+            .expect("agent must be queued");
+        if my_pos > 0 {
+            return true;
         }
         // Node contact at the arrival node.
         self.slots
@@ -305,10 +357,26 @@ impl<'g, B: Behavior> Runtime<'g, B> {
 
     /// Applies one adversary choice; returns the meetings it forced.
     ///
+    /// Allocates the returned vector only when meetings fired; the run loop
+    /// uses [`Runtime::apply_into`] to reuse a buffer across steps.
+    ///
     /// # Panics
     ///
     /// Panics if the choice is not currently legal.
     pub fn apply(&mut self, choice: Choice) -> Vec<Meeting> {
+        let mut out = Vec::new();
+        self.apply_into(choice, &mut out);
+        out
+    }
+
+    /// Applies one adversary choice, pushing the meetings it forced onto
+    /// `out` (which is *not* cleared — callers owning the buffer clear it
+    /// between steps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the choice is not currently legal.
+    pub fn apply_into(&mut self, choice: Choice, out: &mut Vec<Meeting>) {
         self.actions += 1;
         let i = choice.agent;
         match choice.kind {
@@ -322,20 +390,22 @@ impl<'g, B: Behavior> Runtime<'g, B> {
                     Place::AtNode(v) => v,
                     Place::Inside { .. } => unreachable!("asleep agents are at nodes"),
                 };
-                let mut present: Vec<usize> = self
-                    .slots
-                    .iter()
-                    .enumerate()
-                    .filter(|(j, s)| *j != i && s.awake && s.place == Place::AtNode(here))
-                    .map(|(j, _)| j)
-                    .collect();
-                if present.is_empty() {
-                    Vec::new()
-                } else {
+                let mut present = std::mem::take(&mut self.scratch);
+                present.clear();
+                present.extend(
+                    self.slots
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, s)| *j != i && s.awake && s.place == Place::AtNode(here))
+                        .map(|(j, _)| j),
+                );
+                if !present.is_empty() {
                     present.push(i);
                     present.sort_unstable();
-                    vec![self.declare(present, MeetingPlace::Node(here))]
+                    let m = self.declare(present.clone(), MeetingPlace::Node(here));
+                    out.push(m);
                 }
+                self.scratch = present;
             }
             ActionKind::Start => {
                 let slot = &mut self.slots[i];
@@ -345,60 +415,59 @@ impl<'g, B: Behavior> Runtime<'g, B> {
                     _ => panic!("Start on an agent inside an edge"),
                 };
                 let (port, to) = slot.pending.take().expect("Start without a committed move");
-                let edge = self.g.edge_at(v, port);
+                let index = self.g.edge_index_at(v, port);
+                let edge = self.g.edge_id(index);
                 slot.place = Place::Inside { edge, from: v, to };
-                // Forced crossings with opposite-direction occupants.
-                let opposite: Vec<usize> = self
-                    .edges
-                    .get(&edge)
-                    .map(|occ| occ.queue(edge.a != v).clone())
-                    .unwrap_or_default();
-                self.edges
-                    .entry(edge)
-                    .or_default()
-                    .queue_mut(edge.a == v)
-                    .push(i);
-                opposite
-                    .into_iter()
-                    .map(|j| self.declare(vec![i.min(j), i.max(j)], MeetingPlace::Edge(edge)))
-                    .collect()
+                slot.inside_index = index;
+                let from_a = edge.a == v;
+                // Forced crossings with opposite-direction occupants
+                // (captured into scratch: `declare` below re-borrows self).
+                let mut opposite = std::mem::take(&mut self.scratch);
+                opposite.clear();
+                opposite.extend_from_slice(self.edges[index].queue(!from_a));
+                self.edges[index].queue_mut(from_a).push(i);
+                for &j in &opposite {
+                    let m = self.declare(vec![i.min(j), i.max(j)], MeetingPlace::Edge(edge));
+                    out.push(m);
+                }
+                self.scratch = opposite;
             }
             ActionKind::Finish => {
                 let (edge, from, to) = match self.slots[i].place {
                     Place::Inside { edge, from, to } => (edge, from, to),
                     _ => panic!("Finish on an agent not inside an edge"),
                 };
+                let index = self.slots[i].inside_index;
                 // Overtaken same-direction occupants (entered earlier).
-                let occ = self.edges.get_mut(&edge).expect("occupied edge tracked");
-                let q = occ.queue_mut(edge.a == from);
+                let q = self.edges[index].queue_mut(edge.a == from);
                 let my_pos = q.iter().position(|&a| a == i).expect("agent queued");
-                let overtaken: Vec<usize> = q[..my_pos].to_vec();
+                let mut overtaken = std::mem::take(&mut self.scratch);
+                overtaken.clear();
+                overtaken.extend_from_slice(&q[..my_pos]);
                 q.remove(my_pos);
-                if occ.is_empty() {
-                    self.edges.remove(&edge);
-                }
                 self.slots[i].place = Place::AtNode(to);
+                self.slots[i].inside_index = usize::MAX;
                 self.slots[i].traversals += 1;
                 self.total_traversals += 1;
-                let mut meetings: Vec<Meeting> = overtaken
-                    .into_iter()
-                    .map(|j| {
-                        self.declare_excluding(
-                            vec![i.min(j), i.max(j)],
-                            MeetingPlace::Edge(edge),
-                            Some(i),
-                        )
-                    })
-                    .collect();
+                for &j in &overtaken {
+                    let m = self.declare_excluding(
+                        vec![i.min(j), i.max(j)],
+                        MeetingPlace::Edge(edge),
+                        Some(i),
+                    );
+                    out.push(m);
+                }
                 // Node contact: everyone standing at the arrival node.
                 // Sleeping agents there are woken by the visit.
-                let mut present: Vec<usize> = self
-                    .slots
-                    .iter()
-                    .enumerate()
-                    .filter(|(j, s)| *j != i && s.place == Place::AtNode(to))
-                    .map(|(j, _)| j)
-                    .collect();
+                overtaken.clear();
+                let mut present = overtaken;
+                present.extend(
+                    self.slots
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, s)| *j != i && s.place == Place::AtNode(to))
+                        .map(|(j, _)| j),
+                );
                 if !present.is_empty() {
                     for &j in &present {
                         if !self.slots[j].awake {
@@ -408,8 +477,11 @@ impl<'g, B: Behavior> Runtime<'g, B> {
                     }
                     present.push(i);
                     present.sort_unstable();
-                    meetings.push(self.declare_excluding(present, MeetingPlace::Node(to), Some(i)));
+                    let m =
+                        self.declare_excluding(present.clone(), MeetingPlace::Node(to), Some(i));
+                    out.push(m);
                 }
+                self.scratch = present;
                 // The agent commits its next move knowing everything that
                 // happened up to and including this arrival. (If a meeting
                 // was declared, `declare` already committed it with the
@@ -417,7 +489,6 @@ impl<'g, B: Behavior> Runtime<'g, B> {
                 if self.slots[i].pending.is_none() {
                     self.fetch_pending(i);
                 }
-                meetings
             }
         }
     }
@@ -487,11 +558,13 @@ impl<'g, B: Behavior> Runtime<'g, B> {
 
     /// Runs under `adversary` until a terminal condition (see [`RunEnd`]).
     pub fn run(&mut self, adversary: &mut dyn crate::adversary::Adversary) -> RunOutcome {
+        let mut choices: Vec<ChoiceInfo> = Vec::new();
+        let mut new_meetings: Vec<Meeting> = Vec::new();
         let end = loop {
             if self.total_traversals >= self.config.max_total_traversals {
                 break RunEnd::Cutoff;
             }
-            let choices = self.legal_choices();
+            self.legal_choices_into(&mut choices);
             if choices.is_empty() {
                 break RunEnd::AllParked;
             }
@@ -500,7 +573,8 @@ impl<'g, B: Behavior> Runtime<'g, B> {
                 choices.iter().any(|c| c.choice == choice),
                 "adversary returned an illegal choice"
             );
-            let new_meetings = self.apply(choice);
+            new_meetings.clear();
+            self.apply_into(choice, &mut new_meetings);
             if self.config.stop_on_first_meeting && !new_meetings.is_empty() {
                 break RunEnd::Meeting;
             }

@@ -39,6 +39,37 @@ proptest! {
         let (_, total, per_agent, _) = outcome_fingerprint(seed, aseed);
         prop_assert_eq!(per_agent.iter().sum::<u64>(), total);
     }
+
+    /// On every state reachable by a random schedule, the buffer-reusing
+    /// `legal_choices_into` produces exactly what the allocating
+    /// `legal_choices` returns — even into a dirty buffer.
+    #[test]
+    fn legal_choices_into_matches_legal_choices(seed in any::<u64>(), aseed in any::<u64>()) {
+        let g = generators::gnp_connected(8, 0.4, seed);
+        let uxs = SeededUxs::quadratic();
+        let agents = vec![
+            RvBehavior::new(&g, uxs, NodeId(0), Label::new(5).unwrap()),
+            RvBehavior::new(&g, uxs, NodeId(7), Label::new(11).unwrap()),
+        ];
+        let mut rt = Runtime::new(&g, agents, RunConfig::rendezvous());
+        let mut adv = RandomAdversary::new(aseed);
+        let mut buf = Vec::new();
+        let mut meetings = Vec::new();
+        for step in 0..200 {
+            let fresh = rt.legal_choices();
+            rt.legal_choices_into(&mut buf); // not cleared between steps
+            prop_assert_eq!(&buf, &fresh, "divergence at step {}", step);
+            if fresh.is_empty() {
+                break;
+            }
+            use rv_sim::adversary::Adversary;
+            meetings.clear();
+            rt.apply_into(adv.choose(&fresh, step as u64), &mut meetings);
+            if !meetings.is_empty() {
+                break;
+            }
+        }
+    }
 }
 
 #[test]

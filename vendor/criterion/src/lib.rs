@@ -61,9 +61,10 @@ impl Bencher {
         self.samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let min = self.samples[0];
         let median = self.samples[self.samples.len() / 2];
+        // Exact ns/iter first (machine-comparable across runs, libtest
+        // style), human-readable rendering after.
         println!(
-            "{label}: min {} / median {}  ({} samples x {} iters)",
-            fmt_nanos(min),
+            "{label}: {median:.2} ns/iter median, {min:.2} ns/iter min [{}] ({} samples x {} iters)",
             fmt_nanos(median),
             self.samples.len(),
             self.iters

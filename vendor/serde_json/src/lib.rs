@@ -1,18 +1,23 @@
 //! Offline stand-in for `serde_json`: JSON rendering over the vendored
-//! `serde` stub's [`serde::Serialize`] trait. Only `to_string` is provided —
-//! the experiment binaries emit JSON lines and never parse them back.
+//! `serde` stub's [`serde::Serialize`] trait, plus a minimal [`Value`]
+//! parser ([`from_str`]) so tooling can read back the JSON artifacts the
+//! workspace emits (bench baselines, experiment sample dumps).
 
 use std::fmt;
 
-/// Serialisation error. The vendored [`serde::Serialize`] is infallible, so
-/// this is never constructed; it exists to keep `to_string`'s signature
-/// source-compatible with real serde_json.
+/// Serialisation / parse error.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
+
+impl Error {
+    fn parse(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("JSON serialisation error")
+        write!(f, "JSON error: {}", self.0)
     }
 }
 
@@ -25,8 +30,269 @@ pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Erro
     Ok(out)
 }
 
+/// A parsed JSON document — the dynamically-typed subset the workspace
+/// tooling needs (numbers are kept as `f64`, which is exact for the
+/// integer magnitudes the bench artifacts contain).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (`None` on non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document into a [`Value`].
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::parse(format!("trailing data at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error::parse(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(Error::parse(format!(
+                "unexpected input at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::parse(format!("bad array at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error::parse(format!("bad object at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::parse("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::parse("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::parse("short \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::parse("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::parse("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by the
+                            // workspace's artifacts; map them to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(Error::parse("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe). Validate
+                    // only the scalar's own bytes (a sequence is at most 4),
+                    // not the whole remaining input per character.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let rest = &self.bytes[self.pos..end];
+                    let c = match std::str::from_utf8(rest) {
+                        Ok(s) => s.chars().next().expect("non-empty by peek"),
+                        // A trailing sequence may be cut by `end`; the
+                        // leading scalar is still whole if anything decoded.
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&rest[..e.valid_up_to()])
+                                .expect("validated prefix")
+                                .chars()
+                                .next()
+                                .expect("non-empty prefix")
+                        }
+                        Err(_) => return Err(Error::parse("bad UTF-8")),
+                    };
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII slice");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| Error::parse(format!("bad number at byte {start}")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn primitives_and_containers_render() {
         assert_eq!(super::to_string(&42u64).unwrap(), "42");
@@ -34,5 +300,40 @@ mod tests {
         assert_eq!(super::to_string(&Some(3usize)).unwrap(), "3");
         assert_eq!(super::to_string(&None::<u64>).unwrap(), "null");
         assert_eq!(super::to_string(&vec![1u8, 2, 3]).unwrap(), "[1,2,3]");
+    }
+
+    #[test]
+    fn parses_scalars_arrays_objects() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("-2.5e1").unwrap(), Value::Number(-25.0));
+        assert_eq!(from_str(r#""a\nb""#).unwrap(), Value::String("a\nb".into()));
+        let v = from_str(r#"{"xs":[1,2,3],"name":"bench"}"#).unwrap();
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("bench"));
+        assert_eq!(
+            v.get("xs").and_then(Value::as_array).map(<[_]>::len),
+            Some(3)
+        );
+        assert_eq!(
+            v.get("xs").unwrap().as_array().unwrap()[2].as_u64(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn round_trips_workspace_shaped_documents() {
+        let rendered = r#"[{"scenario":"f1","median_ns_per_op":1234,"trials":15}]"#;
+        let v = from_str(rendered).unwrap();
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("median_ns_per_op").unwrap().as_u64(), Some(1234));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,2").is_err());
+        assert!(from_str("12 34").is_err());
+        assert!(from_str(r#"{"a" 1}"#).is_err());
     }
 }
