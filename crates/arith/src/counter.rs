@@ -1,0 +1,187 @@
+//! A down-counting repetition counter with a native-`u64` fast path.
+
+use crate::Big;
+
+/// A repetition counter that stays in native `u64` arithmetic until the
+/// count exceeds `2^64 - 1`, and only then spills to [`Big`].
+///
+/// The trajectory combinators `B`, `K` and `Ω` repeat their bodies
+/// astronomically many times, so the streaming cursor decrements a counter
+/// on every body replay — millions of times per simulated run. Almost all
+/// counters encountered in practice fit a machine word; this type keeps
+/// those decrements branch-predictable single-word operations while still
+/// being exact past `2^64` (where [`Big`] takes over).
+///
+/// The representation is canonical: the [`Big`] variant is used **iff** the
+/// value does not fit `u64`, so derived equality agrees with numeric
+/// equality. Decrementing a spilled counter demotes it back to the inline
+/// variant as soon as the value fits.
+///
+/// # Examples
+///
+/// ```
+/// use rv_arith::{Big, RepCount};
+///
+/// let mut c = RepCount::from(2u64);
+/// assert!(c.try_decrement());
+/// assert!(c.try_decrement());
+/// assert!(!c.try_decrement()); // exhausted
+///
+/// // Values past 2^64 spill to Big and demote on the way back down.
+/// let mut big = RepCount::from(&Big::from(u64::MAX as u128 + 1));
+/// assert!(big.try_decrement());
+/// assert_eq!(big, RepCount::from(u64::MAX));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum RepCount {
+    /// Any value `< 2^64`, stored inline.
+    Small(u64),
+    /// A value `>= 2^64` (canonical invariant).
+    Spilled(Big),
+}
+
+impl RepCount {
+    /// The exhausted counter.
+    pub const fn zero() -> Self {
+        RepCount::Small(0)
+    }
+
+    /// `true` once the counter reaches zero.
+    pub fn is_zero(&self) -> bool {
+        matches!(self, RepCount::Small(0))
+    }
+
+    /// Decrements by one; returns `false` (leaving the counter untouched)
+    /// if it is already exhausted.
+    pub fn try_decrement(&mut self) -> bool {
+        match self {
+            RepCount::Small(0) => false,
+            RepCount::Small(v) => {
+                *v -= 1;
+                true
+            }
+            RepCount::Spilled(b) => {
+                let next = b
+                    .checked_sub(&Big::one())
+                    .expect("spilled counters are >= 2^64 > 0");
+                *self = RepCount::from(&next);
+                true
+            }
+        }
+    }
+
+    /// The remaining count as a [`Big`] (exact at any magnitude).
+    pub fn to_big(&self) -> Big {
+        match self {
+            RepCount::Small(v) => Big::from(*v),
+            RepCount::Spilled(b) => b.clone(),
+        }
+    }
+}
+
+impl From<u64> for RepCount {
+    fn from(v: u64) -> Self {
+        RepCount::Small(v)
+    }
+}
+
+impl From<&Big> for RepCount {
+    /// Selects the canonical representation for the value of `b`.
+    fn from(b: &Big) -> Self {
+        match b.to_u128() {
+            Some(v) if v <= u64::MAX as u128 => RepCount::Small(v as u64),
+            _ => RepCount::Spilled(b.clone()),
+        }
+    }
+}
+
+impl From<Big> for RepCount {
+    fn from(b: Big) -> Self {
+        RepCount::from(&b)
+    }
+}
+
+impl std::fmt::Debug for RepCount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Value, not representation — mirrors `Big`'s Debug.
+        match self {
+            RepCount::Small(v) => write!(f, "RepCount({v})"),
+            RepCount::Spilled(b) => write!(f, "RepCount({b})"),
+        }
+    }
+}
+
+impl std::fmt::Display for RepCount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepCount::Small(v) => write!(f, "{v}"),
+            RepCount::Spilled(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_counts_down_to_zero() {
+        let mut c = RepCount::from(3u64);
+        let mut n = 0;
+        while c.try_decrement() {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+        assert!(c.is_zero());
+        assert!(!c.try_decrement(), "exhausted counters stay exhausted");
+    }
+
+    #[test]
+    fn from_big_is_canonical() {
+        assert_eq!(
+            RepCount::from(&Big::from(7u64)),
+            RepCount::Small(7),
+            "values below 2^64 stay inline"
+        );
+        let boundary = Big::from(u64::MAX as u128 + 1);
+        assert!(matches!(RepCount::from(&boundary), RepCount::Spilled(_)));
+        let huge = Big::from(2u64).pow(200);
+        assert!(matches!(RepCount::from(&huge), RepCount::Spilled(_)));
+    }
+
+    #[test]
+    fn spilled_demotes_at_the_boundary() {
+        let mut c = RepCount::from(&Big::from(u64::MAX as u128 + 2));
+        assert!(c.try_decrement());
+        assert!(matches!(c, RepCount::Spilled(_)), "still >= 2^64");
+        assert!(c.try_decrement());
+        assert_eq!(c, RepCount::Small(u64::MAX), "demoted once it fits");
+    }
+
+    #[test]
+    fn to_big_round_trips() {
+        for v in [Big::from(0u64), Big::from(41u64), Big::from(2u64).pow(130)] {
+            assert_eq!(RepCount::from(&v).to_big(), v);
+        }
+    }
+
+    #[test]
+    fn counting_matches_big_subtraction() {
+        // Decrementing k times equals subtracting k, across the spill
+        // boundary.
+        let start = Big::from(u64::MAX as u128 + 3);
+        let mut c = RepCount::from(&start);
+        for i in 1..=5u64 {
+            assert!(c.try_decrement());
+            assert_eq!(c.to_big(), &start - &Big::from(i));
+        }
+    }
+
+    #[test]
+    fn debug_and_display_show_the_value() {
+        assert_eq!(format!("{:?}", RepCount::from(9u64)), "RepCount(9)");
+        assert_eq!(RepCount::from(9u64).to_string(), "9");
+        let big = RepCount::from(&Big::from(10u64).pow(25));
+        assert_eq!(big.to_string(), format!("1{}", "0".repeat(25)));
+    }
+}

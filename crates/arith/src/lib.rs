@@ -24,7 +24,9 @@
 //! ```
 
 mod big;
+mod counter;
 mod fmt;
 
 pub use big::Big;
+pub use counter::RepCount;
 pub use fmt::ParseBigError;

@@ -28,11 +28,12 @@ use serde::Serialize;
 use std::time::Instant;
 
 /// The scenarios a baseline file must cover, in reporting order.
-pub const SCENARIOS: [&str; 4] = [
+pub const SCENARIOS: [&str; 5] = [
     "f1_rendezvous/ring12/greedy-avoid",
     "f1_rendezvous/ring12/lazy-second",
     "cursor_stream/gnp16/B8",
     "minimax/path3/depth10",
+    "minimax/ring4/depth8",
 ];
 
 /// One measured scenario, serialised into the baseline JSON.
@@ -78,6 +79,7 @@ fn main() {
         rendezvous_scenario(AdversaryKind::LazySecond, SCENARIOS[1], trials),
         cursor_scenario(trials),
         minimax_scenario(trials),
+        minimax_ring_scenario(trials),
     ];
 
     let json = serde_json::to_string(&records).expect("records serialise");
@@ -169,6 +171,29 @@ fn minimax_scenario(trials: usize) -> Record {
                 ]
             },
             10,
+        );
+        assert!(res.schedules_explored > 0);
+        std::hint::black_box(res.schedules_explored);
+    })
+}
+
+/// Exhaustive worst-case search on ring(4), horizon 8 — a wider schedule
+/// tree than `path3` (both agents stay mobile on a cycle), so the search's
+/// depth-≥2 frontier split carries real work on every branch. Added in
+/// PR 3 to track the deep-split path of the replay-free minimax.
+fn minimax_ring_scenario(trials: usize) -> Record {
+    let uxs = SeededUxs::quadratic();
+    let g = rv_graph::generators::ring(4);
+    measure(SCENARIOS[4], "search", trials, 1, 1, || {
+        let res = rv_sim::minimax::exhaustive_worst_case(
+            &g,
+            || {
+                vec![
+                    RvBehavior::new(&g, uxs, NodeId(0), Label::new(1).unwrap()),
+                    RvBehavior::new(&g, uxs, NodeId(2), Label::new(2).unwrap()),
+                ]
+            },
+            8,
         );
         assert!(res.schedules_explored > 0);
         std::hint::black_box(res.schedules_explored);

@@ -1,0 +1,302 @@
+//! **scenario_matrix** — the scenario-diversity bench runner.
+//!
+//! Sweeps the cartesian product of a declarative table — graph family ×
+//! graph size × adversary × algorithm variant (the F6 ablations) — running
+//! one rendezvous configuration per cell and emitting **one JSON row per
+//! cell** (JSON-lines, like the `expt_*` binaries). Where `perf_baseline`
+//! tracks four hand-picked hot-path scenarios over time, this runner
+//! measures *breadth*: how cost and wall-clock behave across every
+//! family/adversary/variant combination, so future PRs can quantify
+//! scenario diversity instead of overfitting to the baseline four.
+//!
+//! Usage:
+//!
+//! ```text
+//! scenario_matrix [--smoke] [--trials N] [--out PATH]   # run and write rows
+//! scenario_matrix --check PATH                          # validate rows
+//! ```
+//!
+//! `--smoke` runs 1 trial per cell (the CI gate); the default is 5.
+//! `--check` verifies every line parses as a JSON object with the expected
+//! fields and that the file covers exactly the declared matrix — CI fails
+//! on any malformed or missing row.
+
+use rv_core::{Label, RvVariant};
+use rv_explore::SeededUxs;
+use rv_graph::{GraphFamily, NodeId};
+use rv_sim::adversary::AdversaryKind;
+use rv_sim::{RunConfig, RunEnd, Runtime, RvBehavior};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Graph families swept, with their scenario-id stem.
+const FAMILIES: [(GraphFamily, &str); 5] = [
+    (GraphFamily::Ring, "ring"),
+    (GraphFamily::Path, "path"),
+    (GraphFamily::RandomTree, "tree"),
+    (GraphFamily::Gnp, "gnp"),
+    (GraphFamily::Lollipop, "lollipop"),
+];
+
+/// Graph orders swept.
+const SIZES: [usize; 3] = [8, 12, 16];
+
+/// Adversaries swept (a spread from cooperative to strongest-avoiding;
+/// seeded strategies use [`ADVERSARY_SEED`]).
+const ADVERSARIES: [AdversaryKind; 4] = [
+    AdversaryKind::RoundRobin,
+    AdversaryKind::LazySecond,
+    AdversaryKind::GreedyAvoid,
+    AdversaryKind::EagerMeet,
+];
+
+/// Algorithm variants swept: the paper's algorithm plus the three F6
+/// ablations (each disables one ingredient §3.1 argues is necessary).
+fn variants() -> [(&'static str, RvVariant); 4] {
+    let paper = RvVariant::default();
+    [
+        ("paper", paper),
+        (
+            "single-atoms",
+            RvVariant {
+                doubled_atoms: false,
+                ..paper
+            },
+        ),
+        (
+            "unscaled",
+            RvVariant {
+                scaled_params: false,
+                ..paper
+            },
+        ),
+        (
+            "raw-label",
+            RvVariant {
+                modified_label: false,
+                ..paper
+            },
+        ),
+    ]
+}
+
+/// Fixed graph seed (matches the golden suite's instances).
+const GRAPH_SEED: u64 = 5;
+/// Fixed adversary seed for the seeded strategies.
+const ADVERSARY_SEED: u64 = 3;
+/// Total-traversal cutoff: generous for every converging cell, small
+/// enough that diverging ablation cells return quickly.
+const CUTOFF: u64 = 100_000;
+/// Agent labels, as in the F1 experiments and the golden suite.
+const LABELS: (u64, u64) = (6, 9);
+
+/// Number of cells in the declared matrix.
+pub fn cell_count() -> usize {
+    FAMILIES.len() * SIZES.len() * ADVERSARIES.len() * variants().len()
+}
+
+/// One measured cell, serialised as a JSON-lines row.
+#[derive(Clone, Debug, Serialize)]
+struct Row {
+    /// Cell id, `family<n>/adversary/variant`.
+    scenario: String,
+    /// Graph family name.
+    family: String,
+    /// Graph order requested.
+    n: usize,
+    /// Adversary name.
+    adversary: String,
+    /// Algorithm variant name.
+    variant: String,
+    /// How the run ended (`Meeting`, `AllParked`, or `Cutoff`).
+    end: String,
+    /// Meeting cost (total traversals at the first forced meeting);
+    /// `null` for any non-`Meeting` end (`Cutoff` and `AllParked` alike).
+    cost: Option<u64>,
+    /// Adversary actions executed.
+    actions: u64,
+    /// Timed trials.
+    trials: usize,
+    /// Median wall time per run, nanoseconds.
+    median_ns_per_run: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let path = args
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("--check requires a path argument"));
+        check(path);
+        return;
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let trials = args
+        .iter()
+        .position(|a| a == "--trials")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or_else(|| panic!("--trials requires a positive integer"))
+        })
+        .unwrap_or(if smoke { 1 } else { 5 });
+    assert!(trials > 0, "--trials must be positive");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("--out requires a path argument"))
+                .clone()
+        })
+        .unwrap_or_else(|| "MATRIX_baseline.jsonl".to_string());
+
+    let mut lines = String::new();
+    for (family, fname) in FAMILIES {
+        for n in SIZES {
+            let g = family.generate(n, GRAPH_SEED);
+            for adversary in ADVERSARIES {
+                for (vname, variant) in variants() {
+                    let row = run_cell(&g, fname, n, adversary, vname, variant, trials);
+                    lines.push_str(&serde_json::to_string(&row).expect("rows serialise"));
+                    lines.push('\n');
+                }
+            }
+        }
+    }
+    std::fs::write(&out_path, &lines).expect("write matrix JSON-lines");
+    println!(
+        "wrote {} rows ({} trials per cell) to {out_path}",
+        cell_count(),
+        trials
+    );
+}
+
+/// Runs one cell `trials` times; reports the outcome of the (deterministic)
+/// run and the median wall time.
+fn run_cell(
+    g: &rv_graph::Graph,
+    family: &str,
+    n: usize,
+    adversary: AdversaryKind,
+    vname: &str,
+    variant: RvVariant,
+    trials: usize,
+) -> Row {
+    let uxs = SeededUxs::quadratic();
+    let make = || {
+        vec![
+            RvBehavior::with_variant(g, uxs, NodeId(0), Label::new(LABELS.0).unwrap(), variant),
+            RvBehavior::with_variant(
+                g,
+                uxs,
+                NodeId(g.order() / 2),
+                Label::new(LABELS.1).unwrap(),
+                variant,
+            ),
+        ]
+    };
+    let config = RunConfig::rendezvous().with_cutoff(CUTOFF);
+    let mut outcome = None;
+    let mut samples = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let mut rt = Runtime::new(g, make(), config);
+        let mut adv = adversary.build(ADVERSARY_SEED);
+        let start = Instant::now();
+        let out = rt.run(adv.as_mut());
+        samples.push(start.elapsed().as_nanos() as f64);
+        outcome = Some(out);
+    }
+    let out = outcome.expect("trials > 0");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    Row {
+        scenario: format!("{family}{n}/{adversary}/{vname}"),
+        family: family.to_string(),
+        n,
+        adversary: adversary.to_string(),
+        variant: vname.to_string(),
+        end: format!("{:?}", out.end),
+        cost: (out.end == RunEnd::Meeting).then_some(out.total_traversals),
+        actions: out.actions,
+        trials,
+        median_ns_per_run: samples[samples.len() / 2],
+    }
+}
+
+/// `--check`: the CI gate. Every line must parse as a JSON object with the
+/// expected fields and sane values, and the file must cover exactly the
+/// declared matrix (no missing, duplicate, or foreign rows).
+fn check(path: &str) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read matrix file {path}: {e}"));
+    let mut expected: Vec<String> = Vec::new();
+    for (_, fname) in FAMILIES {
+        for n in SIZES {
+            for adversary in ADVERSARIES {
+                for (vname, _) in variants() {
+                    expected.push(format!("{fname}{n}/{adversary}/{vname}"));
+                }
+            }
+        }
+    }
+    let mut seen: Vec<String> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let row = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("{path}:{} is not valid JSON: {e}", lineno + 1));
+        let field = |key: &str| {
+            row.get(key)
+                .unwrap_or_else(|| panic!("{path}:{} is missing field {key}", lineno + 1))
+                .clone()
+        };
+        let scenario = field("scenario")
+            .as_str()
+            .unwrap_or_else(|| panic!("{path}:{} scenario must be a string", lineno + 1))
+            .to_string();
+        assert!(
+            expected.contains(&scenario),
+            "{path}:{} row {scenario} is not a declared matrix cell",
+            lineno + 1
+        );
+        assert!(
+            !seen.contains(&scenario),
+            "{path}:{} duplicate row {scenario}",
+            lineno + 1
+        );
+        let end = field("end");
+        let end = end
+            .as_str()
+            .unwrap_or_else(|| panic!("{path}:{} end must be a string", lineno + 1));
+        assert!(
+            ["Meeting", "AllParked", "Cutoff"].contains(&end),
+            "{path}:{} unknown end {end:?}",
+            lineno + 1
+        );
+        let ns = field("median_ns_per_run")
+            .as_f64()
+            .unwrap_or_else(|| panic!("{path}:{} median_ns_per_run must be numeric", lineno + 1));
+        assert!(ns > 0.0, "{path}:{} zero timing for {scenario}", lineno + 1);
+        let trials = field("trials").as_u64().unwrap_or(0);
+        assert!(trials > 0, "{path}:{} zero trials", lineno + 1);
+        let cost = field("cost");
+        assert!(
+            cost.is_null() || cost.as_u64().is_some(),
+            "{path}:{} cost must be a count or null",
+            lineno + 1
+        );
+        assert_eq!(
+            cost.is_null(),
+            end != "Meeting",
+            "{path}:{} cost must be present iff the run met",
+            lineno + 1
+        );
+        seen.push(scenario);
+    }
+    assert_eq!(
+        seen.len(),
+        expected.len(),
+        "{path} covers {} of {} matrix cells",
+        seen.len(),
+        expected.len()
+    );
+    println!("{path}: OK — {} rows, all cells covered", seen.len());
+}

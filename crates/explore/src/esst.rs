@@ -174,7 +174,7 @@ struct Step {
     entry: PortId,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum State<P> {
     /// Walking the trunc `R(2i, ·)` forward.
     TruncForward { walker: RWalker<P> },
@@ -205,7 +205,7 @@ enum State<P> {
 /// answering with [`EsstMachine::arrived`] or
 /// [`EsstMachine::interrupted_inside`]. See [`run_esst`] for the canonical
 /// driver loop.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct EsstMachine<P> {
     provider: P,
     /// Current phase number `i` (3, 6, 9, …).

@@ -114,10 +114,16 @@ impl ExplorationProvider for SeededUxs {
 /// expensive construction) would ship with an implementation. Lengths are
 /// the table lengths; `k` larger than the table falls back to the last
 /// entry's table.
+///
+/// Tables are immutable once built and shared behind an
+/// [`Arc`](std::sync::Arc), so clones
+/// are O(1) — providers are cloned into every cursor, walker, and behavior
+/// fork, and the simulator's snapshot/restore machinery forks behaviors
+/// once per explored schedule-tree node.
 #[derive(Clone, Debug, Default)]
 pub struct TableUxs {
     /// `tables[j]` is the sequence for `k = j + 1`.
-    tables: Vec<Vec<u64>>,
+    tables: std::sync::Arc<Vec<Vec<u64>>>,
 }
 
 impl TableUxs {
@@ -132,7 +138,9 @@ impl TableUxs {
             tables.iter().all(|t| !t.is_empty()),
             "TableUxs: tables must be non-empty"
         );
-        TableUxs { tables }
+        TableUxs {
+            tables: std::sync::Arc::new(tables),
+        }
     }
 
     fn table(&self, k: u64) -> &[u64] {

@@ -74,6 +74,7 @@ impl SglConfig {
 // agent (not per node or per step), so boxing would cost more in indirection
 // than it saves in memory.
 #[allow(clippy::large_enum_variant)]
+#[derive(Clone)]
 enum Phase<P> {
     /// Phase 1: procedure ESST with the token.
     Esst {
@@ -98,6 +99,12 @@ enum Phase<P> {
 
 /// One SGL agent. Drive it with [`rv_sim::Runtime`] under
 /// [`rv_sim::RunConfig::protocol`].
+///
+/// `Clone` implements the [`Behavior::fork`] contract: the clone carries
+/// the full protocol state — bag, phase machinery (including a mid-flight
+/// ESST machine), RV cursor, and token-sighting flags — and continues
+/// bit-identically to the original.
+#[derive(Clone)]
 pub struct SglBehavior<'g, P> {
     g: &'g Graph,
     provider: P,
@@ -465,5 +472,9 @@ impl<'g, P: ExplorationProvider + Clone> Behavior for SglBehavior<'g, P> {
                 self.needs_esst_init = true;
             }
         }
+    }
+
+    fn fork(&self) -> Self {
+        self.clone()
     }
 }

@@ -13,6 +13,19 @@ use rv_trajectory::TrajectoryCursor;
 /// agent is queried again after each meeting delivered to it (new
 /// information may end the parking), so implementations must tolerate
 /// repeated `None`-after-`None` queries.
+///
+/// # The fork contract
+///
+/// [`Behavior::fork`] captures the agent's complete mid-run state in
+/// O(state). The fork and the original must be **observationally
+/// indistinguishable** from the moment of the fork onwards: identical
+/// `next_port` streams, identical `info` snapshots, and identical reactions
+/// to identical meeting deliveries — including the state of any internal
+/// RNG or memoisation. Stepping either copy must never affect the other.
+/// This is what lets [`crate::Runtime::snapshot`] freeze a mid-run
+/// configuration and the minimax search re-enter it without replaying the
+/// schedule prefix. Behaviors whose state is plain data implement it as
+/// `self.clone()`.
 pub trait Behavior {
     /// Information revealed to peers at a meeting.
     type Info: Clone;
@@ -29,16 +42,35 @@ pub trait Behavior {
 
     /// Delivery of a meeting with `peers` at `place`.
     fn on_meeting(&mut self, place: MeetingPlace, peers: &[Self::Info]);
+
+    /// Forks the agent mid-run: an independent copy that will behave
+    /// bit-identically from this point on (see the trait docs for the
+    /// exact contract).
+    fn fork(&self) -> Self
+    where
+        Self: Sized;
 }
 
 /// Algorithm RV-asynch-poly as a schedulable behavior: streams the infinite
 /// piece/fence schedule through a [`TrajectoryCursor`]. Meetings carry the
 /// agent's label; the behavior itself never reacts to them (rendezvous ends
 /// the run).
+#[derive(Clone)]
 pub struct RvBehavior<'g, P> {
     cursor: TrajectoryCursor<'g, P>,
     algorithm: RvAlgorithm,
     start: NodeId,
+}
+
+impl<P: ExplorationProvider + Clone> std::fmt::Debug for RvBehavior<'_, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RvBehavior")
+            .field("label", &self.algorithm.label().value())
+            .field("piece", &self.algorithm.piece())
+            .field("start", &self.start)
+            .field("cursor", &self.cursor)
+            .finish()
+    }
 }
 
 impl<'g, P: ExplorationProvider + Clone> RvBehavior<'g, P> {
@@ -96,10 +128,15 @@ impl<'g, P: ExplorationProvider + Clone> Behavior for RvBehavior<'g, P> {
     }
 
     fn on_meeting(&mut self, _place: MeetingPlace, _peers: &[Label]) {}
+
+    fn fork(&self) -> Self {
+        self.clone()
+    }
 }
 
 /// The naive exponential baseline as a behavior: `X(n)` repeated
 /// `(2P(n)+1)^L` times, then parked forever. Requires the graph order.
+#[derive(Clone)]
 pub struct NaiveBehavior<'g, P> {
     cursor: TrajectoryCursor<'g, P>,
     algorithm: NaiveAlgorithm,
@@ -142,6 +179,10 @@ impl<'g, P: ExplorationProvider + Clone> Behavior for NaiveBehavior<'g, P> {
     }
 
     fn on_meeting(&mut self, _place: MeetingPlace, _peers: &[Label]) {}
+
+    fn fork(&self) -> Self {
+        self.clone()
+    }
 }
 
 /// A behavior that follows a fixed list of exit ports then parks — the
@@ -176,11 +217,16 @@ impl Behavior for ScriptBehavior {
     fn info(&self) {}
 
     fn on_meeting(&mut self, _place: MeetingPlace, _peers: &[()]) {}
+
+    fn fork(&self) -> Self {
+        self.clone()
+    }
 }
 
 /// A behavior that plays a fixed sequence of trajectory [`Spec`]s, optionally
 /// looping over the final spec forever — used by the Lemma 3.1 tests and the
 /// ablation experiments.
+#[derive(Clone)]
 pub struct SpecBehavior<'g, P> {
     cursor: TrajectoryCursor<'g, P>,
     specs: std::collections::VecDeque<Spec>,
@@ -240,6 +286,10 @@ impl<'g, P: ExplorationProvider + Clone> Behavior for SpecBehavior<'g, P> {
     fn info(&self) {}
 
     fn on_meeting(&mut self, _place: MeetingPlace, _peers: &[()]) {}
+
+    fn fork(&self) -> Self {
+        self.clone()
+    }
 }
 
 #[cfg(test)]
@@ -256,6 +306,37 @@ mod tests {
             assert!(b.next_port().is_some());
         }
         assert_eq!(b.label().value(), 3);
+    }
+
+    #[test]
+    fn forked_rv_behavior_continues_bit_identically() {
+        let g = generators::ring(4);
+        let mut b = RvBehavior::new(&g, SeededUxs::default(), NodeId(0), Label::new(3).unwrap());
+        for _ in 0..1234 {
+            b.next_port().unwrap();
+        }
+        let mut fork = b.fork();
+        assert_eq!(fork.label(), b.label());
+        assert_eq!(fork.piece(), b.piece());
+        for step in 0..5000 {
+            assert_eq!(
+                b.next_port(),
+                fork.next_port(),
+                "fork diverged at step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn forked_script_behavior_is_independent() {
+        let mut b = ScriptBehavior::new(NodeId(0), [0, 1, 0]);
+        b.next_port().unwrap();
+        let mut fork = b.fork();
+        // Draining the fork leaves the original untouched.
+        while fork.next_port().is_some() {}
+        assert_eq!(b.next_port(), Some(PortId(1)));
+        assert_eq!(b.next_port(), Some(PortId(0)));
+        assert_eq!(b.next_port(), None);
     }
 
     #[test]

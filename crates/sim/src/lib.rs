@@ -38,6 +38,25 @@
 //! completes its current traversal before parking, which keeps the SGL
 //! token inside one extended edge).
 //!
+//! # `reset` vs `restore`
+//!
+//! A [`Runtime`] offers two ways to rewind, and they answer different
+//! questions:
+//!
+//! * [`Runtime::reset`] returns to the **initial** state with *newly
+//!   constructed* behaviors — use it when the next run is a genuinely new
+//!   experiment (different labels, variant, or adversary seed). It re-pays
+//!   behavior construction (fresh cursors, cold length memos).
+//! * [`Runtime::restore`] returns to a **mid-run** state frozen earlier by
+//!   [`Runtime::snapshot`] — use it to branch execution from a common
+//!   prefix (the minimax search), to retry a suffix, or to hand a state to
+//!   another thread ([`Runtime::from_snapshot`]). Behaviors come back via
+//!   [`Behavior::fork`] in O(state) with all accumulated context intact:
+//!   no prefix replay, no reconstruction.
+//!
+//! Rule of thumb: *new agents → `reset`; same agents, earlier point in
+//! time → `restore`*.
+//!
 //! # Examples
 //!
 //! ```
@@ -65,4 +84,6 @@ mod runtime;
 
 pub use behavior::{Behavior, NaiveBehavior, RvBehavior, ScriptBehavior, SpecBehavior};
 pub use meeting::{Meeting, MeetingPlace};
-pub use runtime::{ActionKind, Choice, ChoiceInfo, Place, RunConfig, RunEnd, RunOutcome, Runtime};
+pub use runtime::{
+    ActionKind, Choice, ChoiceInfo, Place, RunConfig, RunEnd, RunOutcome, Runtime, RuntimeSnapshot,
+};

@@ -25,6 +25,29 @@ pub struct Meeting {
     pub at_action: u64,
 }
 
+// `Debug` output (derived, above) is the bit-exact form the golden suite
+// fingerprints; `Display` (below) is the compact human form that failing
+// snapshot/fork tests print. Keep both — they serve different readers.
+
+impl std::fmt::Display for MeetingPlace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeetingPlace::Node(v) => write!(f, "node {}", v.0),
+            MeetingPlace::Edge(e) => write!(f, "edge {}–{}", e.a.0, e.b.0),
+        }
+    }
+}
+
+impl std::fmt::Display for Meeting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "meeting of {:?} at {} (cost {}, action {})",
+            self.agents, self.place, self.at_cost, self.at_action
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -37,5 +60,20 @@ mod tests {
             MeetingPlace::Edge(EdgeId::new(NodeId(2), NodeId(1)))
         );
         assert_ne!(MeetingPlace::Node(NodeId(1)), MeetingPlace::Node(NodeId(2)));
+    }
+
+    #[test]
+    fn display_is_compact_and_readable() {
+        let m = Meeting {
+            agents: vec![0, 1],
+            place: MeetingPlace::Edge(EdgeId::new(NodeId(2), NodeId(1))),
+            at_cost: 54,
+            at_action: 110,
+        };
+        assert_eq!(
+            m.to_string(),
+            "meeting of [0, 1] at edge 1–2 (cost 54, action 110)"
+        );
+        assert_eq!(MeetingPlace::Node(NodeId(7)).to_string(), "node 7");
     }
 }

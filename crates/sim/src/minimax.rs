@@ -2,26 +2,43 @@
 //!
 //! The simulator's adversaries are heuristics; this module computes the
 //! **true** worst case — the schedule maximising the cost of the first
-//! forced meeting — by exhaustive depth-first search over adversary
-//! choices, up to an action-depth cap. Exponential in the cap (branching
-//! = number of legal actions), so only usable for small instances; it is
-//! the calibration reference for experiment F5.
+//! forced meeting — by exhaustive search over adversary choices, up to an
+//! action-depth cap. Exponential in the cap (branching = number of legal
+//! actions), so only usable for small instances; it is the calibration
+//! reference for experiment F5.
 //!
-//! Because behaviors are stateful and not cheaply clonable in general,
-//! the search re-executes runs from scratch along each explored prefix
-//! (`F: Fn() -> behaviors` factory). Three things keep that affordable:
-//! the top-level branches fan out across threads (`std::thread::scope`,
-//! one per root choice — the branches are disjoint subtrees); each thread
-//! reuses one [`Runtime`] (via [`Runtime::reset`]) and one choice/meeting
-//! buffer pair for every replay; and descent is *incremental* — after a
-//! prefix replays clean, the search keeps stepping the same runtime down
-//! the leftmost unexplored path instead of re-replaying one level deeper.
-//! A full replay is paid only when a sibling branch is entered. Cost is
-//! `O(b^depth · depth)` behavior steps — fine for depth ≤ ~14.
+//! # Replay-free search
+//!
+//! Since behaviors implement the [`Behavior::fork`] contract, the search
+//! never re-executes a schedule prefix. The agents are instantiated
+//! **once** (the factory is `FnOnce`); from then on every state the search
+//! needs again is captured as a [`Runtime::snapshot`] in O(state) and
+//! re-entered with [`Runtime::restore`] — entering a sibling branch costs
+//! one behavior fork instead of a full prefix replay, and the last sibling
+//! takes the snapshot by move ([`Runtime::restore_owned`]) and pays no
+//! fork at all. Interior nodes with a single legal action never snapshot.
+//!
+//! # Deep parallel splits
+//!
+//! Parallelism is a work-stealing frontier of forked runtime snapshots,
+//! not a per-root-choice fan-out: the schedule tree is first expanded
+//! breadth-first to depth ≥ 2 (deeper until the frontier oversubscribes
+//! the worker pool ~4×), every frontier node becomes an independent job,
+//! and worker threads steal jobs from the shared frontier until it drains.
+//! This scales with the core count instead of being capped at the root
+//! branching factor (= the agent count, usually 2), and keeps all cores
+//! busy even when subtree sizes are skewed. Each worker owns one
+//! [`Runtime`] (built via [`Runtime::from_snapshot`] from its first stolen
+//! job) plus one choice/meeting buffer pair, reused across all its jobs.
+//!
+//! The explored leaf set — and therefore every field of [`WorstCase`] —
+//! is bit-identical to the sequential enumeration regardless of worker
+//! count or steal order (the aggregates are commutative).
 
 use crate::behavior::Behavior;
-use crate::runtime::{ChoiceInfo, RunConfig, Runtime};
+use crate::runtime::{ChoiceInfo, RunConfig, Runtime, RuntimeSnapshot};
 use rv_graph::Graph;
+use std::sync::Mutex;
 
 /// Result of an exhaustive search.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -36,6 +53,14 @@ pub struct WorstCase {
 }
 
 impl WorstCase {
+    fn empty() -> Self {
+        WorstCase {
+            max_meeting_cost: None,
+            some_schedule_avoids: false,
+            schedules_explored: 0,
+        }
+    }
+
     fn record_meeting(&mut self, cost: u64) {
         self.schedules_explored += 1;
         self.max_meeting_cost = Some(self.max_meeting_cost.map_or(cost, |m| m.max(cost)));
@@ -56,131 +81,255 @@ impl WorstCase {
     }
 }
 
+/// An unexplored subtree: the frozen runtime state at its root and the
+/// root's depth in the schedule tree.
+struct Job<B> {
+    snap: RuntimeSnapshot<B>,
+    depth: usize,
+}
+
+/// Minimum frontier depth: always split strictly below the root fan-out.
+const SPLIT_DEPTH_MIN: usize = 2;
+/// Frontier expansion stops once every job is at least this deep, even if
+/// the oversubscription target was not reached (narrow trees).
+const SPLIT_DEPTH_MAX: usize = 6;
+/// Target frontier size, as a multiple of the worker count — enough jobs
+/// that work-stealing evens out skewed subtree sizes.
+const OVERSUBSCRIBE: usize = 4;
+
 /// Exhaustively explores every adversary schedule of at most `max_actions`
-/// actions, re-instantiating the agents through `make_behaviors` for each
-/// prefix. The disjoint subtrees under each root choice are searched in
-/// parallel (scoped threads), so the factory must be callable from several
-/// threads at once.
+/// actions over the agents produced by `make_behaviors` — which is called
+/// exactly once, before the search starts; all further state reuse is
+/// snapshot/restore ([`Behavior::fork`]), never re-instantiation.
 pub fn exhaustive_worst_case<B, F>(g: &Graph, make_behaviors: F, max_actions: usize) -> WorstCase
 where
-    B: Behavior,
-    F: Fn() -> Vec<B> + Sync,
+    B: Behavior + Send,
+    F: FnOnce() -> Vec<B>,
 {
-    let empty = WorstCase {
-        max_meeting_cost: None,
-        some_schedule_avoids: false,
-        schedules_explored: 0,
-    };
-    // Root branching factor (asleep agents all offer Wake, so this is
-    // normally the agent count). Deterministic: every replay re-derives it.
-    let root_width = {
-        let rt = Runtime::new(g, make_behaviors(), RunConfig::rendezvous());
-        rt.legal_choices().len()
-    };
-    if max_actions == 0 || root_width == 0 {
-        // The empty schedule is the only leaf, and it meets nothing.
-        let mut result = empty;
-        result.record_avoidance();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    worst_case_with_workers(g, make_behaviors, max_actions, workers)
+}
+
+/// [`exhaustive_worst_case`] with an explicit worker-pool size, so tests
+/// can force the multi-threaded frontier path regardless of the machine's
+/// core count. Results are worker-count-independent.
+fn worst_case_with_workers<B, F>(
+    g: &Graph,
+    make_behaviors: F,
+    max_actions: usize,
+    workers: usize,
+) -> WorstCase
+where
+    B: Behavior + Send,
+    F: FnOnce() -> Vec<B>,
+{
+    let mut result = WorstCase::empty();
+    let mut rt = Runtime::new(g, make_behaviors(), RunConfig::rendezvous());
+    let mut choices: Vec<ChoiceInfo> = Vec::new();
+    let mut meetings = Vec::new();
+
+    // Phase 1: expand the schedule tree breadth-first into the job
+    // frontier. Leaves encountered during expansion are scored directly.
+    let mut frontier = std::collections::VecDeque::new();
+    frontier.push_back(Job {
+        snap: rt.snapshot(),
+        depth: 0,
+    });
+    let target = workers * OVERSUBSCRIBE;
+    while let Some(job) = frontier.front() {
+        let deep_enough = job.depth >= SPLIT_DEPTH_MIN
+            && (frontier.len() >= target || job.depth >= SPLIT_DEPTH_MAX);
+        if deep_enough {
+            break;
+        }
+        let job = frontier.pop_front().expect("front() was Some");
+        rt.restore(&job.snap);
+        if job.depth >= max_actions {
+            result.record_avoidance();
+            continue;
+        }
+        rt.legal_choices_into(&mut choices);
+        let width = choices.len();
+        if width == 0 {
+            // All parked counts as an avoiding schedule.
+            result.record_avoidance();
+            continue;
+        }
+        for i in 0..width {
+            if i > 0 {
+                rt.restore(&job.snap);
+                rt.legal_choices_into(&mut choices);
+            }
+            meetings.clear();
+            rt.apply_into(choices[i].choice, &mut meetings);
+            if meetings.is_empty() {
+                frontier.push_back(Job {
+                    snap: rt.snapshot(),
+                    depth: job.depth + 1,
+                });
+            } else {
+                result.record_meeting(rt.total_traversals());
+            }
+        }
+    }
+
+    if frontier.is_empty() {
         return result;
     }
+
+    // Phase 2: workers steal jobs from the shared frontier and search each
+    // subtree depth-first.
+    let threads = workers.min(frontier.len());
+    if threads <= 1 {
+        // Single worker: keep the runtime and buffers we already have.
+        for job in frontier {
+            rt.restore_owned(job.snap);
+            explore_subtree(
+                &mut rt,
+                job.depth,
+                max_actions,
+                &mut choices,
+                &mut meetings,
+                &mut result,
+            );
+        }
+        return result;
+    }
+    let queue = Mutex::new(Vec::from(frontier));
     let branches: Vec<WorstCase> = std::thread::scope(|scope| {
-        let make = &make_behaviors;
-        let handles: Vec<_> = (0..root_width)
-            .map(|root| scope.spawn(move || explore_branch(g, make, max_actions, root)))
+        let queue = &queue;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = WorstCase::empty();
+                    let mut rt: Option<Runtime<B>> = None;
+                    let mut choices: Vec<ChoiceInfo> = Vec::new();
+                    let mut meetings = Vec::new();
+                    loop {
+                        // A plain `let` drops the queue guard at the end of
+                        // the statement — a `while let` scrutinee would hold
+                        // it across the whole subtree search and serialize
+                        // the workers.
+                        let job = queue.lock().expect("frontier poisoned").pop();
+                        let Some(job) = job else { break };
+                        if let Some(rt) = rt.as_mut() {
+                            // Jobs are owned: re-entering costs a move, not
+                            // a fork.
+                            rt.restore_owned(job.snap);
+                        } else {
+                            // First job: build the runtime by moving the
+                            // owned snapshot in — positioned, zero forks.
+                            rt = Some(Runtime::from_snapshot_owned(
+                                g,
+                                job.snap,
+                                RunConfig::rendezvous(),
+                            ));
+                        }
+                        explore_subtree(
+                            rt.as_mut().expect("just initialised"),
+                            job.depth,
+                            max_actions,
+                            &mut choices,
+                            &mut meetings,
+                            &mut local,
+                        );
+                    }
+                    local
+                })
+            })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
-    let mut result = empty;
     for b in branches {
         result.merge(b);
     }
     result
 }
 
-/// Depth-first search of the subtree whose first action is root choice
-/// `root`, enumerating exactly the schedules the sequential odometer of the
-/// pre-parallel implementation visited under that digit.
-fn explore_branch<B, F>(g: &Graph, make_behaviors: &F, max_actions: usize, root: usize) -> WorstCase
-where
-    B: Behavior,
-    F: Fn() -> Vec<B>,
-{
-    let mut result = WorstCase {
-        max_meeting_cost: None,
-        some_schedule_avoids: false,
-        schedules_explored: 0,
-    };
-    let mut rt = Runtime::new(g, make_behaviors(), RunConfig::rendezvous());
-    let mut choices: Vec<ChoiceInfo> = Vec::new();
-    let mut meetings = Vec::new();
-    // The prefix under exploration, encoded as choice indices; digit 0 is
-    // pinned to `root`. Bases are discovered lazily: replay detects
-    // overflowed digits and backtracks.
-    let mut prefix: Vec<usize> = vec![root];
-    'outer: loop {
-        // Replay the current prefix on a fresh run.
-        rt.reset(make_behaviors());
-        for depth in 0..prefix.len() {
-            let idx = prefix[depth];
-            rt.legal_choices_into(&mut choices);
-            if idx >= choices.len() {
-                // Overflowed digit: backtrack to its parent's next sibling.
-                prefix.truncate(depth);
-                if !advance(&mut prefix) {
-                    return result;
-                }
-                continue 'outer;
-            }
-            meetings.clear();
-            rt.apply_into(choices[idx].choice, &mut meetings);
-            if !meetings.is_empty() {
-                // This prefix ends in a meeting; score the leaf and try its
-                // successor.
-                result.record_meeting(rt.total_traversals());
-                prefix.truncate(depth + 1);
-                if !advance(&mut prefix) {
-                    return result;
-                }
-                continue 'outer;
-            }
-        }
-        // Clean replay: descend the leftmost unexplored path incrementally
-        // in this same runtime (no re-replay per level).
-        loop {
-            if prefix.len() >= max_actions {
-                // Depth cap without a meeting: an avoiding schedule exists.
-                result.record_avoidance();
-                break;
-            }
-            rt.legal_choices_into(&mut choices);
-            if choices.is_empty() {
-                // All parked counts as avoiding.
-                result.record_avoidance();
-                break;
-            }
-            prefix.push(0);
-            meetings.clear();
-            rt.apply_into(choices[0].choice, &mut meetings);
-            if !meetings.is_empty() {
-                result.record_meeting(rt.total_traversals());
-                break;
-            }
-        }
-        if !advance(&mut prefix) {
-            return result;
-        }
-    }
+/// A node of the depth-first descent: its frozen state (absent when the
+/// node has a single child — nothing will ever re-enter it) and the
+/// sibling iteration cursor.
+struct Frame<B> {
+    snap: Option<RuntimeSnapshot<B>>,
+    next: usize,
+    width: usize,
 }
 
-/// Advances the prefix like an odometer whose digit bases are discovered
-/// lazily (the replay detects overflow). Digit 0 is the thread's pinned
-/// root choice; returns `false` when the subtree is exhausted.
-fn advance(prefix: &mut [usize]) -> bool {
-    if prefix.len() <= 1 {
-        return false;
+/// Depth-first search of the subtree whose root state `rt` is **already
+/// positioned at** (callers restore the job's snapshot — by move when they
+/// own it), with the root at schedule-tree depth `depth0`. Scores every
+/// leaf into `result`; on exit `rt` is at an arbitrary state within the
+/// subtree.
+fn explore_subtree<B: Behavior>(
+    rt: &mut Runtime<B>,
+    depth0: usize,
+    max_actions: usize,
+    choices: &mut Vec<ChoiceInfo>,
+    meetings: &mut Vec<crate::Meeting>,
+    result: &mut WorstCase,
+) {
+    let mut stack: Vec<Frame<B>> = Vec::new();
+    loop {
+        // `rt` sits at a just-entered, meeting-free node.
+        let depth = depth0 + stack.len();
+        let mut is_leaf = true;
+        if depth < max_actions {
+            rt.legal_choices_into(choices);
+            if !choices.is_empty() {
+                let width = choices.len();
+                stack.push(Frame {
+                    // Single-child nodes are never re-entered: skip the fork.
+                    snap: (width > 1).then(|| rt.snapshot()),
+                    next: 0,
+                    width,
+                });
+                is_leaf = false;
+            }
+        }
+        if is_leaf {
+            // Depth cap or all parked: an avoiding schedule exists.
+            result.record_avoidance();
+        }
+        // Advance to the next unexplored child anywhere up the stack.
+        loop {
+            let Some(frame) = stack.last_mut() else {
+                return;
+            };
+            if frame.next >= frame.width {
+                stack.pop();
+                continue;
+            }
+            let i = frame.next;
+            frame.next += 1;
+            if i > 0 {
+                // Re-enter the frame's node. The final sibling takes the
+                // snapshot by move — no behavior fork.
+                if i + 1 == frame.width {
+                    let snap = frame.snap.take().expect("width > 1 frames hold a snapshot");
+                    rt.restore_owned(snap);
+                } else {
+                    rt.restore(
+                        frame
+                            .snap
+                            .as_ref()
+                            .expect("width > 1 frames hold a snapshot"),
+                    );
+                }
+                rt.legal_choices_into(choices);
+            }
+            meetings.clear();
+            rt.apply_into(choices[i].choice, meetings);
+            if meetings.is_empty() {
+                break; // descend: the outer loop enters the child
+            }
+            result.record_meeting(rt.total_traversals());
+        }
     }
-    *prefix.last_mut().expect("non-empty by the length check") += 1;
-    true
 }
 
 #[cfg(test)]
@@ -268,5 +417,74 @@ mod tests {
         assert_eq!(res.max_meeting_cost, None);
         assert!(res.some_schedule_avoids);
         assert_eq!(res.schedules_explored, 1);
+    }
+
+    #[test]
+    fn factory_is_called_exactly_once() {
+        // The replay-free contract: behaviors are instantiated once, all
+        // re-entry is snapshot/restore.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = AtomicUsize::new(0);
+        let g = generators::ring(4);
+        let res = exhaustive_worst_case(
+            &g,
+            || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                vec![
+                    ScriptBehavior::new(NodeId(0), [0, 0, 0, 0]),
+                    ScriptBehavior::new(NodeId(2), [0, 0, 0, 0]),
+                ]
+            },
+            8,
+        );
+        // 129 leaves: pinned against the seed's sequential odometer
+        // enumeration (replayed via reset + factory per prefix).
+        assert_eq!(res.schedules_explored, 129);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn deep_split_matches_shallow_horizons_incrementally() {
+        // Horizons straddling SPLIT_DEPTH_MIN/MAX must enumerate exactly
+        // the leaf sets the seed's sequential odometer enumeration
+        // produced (ring(4) with two 4-step scripted walkers; counts
+        // pinned against a reimplementation of the pre-snapshot search).
+        let g = generators::ring(4);
+        let make = || {
+            vec![
+                ScriptBehavior::new(NodeId(0), [0, 0, 0, 0]),
+                ScriptBehavior::new(NodeId(2), [0, 0, 0, 0]),
+            ]
+        };
+        for (depth, expected) in [(1, 2), (2, 4), (3, 8), (5, 32), (7, 85), (8, 129)] {
+            let res = exhaustive_worst_case(&g, make, depth);
+            assert_eq!(
+                res.schedules_explored, expected,
+                "leaf count drifted from the seed enumeration at depth {depth}"
+            );
+        }
+    }
+
+    #[test]
+    fn results_are_worker_count_independent() {
+        // Force the multi-threaded frontier path (the steal loop must not
+        // hold the queue lock across a subtree search) and check it against
+        // the single-worker enumeration, worker count by worker count.
+        let g = generators::ring(4);
+        let make = || {
+            vec![
+                ScriptBehavior::new(NodeId(0), [0, 0, 0, 0]),
+                ScriptBehavior::new(NodeId(2), [0, 0, 0, 0]),
+            ]
+        };
+        let reference = worst_case_with_workers(&g, make, 8, 1);
+        assert_eq!(reference.schedules_explored, 129);
+        for workers in [2, 3, 8] {
+            assert_eq!(
+                worst_case_with_workers(&g, make, 8, workers),
+                reference,
+                "worker count {workers} changed the result"
+            );
+        }
     }
 }

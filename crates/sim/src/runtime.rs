@@ -7,6 +7,19 @@
 //! variants of [`Runtime::legal_choices`] / [`Runtime::apply`] write into
 //! caller-owned buffers that [`Runtime::run`] and the minimax search reuse
 //! across steps.
+//!
+//! # State lifecycle
+//!
+//! A runtime state moves through construct → run → snapshot → fork →
+//! restore: [`Runtime::new`] constructs, [`Runtime::run`] / `apply` steps,
+//! [`Runtime::snapshot`] freezes the complete mid-run state (forking every
+//! behavior per the [`Behavior::fork`] contract) into a
+//! [`RuntimeSnapshot`], and [`Runtime::restore`] /
+//! [`Runtime::from_snapshot`] re-enter that state — on the same runtime,
+//! a fresh one, or another thread — without replaying the schedule prefix.
+//! [`Runtime::reset`] is the other rewind: back to the *initial* state
+//! with brand-new behaviors (see its docs for the reset-vs-restore rule of
+//! thumb).
 
 use crate::behavior::Behavior;
 use crate::meeting::{Meeting, MeetingPlace};
@@ -117,6 +130,7 @@ impl RunConfig {
     }
 }
 
+#[derive(Debug)]
 struct Slot<B> {
     behavior: B,
     place: Place,
@@ -130,9 +144,24 @@ struct Slot<B> {
     traversals: u64,
 }
 
+impl<B: Behavior> Slot<B> {
+    /// Forks the slot: scheduler bookkeeping is copied, the behavior is
+    /// forked per the [`Behavior::fork`] contract.
+    fn fork(&self) -> Self {
+        Slot {
+            behavior: self.behavior.fork(),
+            place: self.place,
+            inside_index: self.inside_index,
+            pending: self.pending,
+            awake: self.awake,
+            traversals: self.traversals,
+        }
+    }
+}
+
 /// Per-edge occupancy: FIFO queues of agents inside, one per direction.
 /// Direction is identified by the departure node.
-#[derive(Clone, Default)]
+#[derive(Clone, Debug, Default)]
 struct EdgeOcc {
     /// Agents that entered from `edge.a`, in entry order (front = eldest).
     from_a: Vec<usize>,
@@ -154,6 +183,35 @@ impl EdgeOcc {
         } else {
             &mut self.from_b
         }
+    }
+}
+
+/// A frozen mid-run [`Runtime`] state: forked behaviors plus all scheduler
+/// bookkeeping. Produced by [`Runtime::snapshot`], consumed (by reference,
+/// any number of times) by [`Runtime::restore`] and
+/// [`Runtime::from_snapshot`].
+///
+/// The snapshot does not borrow the runtime or the graph, so it can be
+/// moved across threads (it is `Send` whenever the behavior is) — the
+/// minimax search ships frontier snapshots to worker threads this way.
+#[derive(Debug)]
+pub struct RuntimeSnapshot<B> {
+    slots: Vec<Slot<B>>,
+    edges: Vec<EdgeOcc>,
+    meetings: Vec<Meeting>,
+    actions: u64,
+    total_traversals: u64,
+}
+
+impl<B: Behavior> RuntimeSnapshot<B> {
+    /// Total completed traversals at the moment of the snapshot.
+    pub fn total_traversals(&self) -> u64 {
+        self.total_traversals
+    }
+
+    /// Adversary actions executed at the moment of the snapshot.
+    pub fn actions(&self) -> u64 {
+        self.actions
     }
 }
 
@@ -200,10 +258,17 @@ impl<'g, B: Behavior> Runtime<'g, B> {
         rt
     }
 
-    /// Rewinds the runtime to the initial state with a fresh set of agents,
-    /// reusing every internal allocation (edge queues, slot storage,
-    /// scratch). The workhorse of the exhaustive minimax search, which
-    /// re-executes runs for thousands of schedule prefixes.
+    /// Rewinds the runtime to the **initial** state with a fresh set of
+    /// agents, reusing every internal allocation (edge queues, slot
+    /// storage, scratch).
+    ///
+    /// Use `reset` when the next run should start from scratch with *new*
+    /// behaviors (different labels, a different algorithm variant, a fresh
+    /// RNG); use [`Runtime::restore`] to rewind to a **mid-run** state
+    /// captured by [`Runtime::snapshot`] — restore keeps the agents'
+    /// accumulated state (cursor position, warm length memos, RNG streams)
+    /// and is what the replay-free minimax search uses instead of
+    /// re-executing schedule prefixes after a `reset`.
     ///
     /// # Panics
     ///
@@ -218,6 +283,124 @@ impl<'g, B: Behavior> Runtime<'g, B> {
         self.total_traversals = 0;
         self.slots.clear();
         self.install(behaviors);
+    }
+
+    /// Freezes the complete mid-run state — agent behaviors (via
+    /// [`Behavior::fork`]), positions, committed moves, edge occupancy,
+    /// meeting history, and counters — into an O(state) snapshot that can
+    /// be [`Runtime::restore`]d any number of times, on this runtime or on
+    /// a fresh one built with [`Runtime::from_snapshot`].
+    ///
+    /// Snapshots are independent of the runtime that produced them: taking
+    /// one never perturbs the run, and a snapshot outlives its runtime.
+    pub fn snapshot(&self) -> RuntimeSnapshot<B> {
+        RuntimeSnapshot {
+            slots: self.slots.iter().map(Slot::fork).collect(),
+            edges: self.edges.clone(),
+            meetings: self.meetings.clone(),
+            actions: self.actions,
+            total_traversals: self.total_traversals,
+        }
+    }
+
+    /// Rewinds this runtime to the mid-run state captured by `snap`,
+    /// reusing internal allocations where possible. See [`Runtime::reset`]
+    /// for when to reset instead.
+    ///
+    /// The snapshot is borrowed, not consumed: the same snapshot can seed
+    /// any number of restores (the minimax search re-enters each frontier
+    /// state once per sibling branch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snap` was taken on a runtime over a different graph
+    /// (detected by edge-table size).
+    pub fn restore(&mut self, snap: &RuntimeSnapshot<B>) {
+        assert_eq!(
+            snap.edges.len(),
+            self.edges.len(),
+            "snapshot belongs to a runtime over a different graph"
+        );
+        self.slots.clear();
+        self.slots.extend(snap.slots.iter().map(Slot::fork));
+        self.edges.clone_from(&snap.edges);
+        self.meetings.clone_from(&snap.meetings);
+        self.actions = snap.actions;
+        self.total_traversals = snap.total_traversals;
+    }
+
+    /// Like [`Runtime::restore`], but consumes the snapshot and moves its
+    /// state in without forking the behaviors — the cheap path for a
+    /// snapshot's *last* use (the minimax search re-enters each node once
+    /// per sibling; the final sibling takes the state by move).
+    ///
+    /// # Panics
+    ///
+    /// As for [`Runtime::restore`].
+    pub fn restore_owned(&mut self, snap: RuntimeSnapshot<B>) {
+        assert_eq!(
+            snap.edges.len(),
+            self.edges.len(),
+            "snapshot belongs to a runtime over a different graph"
+        );
+        self.slots = snap.slots;
+        self.edges = snap.edges;
+        self.meetings = snap.meetings;
+        self.actions = snap.actions;
+        self.total_traversals = snap.total_traversals;
+    }
+
+    /// Builds a fresh runtime positioned at the mid-run state captured by
+    /// `snap` — the cross-thread entry point of the parallel minimax
+    /// search, whose workers receive snapshots instead of behavior
+    /// factories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snap` was not taken over `g` (edge-table size mismatch).
+    pub fn from_snapshot(g: &'g Graph, snap: &RuntimeSnapshot<B>, config: RunConfig) -> Self {
+        assert_eq!(
+            snap.edges.len(),
+            g.size(),
+            "snapshot belongs to a runtime over a different graph"
+        );
+        Runtime {
+            g,
+            slots: snap.slots.iter().map(Slot::fork).collect(),
+            edges: snap.edges.clone(),
+            meetings: snap.meetings.clone(),
+            actions: snap.actions,
+            total_traversals: snap.total_traversals,
+            config,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Like [`Runtime::from_snapshot`], but consumes the snapshot and moves
+    /// its state in without forking — the cheap constructor when the
+    /// snapshot has no further use (a search worker entering its first
+    /// owned job). Mirrors the [`Runtime::restore`] /
+    /// [`Runtime::restore_owned`] pairing.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Runtime::from_snapshot`].
+    pub fn from_snapshot_owned(g: &'g Graph, snap: RuntimeSnapshot<B>, config: RunConfig) -> Self {
+        assert_eq!(
+            snap.edges.len(),
+            g.size(),
+            "snapshot belongs to a runtime over a different graph"
+        );
+        Runtime {
+            g,
+            slots: snap.slots,
+            edges: snap.edges,
+            meetings: snap.meetings,
+            actions: snap.actions,
+            total_traversals: snap.total_traversals,
+            config,
+            scratch: Vec::new(),
+        }
     }
 
     fn install(&mut self, behaviors: Vec<B>) {
@@ -265,6 +448,11 @@ impl<'g, B: Behavior> Runtime<'g, B> {
     /// Number of agents.
     pub fn agent_count(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Adversary actions executed so far.
+    pub fn actions(&self) -> u64 {
+        self.actions
     }
 
     /// Meetings declared so far.
@@ -586,5 +774,87 @@ impl<'g, B: Behavior> Runtime<'g, B> {
             meetings: self.meetings.clone(),
             actions: self.actions,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::RoundRobin;
+    use crate::behavior::ScriptBehavior;
+    use rv_graph::generators;
+
+    fn two_walkers(g: &Graph) -> Vec<ScriptBehavior> {
+        vec![
+            ScriptBehavior::new(NodeId(0), [0, 0, 0, 0]),
+            ScriptBehavior::new(NodeId(g.order() / 2), [0, 0, 0, 0]),
+        ]
+    }
+
+    /// Steps `n` legal choices (first legal each time), stopping early if
+    /// the run terminates.
+    fn step_n<B: Behavior>(rt: &mut Runtime<B>, n: usize) {
+        let mut choices = Vec::new();
+        let mut meetings = Vec::new();
+        for _ in 0..n {
+            rt.legal_choices_into(&mut choices);
+            let Some(c) = choices.first() else { return };
+            meetings.clear();
+            rt.apply_into(c.choice, &mut meetings);
+        }
+    }
+
+    #[test]
+    fn snapshot_captures_and_restore_rewinds() {
+        let g = generators::ring(6);
+        let mut rt = Runtime::new(&g, two_walkers(&g), RunConfig::rendezvous());
+        step_n(&mut rt, 5);
+        let snap = rt.snapshot();
+        assert_eq!(snap.actions(), rt.actions());
+        assert_eq!(snap.total_traversals(), rt.total_traversals());
+        let places: Vec<Place> = (0..rt.agent_count()).map(|i| rt.place(i)).collect();
+
+        // Diverge, then rewind.
+        step_n(&mut rt, 4);
+        assert_ne!(rt.actions(), snap.actions());
+        rt.restore(&snap);
+        assert_eq!(rt.actions(), snap.actions());
+        assert_eq!(rt.total_traversals(), snap.total_traversals());
+        for (i, &p) in places.iter().enumerate() {
+            assert_eq!(rt.place(i), p);
+        }
+    }
+
+    #[test]
+    fn one_snapshot_seeds_many_identical_continuations() {
+        let g = generators::ring(6);
+        let mut rt = Runtime::new(&g, two_walkers(&g), RunConfig::rendezvous());
+        step_n(&mut rt, 3);
+        let snap = rt.snapshot();
+        let finish = |rt: &mut Runtime<ScriptBehavior>| {
+            let out = rt.run(&mut RoundRobin::new());
+            format!("{:?} {} {:?}", out.end, out.total_traversals, out.meetings)
+        };
+        let a = {
+            let mut fresh = Runtime::from_snapshot(&g, &snap, RunConfig::rendezvous());
+            finish(&mut fresh)
+        };
+        rt.restore(&snap);
+        let b = finish(&mut rt);
+        rt.restore(&snap);
+        let c = finish(&mut rt);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "different graph")]
+    fn restore_rejects_foreign_snapshots() {
+        let g6 = generators::ring(6);
+        let g4 = generators::ring(4);
+        let rt6 = Runtime::new(&g6, two_walkers(&g6), RunConfig::rendezvous());
+        let snap = rt6.snapshot();
+        let mut rt4 = Runtime::new(&g4, two_walkers(&g4), RunConfig::rendezvous());
+        rt4.restore(&snap);
     }
 }

@@ -10,10 +10,13 @@
 //! `cargo test -p rv_sim --test golden_equivalence -- --ignored --nocapture`
 //! and paste the printed table over `GOLDEN`.
 
+use proptest::prelude::*;
 use rv_core::Label;
 use rv_explore::SeededUxs;
 use rv_graph::{GraphFamily, NodeId};
-use rv_sim::adversary::AdversaryKind;
+use rv_sim::adversary::{
+    Adversary, AdversaryKind, EagerMeet, GreedyAvoid, Lazy, RandomAdversary, RoundRobin,
+};
 use rv_sim::{RunConfig, Runtime, RvBehavior};
 use rv_trajectory::{Spec, TrajectoryCursor};
 
@@ -188,6 +191,100 @@ fn minimax_results_match_seed_implementation() {
             GOLDEN_MINIMAX[i],
             "minimax drifted from the seed implementation at depth {depth}"
         );
+    }
+}
+
+/// Action count of golden run `i`, parsed from its fingerprint — used to
+/// place the snapshot detour strictly mid-run.
+fn golden_actions(i: usize) -> u64 {
+    GOLDEN_RUNS[i]
+        .split("actions=")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .expect("golden fingerprints carry actions=N")
+}
+
+/// Replays golden run case `i` with a snapshot/restore detour after
+/// `split` adversary actions: steps the run manually (mirroring
+/// `Runtime::run`) to the split point, freezes a [`rv_sim::RuntimeSnapshot`]
+/// and forks the adversary, then finishes **both** continuations — the
+/// original runtime with the original adversary, and a fresh
+/// `Runtime::from_snapshot` with the forked adversary. Returns both final
+/// fingerprints; snapshot fidelity means each is bit-identical to the
+/// uninterrupted golden fingerprint (including the `GreedyAvoid` /
+/// `RandomAdversary` RNG streams, which the fork must capture mid-stream).
+fn detour_fingerprints(i: usize, split: u64) -> (String, String) {
+    fn go<A: Adversary + Clone>(
+        fam: GraphFamily,
+        n: usize,
+        gseed: u64,
+        mut adv: A,
+        split: u64,
+    ) -> (String, String) {
+        let uxs = SeededUxs::quadratic();
+        let g = fam.generate(n, gseed);
+        let config = RunConfig::rendezvous().with_cutoff(CUTOFF);
+        let agents = vec![
+            RvBehavior::new(&g, uxs, NodeId(0), Label::new(6).unwrap()),
+            RvBehavior::new(&g, uxs, NodeId(g.order() / 2), Label::new(9).unwrap()),
+        ];
+        let mut rt = Runtime::new(&g, agents, config);
+        // Manual prefix, decision-for-decision identical to `Runtime::run`.
+        let mut choices = Vec::new();
+        let mut meetings = Vec::new();
+        for _ in 0..split {
+            assert!(rt.total_traversals() < CUTOFF, "split is strictly mid-run");
+            rt.legal_choices_into(&mut choices);
+            assert!(!choices.is_empty(), "split is strictly mid-run");
+            let choice = adv.choose(&choices, rt.actions());
+            meetings.clear();
+            rt.apply_into(choice, &mut meetings);
+            assert!(meetings.is_empty(), "split is strictly mid-run");
+        }
+        let snap = rt.snapshot();
+        let mut forked_adv = adv.clone();
+        let fingerprint = |rt: &mut Runtime<RvBehavior<SeededUxs>>, adv: &mut A| {
+            let out = rt.run(adv);
+            format!(
+                "{:?} cost={} actions={} per={:?} meetings={:?}",
+                out.end, out.total_traversals, out.actions, out.per_agent, out.meetings
+            )
+        };
+        let continued = fingerprint(&mut rt, &mut adv);
+        let mut restored = Runtime::from_snapshot(&g, &snap, config);
+        let resumed = fingerprint(&mut restored, &mut forked_adv);
+        (continued, resumed)
+    }
+
+    let (fam, n, gseed, kind, aseed) = RUN_CASES[i];
+    match kind {
+        AdversaryKind::RoundRobin => go(fam, n, gseed, RoundRobin::new(), split),
+        AdversaryKind::Random => go(fam, n, gseed, RandomAdversary::new(aseed), split),
+        AdversaryKind::LazyFirst => go(fam, n, gseed, Lazy::new(0), split),
+        AdversaryKind::LazySecond => go(fam, n, gseed, Lazy::new(1), split),
+        AdversaryKind::GreedyAvoid => go(fam, n, gseed, GreedyAvoid::new(aseed), split),
+        AdversaryKind::EagerMeet => go(fam, n, gseed, EagerMeet::new(), split),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Snapshot fidelity against the golden suite: interrupting any golden
+    /// run at any mid-run action with `restore(snapshot())` — continuing
+    /// both the original and the restored copy — produces run fingerprints
+    /// bit-identical to the uninterrupted golden run, adversary RNG
+    /// streams included.
+    #[test]
+    fn snapshot_restore_detour_is_invisible(case in 0usize..12, salt in any::<u64>()) {
+        // Interrupt strictly before the final (meeting) action.
+        let split = salt % golden_actions(case).max(1);
+        let (continued, resumed) = detour_fingerprints(case, split);
+        prop_assert_eq!(continued.as_str(), GOLDEN_RUNS[case],
+            "continuing past a snapshot diverged (case {}, split {})", case, split);
+        prop_assert_eq!(resumed.as_str(), GOLDEN_RUNS[case],
+            "restoring a snapshot diverged (case {}, split {})", case, split);
     }
 }
 

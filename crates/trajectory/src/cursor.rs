@@ -16,7 +16,7 @@
 
 use crate::lengths::Lengths;
 use crate::spec::Spec;
-use rv_arith::Big;
+use rv_arith::RepCount;
 use rv_explore::{r_trajectory, ConcreteTrajectory, ExplorationProvider, RWalker};
 use rv_graph::{Graph, NodeId, PortId};
 
@@ -36,20 +36,20 @@ pub struct Traversal {
 /// What a sweep inserts at every node of its `R(k, ·)` spine:
 /// `Q(k)` for `Y′` (Definition 3.3) or `Z(k)` for `A′` (Definition 3.5).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Inner {
+pub(crate) enum Inner {
     Q,
     Z,
 }
 
 /// Body of a repetition combinator: `Y(k)` for `B`, `X(k)` for `K`/`Ω`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Body {
+pub(crate) enum Body {
     X,
     Y,
 }
 
-#[derive(Debug)]
-enum Task<P> {
+#[derive(Clone)]
+pub(crate) enum Task<P> {
     /// `R(k, ·)` from the current node.
     RFwd { walker: RWalker<P> },
     /// `X(k, ·) = R R̄`: walk forward logging entry ports, then replay the
@@ -89,8 +89,14 @@ enum Task<P> {
         start: Option<NodeId>,
         phase: u8,
     },
-    /// `body(k)` repeated `remaining` more times (`B`, `K`, `Ω`).
-    Repeat { body: Body, k: u64, remaining: Big },
+    /// `body(k)` repeated `remaining` more times (`B`, `K`, `Ω`). The
+    /// counter is native `u64` until the repetition count exceeds `2^64`
+    /// (see [`RepCount`]) — decrements dominate deep-combinator streaming.
+    Repeat {
+        body: Body,
+        k: u64,
+        remaining: RepCount,
+    },
 }
 
 enum Outcome {
@@ -105,12 +111,22 @@ enum Outcome {
 /// Push specs with [`TrajectoryCursor::push`]; pushed specs play in LIFO
 /// order (the most recently pushed plays first — callers that sequence
 /// whole-algorithm phases push one spec at a time as the stack drains).
-#[derive(Debug)]
+///
+/// # Forking
+///
+/// The cursor is `Clone`, and cloning is a **fork**: the clone captures the
+/// complete mid-stream state — position, entry port, the frame stack with
+/// its replay logs and repetition counters, and the warm [`Lengths`] memo —
+/// in O(state), so original and clone continue with bit-identical traversal
+/// streams. The simulator's snapshot/restore machinery
+/// (`rv_sim::Runtime::snapshot`) relies on this to explore schedule trees
+/// without replaying trajectory prefixes.
+#[derive(Clone)]
 pub struct TrajectoryCursor<'g, P> {
     g: &'g Graph,
     provider: P,
     lengths: Lengths<P>,
-    stack: Vec<Task<P>>,
+    pub(crate) stack: Vec<Task<P>>,
     cur: NodeId,
     entry: Option<PortId>,
     steps: u64,
@@ -201,17 +217,17 @@ impl<'g, P: ExplorationProvider + Clone> TrajectoryCursor<'g, P> {
             Spec::B(k) => Task::Repeat {
                 body: Body::Y,
                 k,
-                remaining: self.lengths.b_reps(k),
+                remaining: RepCount::from(self.lengths.b_reps(k)),
             },
             Spec::K(k) => Task::Repeat {
                 body: Body::X,
                 k,
-                remaining: self.lengths.k_reps(k),
+                remaining: RepCount::from(self.lengths.k_reps(k)),
             },
             Spec::Omega(k) => Task::Repeat {
                 body: Body::X,
                 k,
-                remaining: self.lengths.omega_reps(k),
+                remaining: RepCount::from(self.lengths.omega_reps(k)),
             },
         }
     }
@@ -429,26 +445,25 @@ impl<'g, P: ExplorationProvider + Clone> TrajectoryCursor<'g, P> {
                 }
                 _ => Outcome::Pop,
             },
-            Task::Repeat { body, k, remaining } => match remaining.checked_sub(&Big::one()) {
-                None => Outcome::Pop,
-                Some(next) => {
-                    *remaining = next;
-                    *push_task = Some(match body {
-                        Body::X => Task::X {
-                            walker: Some(RWalker::new(provider.clone(), *k)),
-                            log: Vec::new(),
-                            rev: 0,
-                        },
-                        Body::Y => Task::Palindrome {
-                            k: *k,
-                            inner: Inner::Q,
-                            start: None,
-                            phase: 0,
-                        },
-                    });
-                    Outcome::Push
+            Task::Repeat { body, k, remaining } => {
+                if !remaining.try_decrement() {
+                    return Outcome::Pop;
                 }
-            },
+                *push_task = Some(match body {
+                    Body::X => Task::X {
+                        walker: Some(RWalker::new(provider.clone(), *k)),
+                        log: Vec::new(),
+                        rev: 0,
+                    },
+                    Body::Y => Task::Palindrome {
+                        k: *k,
+                        inner: Inner::Q,
+                        start: None,
+                        phase: 0,
+                    },
+                });
+                Outcome::Push
+            }
         }
     }
 }
@@ -464,6 +479,7 @@ fn chain_task<P>(inner: Inner, k: u64, descending: bool) -> Task<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rv_arith::Big;
     use rv_explore::{SeededUxs, TableUxs};
     use rv_graph::generators;
 
@@ -599,6 +615,69 @@ mod tests {
             v
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn cloned_cursor_streams_identically_from_any_point() {
+        // Fork mid-stream at several depths; original and clone must
+        // produce bit-identical continuations, including across Repeat
+        // counter decrements and sweep reversals.
+        let g = generators::gnp_connected(8, 0.4, 9);
+        for split in [0u64, 1, 17, 500, 4096] {
+            let mut original = TrajectoryCursor::new(&g, SeededUxs::default(), NodeId(3));
+            original.push(Spec::B(2));
+            for _ in 0..split {
+                original.next_traversal().unwrap();
+            }
+            let mut fork = original.clone();
+            assert_eq!(fork.position(), original.position());
+            assert_eq!(fork.steps(), original.steps());
+            for _ in 0..2000 {
+                assert_eq!(
+                    original.next_traversal(),
+                    fork.next_traversal(),
+                    "fork diverged after split at {split}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clone_does_not_perturb_the_original() {
+        // Streaming the clone must leave the original untouched.
+        let g = generators::ring(5);
+        let mut a = TrajectoryCursor::new(&g, SeededUxs::default(), NodeId(0));
+        a.push(Spec::Y(2));
+        for _ in 0..10 {
+            a.next_traversal().unwrap();
+        }
+        let reference: Vec<_> = {
+            let mut probe = a.clone();
+            (0..50).map(|_| probe.next_traversal()).collect()
+        };
+        let mut b = a.clone();
+        for _ in 0..50 {
+            b.next_traversal();
+        }
+        let got: Vec<_> = (0..50).map(|_| a.next_traversal()).collect();
+        assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn repeat_counters_use_the_native_fast_path() {
+        // B(1) under the unit provider repeats Y(1) a tiny number of times;
+        // the counter must be the inline u64 variant.
+        let g = generators::ring(3);
+        let uxs = TableUxs::new(vec![vec![1]]);
+        let mut c = TrajectoryCursor::new(&g, uxs, NodeId(0));
+        c.push(Spec::B(1));
+        match c.stack.last() {
+            Some(Task::Repeat { remaining, .. }) => {
+                assert!(matches!(remaining, RepCount::Small(_)));
+                assert_eq!(remaining.to_big(), c.lengths().b_reps(1));
+            }
+            other => panic!("expected a Repeat task, found {:?}", other.is_some()),
+        }
     }
 
     #[test]

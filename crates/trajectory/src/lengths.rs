@@ -19,8 +19,8 @@
 
 use rv_arith::Big;
 use rv_explore::ExplorationProvider;
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Memoizing evaluator of exact trajectory lengths for a given exploration
 /// provider.
@@ -41,7 +41,26 @@ use std::collections::HashMap;
 #[derive(Debug)]
 pub struct Lengths<P> {
     provider: P,
-    memo: RefCell<HashMap<(Kind, u64), Big>>,
+    /// Shared across clones: the evaluator is a pure function of the
+    /// provider, so every fork of a cursor can safely read and extend one
+    /// common memo. Sharing (rather than deep-copying) makes cloning O(1)
+    /// — the minimax search forks cursors once per schedule-tree node —
+    /// and keeps the chain warm for all of them. Accesses are rare (only
+    /// [`crate::TrajectoryCursor::push`] consults lengths; steady-state
+    /// streaming never does), so the mutex is effectively uncontended.
+    memo: Arc<Mutex<HashMap<(Kind, u64), Big>>>,
+}
+
+impl<P: Clone> Clone for Lengths<P> {
+    /// Clones share the memo chain — see the field docs; forked evaluators
+    /// never recompute a length the original already evaluated, and vice
+    /// versa.
+    fn clone(&self) -> Self {
+        Lengths {
+            provider: self.provider.clone(),
+            memo: Arc::clone(&self.memo),
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -60,12 +79,80 @@ impl<P: ExplorationProvider> Lengths<P> {
     pub fn new(provider: P) -> Self {
         Lengths {
             provider,
-            memo: RefCell::new(HashMap::new()),
+            memo: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
     fn p(&self, k: u64) -> Big {
         Big::from(self.provider.len(k))
+    }
+
+    /// Takes the memo lock **once** and evaluates `kind(k)` — the whole
+    /// recurrence chain runs under the one guard (`eval` recursion passes
+    /// the map down), so a cold evaluation pays a single lock rather than
+    /// one per sub-term. Uncontended in practice: lengths are consulted
+    /// only when specs are pushed, never in steady-state streaming.
+    fn locked(&self, kind: Kind, k: u64) -> Big {
+        let mut memo = self.memo.lock().expect("memo poisoned");
+        self.eval(kind, k, &mut memo)
+    }
+
+    /// Memoised recurrence evaluation under an already-held guard. Each
+    /// formula lives **only here** (or in the `_in` helpers below for the
+    /// derived quantities); the public accessors are lock-then-delegate
+    /// wrappers, so there is a single source of truth per combinator.
+    fn eval(&self, kind: Kind, k: u64, memo: &mut HashMap<(Kind, u64), Big>) -> Big {
+        if let Some(v) = memo.get(&(kind, k)) {
+            return v.clone();
+        }
+        let v = match kind {
+            Kind::Q => (1..=k).map(|i| self.x(i)).sum(),
+            Kind::Yp => {
+                let p = self.p(k);
+                (&p + 1u64) * self.eval(Kind::Q, k, memo) + p
+            }
+            Kind::Z => {
+                let mut sum = Big::zero();
+                for i in 1..=k {
+                    sum += self.y_in(i, memo);
+                }
+                sum
+            }
+            Kind::Ap => {
+                let p = self.p(k);
+                (&p + 1u64) * self.eval(Kind::Z, k, memo) + p
+            }
+            Kind::B => self.b_reps_in(k, memo) * self.y_in(k, memo),
+            Kind::K => self.k_reps_in(k, memo) * self.x(k),
+            Kind::Omega => self.omega_reps_in(k, memo) * self.x(k),
+        };
+        memo.insert((kind, k), v.clone());
+        v
+    }
+
+    /// `|Y(k)| = 2 |Y′(k)|`, under the guard.
+    fn y_in(&self, k: u64, memo: &mut HashMap<(Kind, u64), Big>) -> Big {
+        self.eval(Kind::Yp, k, memo) * 2u64
+    }
+
+    /// `|A(k)| = 2 |A′(k)|`, under the guard.
+    fn a_in(&self, k: u64, memo: &mut HashMap<(Kind, u64), Big>) -> Big {
+        self.eval(Kind::Ap, k, memo) * 2u64
+    }
+
+    /// `b_reps(k) = 2 |A(4k)|`, under the guard.
+    fn b_reps_in(&self, k: u64, memo: &mut HashMap<(Kind, u64), Big>) -> Big {
+        self.a_in(4 * k, memo) * 2u64
+    }
+
+    /// `k_reps(k) = 2 (|B(4k)| + |A(8k)|)`, under the guard.
+    fn k_reps_in(&self, k: u64, memo: &mut HashMap<(Kind, u64), Big>) -> Big {
+        (self.eval(Kind::B, 4 * k, memo) + self.a_in(8 * k, memo)) * 2u64
+    }
+
+    /// `omega_reps(k) = (2k−1) |K(k)|`, under the guard.
+    fn omega_reps_in(&self, k: u64, memo: &mut HashMap<(Kind, u64), Big>) -> Big {
+        self.eval(Kind::K, k, memo) * (2 * k - 1)
     }
 
     /// `|R(k)| = P(k)`.
@@ -80,68 +167,67 @@ impl<P: ExplorationProvider> Lengths<P> {
 
     /// `|Q(k)| = Σ_{i=1..k} |X(i)|`.
     pub fn q(&self, k: u64) -> Big {
-        self.memoized(Kind::Q, k, |s| (1..=k).map(|i| s.x(i)).sum())
+        self.locked(Kind::Q, k)
     }
 
     /// `|Y′(k)| = (P(k)+1)·|Q(k)| + P(k)`.
     pub fn y_prime(&self, k: u64) -> Big {
-        self.memoized(Kind::Yp, k, |s| {
-            let p = s.p(k);
-            (&p + 1u64) * s.q(k) + p
-        })
+        self.locked(Kind::Yp, k)
     }
 
     /// `|Y(k)| = 2 |Y′(k)|`.
     pub fn y(&self, k: u64) -> Big {
-        self.y_prime(k) * 2u64
+        let mut memo = self.memo.lock().expect("memo poisoned");
+        self.y_in(k, &mut memo)
     }
 
     /// `|Z(k)| = Σ_{i=1..k} |Y(i)|`.
     pub fn z(&self, k: u64) -> Big {
-        self.memoized(Kind::Z, k, |s| (1..=k).map(|i| s.y(i)).sum())
+        self.locked(Kind::Z, k)
     }
 
     /// `|A′(k)| = (P(k)+1)·|Z(k)| + P(k)`.
     pub fn a_prime(&self, k: u64) -> Big {
-        self.memoized(Kind::Ap, k, |s| {
-            let p = s.p(k);
-            (&p + 1u64) * s.z(k) + p
-        })
+        self.locked(Kind::Ap, k)
     }
 
     /// `|A(k)| = 2 |A′(k)|`.
     pub fn a(&self, k: u64) -> Big {
-        self.a_prime(k) * 2u64
+        let mut memo = self.memo.lock().expect("memo poisoned");
+        self.a_in(k, &mut memo)
     }
 
     /// Repetition count of `Y(k)` within `B(k)`: `2·|A(4k)|`.
     pub fn b_reps(&self, k: u64) -> Big {
-        self.a(4 * k) * 2u64
+        let mut memo = self.memo.lock().expect("memo poisoned");
+        self.b_reps_in(k, &mut memo)
     }
 
     /// `|B(k)| = 2 |A(4k)| · |Y(k)|`.
     pub fn b(&self, k: u64) -> Big {
-        self.memoized(Kind::B, k, |s| s.b_reps(k) * s.y(k))
+        self.locked(Kind::B, k)
     }
 
     /// Repetition count of `X(k)` within `K(k)`: `2(|B(4k)| + |A(8k)|)`.
     pub fn k_reps(&self, k: u64) -> Big {
-        (self.b(4 * k) + self.a(8 * k)) * 2u64
+        let mut memo = self.memo.lock().expect("memo poisoned");
+        self.k_reps_in(k, &mut memo)
     }
 
     /// `|K(k)| = 2(|B(4k)| + |A(8k)|) · |X(k)|`.
     pub fn k(&self, k: u64) -> Big {
-        self.memoized(Kind::K, k, |s| s.k_reps(k) * s.x(k))
+        self.locked(Kind::K, k)
     }
 
     /// Repetition count of `X(k)` within `Ω(k)`: `(2k−1)·|K(k)|`.
     pub fn omega_reps(&self, k: u64) -> Big {
-        self.k(k) * (2 * k - 1)
+        let mut memo = self.memo.lock().expect("memo poisoned");
+        self.omega_reps_in(k, &mut memo)
     }
 
     /// `|Ω(k)| = (2k−1)·|K(k)|·|X(k)|`.
     pub fn omega(&self, k: u64) -> Big {
-        self.memoized(Kind::Omega, k, |s| s.omega_reps(k) * s.x(k))
+        self.locked(Kind::Omega, k)
     }
 
     /// Length of an arbitrary [`crate::Spec`].
@@ -157,15 +243,6 @@ impl<P: ExplorationProvider> Lengths<P> {
             crate::Spec::K(k) => self.k(k),
             crate::Spec::Omega(k) => self.omega(k),
         }
-    }
-
-    fn memoized(&self, kind: Kind, k: u64, compute: impl FnOnce(&Self) -> Big) -> Big {
-        if let Some(v) = self.memo.borrow().get(&(kind, k)) {
-            return v.clone();
-        }
-        let v = compute(self);
-        self.memo.borrow_mut().insert((kind, k), v.clone());
-        v
     }
 }
 
@@ -234,6 +311,15 @@ mod tests {
         assert_eq!(l.of(Spec::Q(3)), l.q(3));
         assert_eq!(l.of(Spec::Omega(2)), l.omega(2));
         assert_eq!(l.of(Spec::R(4)), l.r(4));
+    }
+
+    #[test]
+    fn clone_carries_the_warm_memo() {
+        let l = Lengths::new(rv_explore::SeededUxs::default());
+        let omega = l.omega(2);
+        let fork = l.clone();
+        assert_eq!(fork.omega(2), omega);
+        assert_eq!(fork.of(Spec::B(3)), l.of(Spec::B(3)));
     }
 
     #[test]

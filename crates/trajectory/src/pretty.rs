@@ -1,8 +1,76 @@
 //! Structural rendering of the trajectory combinators — the textual
-//! counterpart of the paper's Figures 1–4.
+//! counterpart of the paper's Figures 1–4 — plus the compact `Debug`
+//! rendering of live cursor state.
+//!
+//! [`TrajectoryCursor`]'s `Debug` output lives here beside [`describe`] so
+//! the two stay consistent: a forked cursor printed by a failing test shows
+//! one short combinator-notation frame per stack entry (e.g.
+//! `Y(2)^311040` or `X fwd@17/32`) instead of megabytes of replay logs,
+//! and without requiring the provider to be `Debug`.
 
+use crate::cursor::{Body, Inner, Task, TrajectoryCursor};
 use crate::spec::Spec;
+use rv_explore::ExplorationProvider;
+use std::fmt;
 use std::fmt::Write as _;
+
+impl<P: ExplorationProvider> fmt::Debug for Task<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `Inner::Q` sweeps build `Y′`, `Inner::Z` sweeps build `A′`.
+        let sweep = |inner: &Inner| match inner {
+            Inner::Q => "Y",
+            Inner::Z => "A",
+        };
+        match self {
+            Task::RFwd { walker } => {
+                write!(f, "R@{}/{}", walker.steps_taken(), walker.total_steps())
+            }
+            Task::X {
+                walker: Some(w),
+                log,
+                ..
+            } => write!(
+                f,
+                "X fwd@{}/{} (log {})",
+                w.steps_taken(),
+                w.total_steps(),
+                log.len()
+            ),
+            Task::X {
+                walker: None, rev, ..
+            } => write!(f, "X rev@{rev}"),
+            Task::XChain { k, i, descending } => {
+                write!(f, "{}({k})@X({i})", if *descending { "Q̄" } else { "Q" })
+            }
+            Task::YChain { k, i, descending } => {
+                write!(f, "{}({k})@Y({i})", if *descending { "Z̄" } else { "Z" })
+            }
+            Task::SweepFwd { k, inner, idx, .. } => write!(f, "{}′({k})@{idx}", sweep(inner)),
+            Task::SweepRev { k, inner, idx, .. } => write!(f, "{}̅′({k})@{idx}", sweep(inner)),
+            Task::Palindrome {
+                k, inner, phase, ..
+            } => write!(f, "{}({k}) phase {phase}", sweep(inner)),
+            Task::Repeat { body, k, remaining } => {
+                let body = match body {
+                    Body::X => "X",
+                    Body::Y => "Y",
+                };
+                write!(f, "{body}({k})^{remaining}")
+            }
+        }
+    }
+}
+
+impl<P: ExplorationProvider + Clone> fmt::Debug for TrajectoryCursor<'_, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TrajectoryCursor")
+            .field("at", &self.position())
+            .field("entry", &self.last_entry())
+            .field("steps", &self.steps())
+            .field("stack", &self.stack)
+            .finish()
+    }
+}
 
 /// Renders the structure of `spec` as nested composition, expanding one
 /// level per line up to `depth` levels — e.g. Figure 1 (`Q`), Figure 2
@@ -111,5 +179,25 @@ mod tests {
         // Ω(2) → X(2) → R(2): header + three expansion lines.
         assert_eq!(s.lines().count(), 4);
         assert!(s.contains("R(2): exploration sequence"));
+    }
+
+    #[test]
+    fn cursor_debug_is_compact_combinator_notation() {
+        use rv_explore::TableUxs;
+        use rv_graph::{generators, NodeId};
+
+        let g = generators::ring(3);
+        let uxs = TableUxs::new(vec![vec![1]]);
+        let mut c = TrajectoryCursor::new(&g, uxs, NodeId(0));
+        c.push(Spec::B(1));
+        c.next_traversal().unwrap();
+        let dump = format!("{c:?}");
+        assert!(dump.contains("steps: 1"), "missing step count: {dump}");
+        assert!(
+            dump.contains("Y(1)^"),
+            "Repeat frames print in combinator notation: {dump}"
+        );
+        // Megabyte-scale replay logs must never leak into Debug output.
+        assert!(dump.len() < 500, "Debug output not compact: {dump}");
     }
 }

@@ -79,6 +79,10 @@ impl Value {
             _ => None,
         }
     }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
 }
 
 /// Parses a JSON document into a [`Value`].
