@@ -1,12 +1,13 @@
 //! **perf_baseline** — the committed performance trajectory of the
 //! simulator hot path.
 //!
-//! Times four fixed scenarios that together cover every layer the
+//! Times six fixed scenarios that together cover every layer the
 //! experiments exercise — end-to-end rendezvous runs under two adversaries,
-//! raw trajectory-cursor streaming, and the exhaustive minimax search —
-//! with warmup and repeated trials, and writes the median ns/op per
-//! scenario as JSON (default `BENCH_baseline.json`, the repo-root perf
-//! baseline future PRs are compared against).
+//! raw trajectory-cursor streaming, the exhaustive minimax search, and a
+//! protocol-mode SGL run with search-style snapshot checkpoints — with
+//! warmup and repeated trials, and writes the median ns/op per scenario as
+//! JSON (default `BENCH_baseline.json`, the repo-root perf baseline future
+//! PRs are compared against).
 //!
 //! Usage:
 //!
@@ -28,12 +29,13 @@ use serde::Serialize;
 use std::time::Instant;
 
 /// The scenarios a baseline file must cover, in reporting order.
-pub const SCENARIOS: [&str; 5] = [
+pub const SCENARIOS: [&str; 6] = [
     "f1_rendezvous/ring12/greedy-avoid",
     "f1_rendezvous/ring12/lazy-second",
     "cursor_stream/gnp16/B8",
     "minimax/path3/depth10",
     "minimax/ring4/depth8",
+    "sgl/ring8/k3",
 ];
 
 /// One measured scenario, serialised into the baseline JSON.
@@ -80,6 +82,7 @@ fn main() {
         cursor_scenario(trials),
         minimax_scenario(trials),
         minimax_ring_scenario(trials),
+        sgl_protocol_scenario(trials),
     ];
 
     let json = serde_json::to_string(&records).expect("records serialise");
@@ -197,6 +200,51 @@ fn minimax_ring_scenario(trials: usize) -> Record {
         );
         assert!(res.schedules_explored > 0);
         std::hint::black_box(res.schedules_explored);
+    })
+}
+
+/// Protocol-mode SGL gossip on ring(8) with k = 3 agents under the fair
+/// scheduler, checkpointing with [`Runtime::snapshot`] every 32 adversary
+/// actions — the cadence a search over protocol schedules would use. The
+/// run is a fixed-work prefix (cut off at 40k total traversals, well
+/// before quiescence at ~1.3M) so the scenario times a deterministic
+/// amount of protocol progress: the meeting log grows with gossip for the
+/// whole prefix (meetings are exchanges, not terminals), so this scenario
+/// prices both the per-run outcome handoff and repeated mid-run snapshots
+/// of an ever-longer log.
+fn sgl_protocol_scenario(trials: usize) -> Record {
+    use rv_protocols::{SglBehavior, SglConfig};
+    const SGL_CUTOFF: u64 = 40_000;
+    let uxs = SeededUxs::quadratic();
+    let g = GraphFamily::Ring.generate(8, 5);
+    let labels: [u64; 3] = [6, 9, 14];
+    measure(SCENARIOS[5], "run", trials, 5, 1, || {
+        let agents: Vec<_> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| {
+                SglBehavior::new(
+                    &g,
+                    uxs,
+                    NodeId(i * g.order() / labels.len()),
+                    Label::new(l).unwrap(),
+                    l + 1000,
+                    SglConfig::default(),
+                )
+            })
+            .collect();
+        let mut rt = Runtime::new(&g, agents, RunConfig::protocol().with_cutoff(SGL_CUTOFF));
+        let mut adv = AdversaryKind::RoundRobin.build(3);
+        let mut meetings = Vec::new();
+        // `Runtime::step` is `run()`'s own loop body, driven manually so a
+        // snapshot checkpoint can fire every 32 actions.
+        while rt.step(adv.as_mut(), &mut meetings).is_none() {
+            if rt.actions().is_multiple_of(32) {
+                std::hint::black_box(rt.snapshot().actions());
+            }
+        }
+        assert_eq!(rt.total_traversals(), SGL_CUTOFF, "fixed-work prefix");
+        std::hint::black_box(rt.actions());
     })
 }
 

@@ -1,13 +1,29 @@
 //! **scenario_matrix** — the scenario-diversity bench runner.
 //!
-//! Sweeps the cartesian product of a declarative table — graph family ×
-//! graph size × adversary × algorithm variant (the F6 ablations) — running
-//! one rendezvous configuration per cell and emitting **one JSON row per
-//! cell** (JSON-lines, like the `expt_*` binaries). Where `perf_baseline`
-//! tracks four hand-picked hot-path scenarios over time, this runner
-//! measures *breadth*: how cost and wall-clock behave across every
-//! family/adversary/variant combination, so future PRs can quantify
-//! scenario diversity instead of overfitting to the baseline four.
+//! Sweeps the cartesian product of a declarative table and emits **one
+//! JSON row per cell** (JSON-lines, like the `expt_*` binaries). Where
+//! `perf_baseline` tracks six hand-picked hot-path scenarios over time,
+//! this runner measures *breadth*: how cost and wall-clock behave across
+//! every combination, so future PRs can quantify scenario diversity
+//! instead of overfitting to the baseline six.
+//!
+//! Two sub-tables share the family × adversary axes:
+//!
+//! * **Rendezvous** cells — graph family × order (8, 12, 16) × adversary ×
+//!   algorithm variant (the paper's algorithm plus the three F6
+//!   ablations), two `RvBehavior` agents, stop at the first meeting.
+//! * **Protocol (SGL)** cells — graph family × order (5, 6, 8) × adversary
+//!   × team size k ∈ {2, 3, 4}, `SglBehavior` agents run to quiescence
+//!   (meetings are exchanges, not terminals). The order axis is the
+//!   SGL-affordable range `expt_f4_sgl` sweeps: quiescence cost grows with
+//!   the ESST order bound cubed, so the rendezvous orders would cost
+//!   seconds-to-minutes *per cell* (see README "Performance").
+//!
+//! Every row carries a **cutoff column** (`cutoff`, plus `traversals` at
+//! the end of the run): a cell whose `end` is `"Cutoff"` was stopped at
+//! exactly `cutoff` traversals — distinguishable at a glance from cells
+//! that merely ran slowly, and comparable across modes (the known
+//! F6-divergence cells are the rendezvous rows with `end == "Cutoff"`).
 //!
 //! Usage:
 //!
@@ -16,16 +32,19 @@
 //! scenario_matrix --check PATH                          # validate rows
 //! ```
 //!
-//! `--smoke` runs 1 trial per cell (the CI gate); the default is 5.
-//! `--check` verifies every line parses as a JSON object with the expected
-//! fields and that the file covers exactly the declared matrix — CI fails
-//! on any malformed or missing row.
+//! `--smoke` runs 1 trial per cell and caps protocol cells at a smaller
+//! cutoff (the CI gate is a schema/coverage check, not a measurement);
+//! the default is 5 trials with the full protocol cutoff. `--check`
+//! verifies every line parses as a JSON object with the expected fields
+//! and that the file covers exactly the declared matrix — CI fails on any
+//! malformed or missing row.
 
 use rv_core::{Label, RvVariant};
 use rv_explore::SeededUxs;
 use rv_graph::{GraphFamily, NodeId};
+use rv_protocols::{SglBehavior, SglConfig};
 use rv_sim::adversary::AdversaryKind;
-use rv_sim::{RunConfig, RunEnd, Runtime, RvBehavior};
+use rv_sim::{RunConfig, RunEnd, RunOutcome, Runtime, RvBehavior};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -38,8 +57,16 @@ const FAMILIES: [(GraphFamily, &str); 5] = [
     (GraphFamily::Lollipop, "lollipop"),
 ];
 
-/// Graph orders swept.
+/// Graph orders swept by the rendezvous cells.
 const SIZES: [usize; 3] = [8, 12, 16];
+
+/// Graph orders swept by the protocol (SGL) cells — the affordable range
+/// (quiescence cost grows with the ESST order bound cubed; these mirror
+/// the `expt_f4_sgl` sweep).
+const PROTOCOL_SIZES: [usize; 3] = [5, 6, 8];
+
+/// SGL team sizes swept by the protocol cells.
+const TEAM_SIZES: [usize; 3] = [2, 3, 4];
 
 /// Adversaries swept (a spread from cooperative to strongest-avoiding;
 /// seeded strategies use [`ADVERSARY_SEED`]).
@@ -84,41 +111,114 @@ fn variants() -> [(&'static str, RvVariant); 4] {
 const GRAPH_SEED: u64 = 5;
 /// Fixed adversary seed for the seeded strategies.
 const ADVERSARY_SEED: u64 = 3;
-/// Total-traversal cutoff: generous for every converging cell, small
-/// enough that diverging ablation cells return quickly.
+/// Rendezvous cutoff: generous for every converging cell, small enough
+/// that diverging ablation cells return quickly.
 const CUTOFF: u64 = 100_000;
-/// Agent labels, as in the F1 experiments and the golden suite.
+/// Protocol cutoff, full mode: above every known quiescence cost on the
+/// protocol orders, so `Cutoff` rows flag genuine outliers.
+const PROTOCOL_CUTOFF: u64 = 2_500_000;
+/// Protocol cutoff under `--smoke`: bounds the CI gate's wall-clock (the
+/// gate checks schema and coverage; protocol smoke rows all read
+/// `end == "Cutoff"` by design and record this cutoff in the row).
+const PROTOCOL_SMOKE_CUTOFF: u64 = 40_000;
+/// Rendezvous agent labels, as in the F1 experiments and the golden suite.
 const LABELS: (u64, u64) = (6, 9);
+/// SGL labels by agent index (protocol cells take the first k).
+const SGL_LABELS: [u64; 4] = [6, 9, 14, 21];
 
 /// Number of cells in the declared matrix.
 pub fn cell_count() -> usize {
-    FAMILIES.len() * SIZES.len() * ADVERSARIES.len() * variants().len()
+    let rendezvous = FAMILIES.len() * SIZES.len() * ADVERSARIES.len() * variants().len();
+    let protocol = FAMILIES.len() * PROTOCOL_SIZES.len() * ADVERSARIES.len() * TEAM_SIZES.len();
+    rendezvous + protocol
 }
 
 /// One measured cell, serialised as a JSON-lines row.
 #[derive(Clone, Debug, Serialize)]
 struct Row {
-    /// Cell id, `family<n>/adversary/variant`.
+    /// Cell id, `family<n>/adversary/variant` (variant is `sgl-k<k>` for
+    /// protocol cells).
     scenario: String,
+    /// `"rendezvous"` (stop at first meeting) or `"protocol"` (run to
+    /// quiescence).
+    mode: String,
     /// Graph family name.
     family: String,
     /// Graph order requested.
     n: usize,
     /// Adversary name.
     adversary: String,
-    /// Algorithm variant name.
+    /// Algorithm variant name (`sgl-k<k>` for protocol cells).
     variant: String,
+    /// Number of agents in the cell (2, or the SGL team size).
+    agents: usize,
     /// How the run ended (`Meeting`, `AllParked`, or `Cutoff`).
     end: String,
     /// Meeting cost (total traversals at the first forced meeting);
-    /// `null` for any non-`Meeting` end (`Cutoff` and `AllParked` alike).
+    /// `null` for any non-`Meeting` end (`Cutoff` and `AllParked` alike —
+    /// protocol cells quiesce instead of meeting, so theirs is always
+    /// `null`; their cost to quiescence is `traversals`).
     cost: Option<u64>,
+    /// Total completed traversals when the run ended — the cutoff column's
+    /// "traversals at cutoff" for `Cutoff` rows, the cost to quiescence
+    /// for `AllParked` rows.
+    traversals: u64,
+    /// The traversal cutoff this cell ran under.
+    cutoff: u64,
     /// Adversary actions executed.
     actions: u64,
     /// Timed trials.
     trials: usize,
     /// Median wall time per run, nanoseconds.
     median_ns_per_run: f64,
+}
+
+/// The two cell kinds sharing the family × adversary axes.
+#[derive(Clone, Copy)]
+enum CellKind {
+    Rendezvous {
+        vname: &'static str,
+        variant: RvVariant,
+    },
+    Sgl {
+        k: usize,
+    },
+}
+
+/// Every declared cell, in emission order.
+fn cells() -> Vec<(GraphFamily, &'static str, usize, AdversaryKind, CellKind)> {
+    let mut out = Vec::with_capacity(cell_count());
+    for (family, fname) in FAMILIES {
+        for n in SIZES {
+            for adversary in ADVERSARIES {
+                for (vname, variant) in variants() {
+                    out.push((
+                        family,
+                        fname,
+                        n,
+                        adversary,
+                        CellKind::Rendezvous { vname, variant },
+                    ));
+                }
+            }
+        }
+        for n in PROTOCOL_SIZES {
+            for adversary in ADVERSARIES {
+                for k in TEAM_SIZES {
+                    out.push((family, fname, n, adversary, CellKind::Sgl { k }));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The scenario id of a cell.
+fn scenario_id(fname: &str, n: usize, adversary: AdversaryKind, kind: &CellKind) -> String {
+    match kind {
+        CellKind::Rendezvous { vname, .. } => format!("{fname}{n}/{adversary}/{vname}"),
+        CellKind::Sgl { k } => format!("{fname}{n}/{adversary}/sgl-k{k}"),
+    }
 }
 
 fn main() {
@@ -150,19 +250,18 @@ fn main() {
                 .clone()
         })
         .unwrap_or_else(|| "MATRIX_baseline.jsonl".to_string());
+    let protocol_cutoff = if smoke {
+        PROTOCOL_SMOKE_CUTOFF
+    } else {
+        PROTOCOL_CUTOFF
+    };
 
     let mut lines = String::new();
-    for (family, fname) in FAMILIES {
-        for n in SIZES {
-            let g = family.generate(n, GRAPH_SEED);
-            for adversary in ADVERSARIES {
-                for (vname, variant) in variants() {
-                    let row = run_cell(&g, fname, n, adversary, vname, variant, trials);
-                    lines.push_str(&serde_json::to_string(&row).expect("rows serialise"));
-                    lines.push('\n');
-                }
-            }
-        }
+    for (family, fname, n, adversary, kind) in cells() {
+        let g = family.generate(n, GRAPH_SEED);
+        let row = run_cell(&g, fname, n, adversary, &kind, trials, protocol_cutoff);
+        lines.push_str(&serde_json::to_string(&row).expect("rows serialise"));
+        lines.push('\n');
     }
     std::fs::write(&out_path, &lines).expect("write matrix JSON-lines");
     println!(
@@ -179,44 +278,87 @@ fn run_cell(
     family: &str,
     n: usize,
     adversary: AdversaryKind,
-    vname: &str,
-    variant: RvVariant,
+    kind: &CellKind,
     trials: usize,
+    protocol_cutoff: u64,
 ) -> Row {
     let uxs = SeededUxs::quadratic();
-    let make = || {
-        vec![
-            RvBehavior::with_variant(g, uxs, NodeId(0), Label::new(LABELS.0).unwrap(), variant),
-            RvBehavior::with_variant(
-                g,
-                uxs,
-                NodeId(g.order() / 2),
-                Label::new(LABELS.1).unwrap(),
-                variant,
-            ),
-        ]
+    let (mode, agents, cutoff) = match kind {
+        CellKind::Rendezvous { .. } => ("rendezvous", 2, CUTOFF),
+        CellKind::Sgl { k } => ("protocol", *k, protocol_cutoff),
     };
-    let config = RunConfig::rendezvous().with_cutoff(CUTOFF);
-    let mut outcome = None;
+    let mut outcome: Option<RunOutcome> = None;
     let mut samples = Vec::with_capacity(trials);
     for _ in 0..trials {
-        let mut rt = Runtime::new(g, make(), config);
         let mut adv = adversary.build(ADVERSARY_SEED);
-        let start = Instant::now();
-        let out = rt.run(adv.as_mut());
-        samples.push(start.elapsed().as_nanos() as f64);
+        let (elapsed, out) = match kind {
+            CellKind::Rendezvous { variant, .. } => {
+                let make = || {
+                    vec![
+                        RvBehavior::with_variant(
+                            g,
+                            uxs,
+                            NodeId(0),
+                            Label::new(LABELS.0).unwrap(),
+                            *variant,
+                        ),
+                        RvBehavior::with_variant(
+                            g,
+                            uxs,
+                            NodeId(g.order() / 2),
+                            Label::new(LABELS.1).unwrap(),
+                            *variant,
+                        ),
+                    ]
+                };
+                let config = RunConfig::rendezvous().with_cutoff(cutoff);
+                let mut rt = Runtime::new(g, make(), config);
+                let start = Instant::now();
+                let out = rt.run(adv.as_mut());
+                (start.elapsed(), out)
+            }
+            CellKind::Sgl { k } => {
+                let behaviors: Vec<_> = SGL_LABELS[..*k]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &l)| {
+                        SglBehavior::new(
+                            g,
+                            uxs,
+                            NodeId(i * g.order() / k),
+                            Label::new(l).unwrap(),
+                            l + 1000,
+                            SglConfig::default(),
+                        )
+                    })
+                    .collect();
+                let config = RunConfig::protocol().with_cutoff(cutoff);
+                let mut rt = Runtime::new(g, behaviors, config);
+                let start = Instant::now();
+                let out = rt.run(adv.as_mut());
+                (start.elapsed(), out)
+            }
+        };
+        samples.push(elapsed.as_nanos() as f64);
         outcome = Some(out);
     }
     let out = outcome.expect("trials > 0");
     samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
     Row {
-        scenario: format!("{family}{n}/{adversary}/{vname}"),
+        scenario: scenario_id(family, n, adversary, kind),
+        mode: mode.to_string(),
         family: family.to_string(),
         n,
         adversary: adversary.to_string(),
-        variant: vname.to_string(),
+        variant: match kind {
+            CellKind::Rendezvous { vname, .. } => vname.to_string(),
+            CellKind::Sgl { k } => format!("sgl-k{k}"),
+        },
+        agents,
         end: format!("{:?}", out.end),
         cost: (out.end == RunEnd::Meeting).then_some(out.total_traversals),
+        traversals: out.total_traversals,
+        cutoff,
         actions: out.actions,
         trials,
         median_ns_per_run: samples[samples.len() / 2],
@@ -230,16 +372,11 @@ fn check(path: &str) {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read matrix file {path}: {e}"));
     let mut expected: Vec<String> = Vec::new();
-    for (_, fname) in FAMILIES {
-        for n in SIZES {
-            for adversary in ADVERSARIES {
-                for (vname, _) in variants() {
-                    expected.push(format!("{fname}{n}/{adversary}/{vname}"));
-                }
-            }
-        }
+    for (_, fname, n, adversary, kind) in cells() {
+        expected.push(scenario_id(fname, n, adversary, &kind));
     }
     let mut seen: Vec<String> = Vec::new();
+    let mut protocol_rows = 0usize;
     for (lineno, line) in text.lines().enumerate() {
         let row = serde_json::from_str(line)
             .unwrap_or_else(|e| panic!("{path}:{} is not valid JSON: {e}", lineno + 1));
@@ -262,6 +399,18 @@ fn check(path: &str) {
             "{path}:{} duplicate row {scenario}",
             lineno + 1
         );
+        let mode = field("mode");
+        let mode = mode
+            .as_str()
+            .unwrap_or_else(|| panic!("{path}:{} mode must be a string", lineno + 1));
+        assert!(
+            ["rendezvous", "protocol"].contains(&mode),
+            "{path}:{} unknown mode {mode:?}",
+            lineno + 1
+        );
+        if mode == "protocol" {
+            protocol_rows += 1;
+        }
         let end = field("end");
         let end = end
             .as_str()
@@ -269,6 +418,32 @@ fn check(path: &str) {
         assert!(
             ["Meeting", "AllParked", "Cutoff"].contains(&end),
             "{path}:{} unknown end {end:?}",
+            lineno + 1
+        );
+        assert!(
+            mode != "protocol" || end != "Meeting",
+            "{path}:{} protocol cells never stop at a meeting",
+            lineno + 1
+        );
+        let agents = field("agents").as_u64().unwrap_or(0);
+        assert!(agents >= 2, "{path}:{} fewer than two agents", lineno + 1);
+        // The cutoff column: every row records the cutoff it ran under and
+        // where it actually stopped; `Cutoff` rows stopped exactly there.
+        let cutoff = field("cutoff")
+            .as_u64()
+            .unwrap_or_else(|| panic!("{path}:{} cutoff must be a count", lineno + 1));
+        assert!(cutoff > 0, "{path}:{} zero cutoff", lineno + 1);
+        let traversals = field("traversals")
+            .as_u64()
+            .unwrap_or_else(|| panic!("{path}:{} traversals must be a count", lineno + 1));
+        assert!(
+            traversals <= cutoff,
+            "{path}:{} ran past its cutoff",
+            lineno + 1
+        );
+        assert!(
+            end != "Cutoff" || traversals == cutoff,
+            "{path}:{} a Cutoff row must stop exactly at the cutoff",
             lineno + 1
         );
         let ns = field("median_ns_per_run")
@@ -298,5 +473,9 @@ fn check(path: &str) {
         seen.len(),
         expected.len()
     );
-    println!("{path}: OK — {} rows, all cells covered", seen.len());
+    println!(
+        "{path}: OK — {} rows ({} protocol), all cells covered",
+        seen.len(),
+        protocol_rows
+    );
 }

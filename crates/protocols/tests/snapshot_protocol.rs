@@ -1,0 +1,162 @@
+//! Golden-equivalence for protocol-runtime snapshots under SGL contention:
+//! freezing a mid-run [`Runtime::snapshot`] and continuing **both** the
+//! original runtime and a restored copy must be invisible — identical run
+//! outcome, meeting log, gossip bags, outputs, and adversary RNG streams
+//! (the forked adversary continues the seeded stream mid-way).
+//!
+//! This is the protocol-mode counterpart of the rendezvous detour proptest
+//! in `rv_sim` (`golden_equivalence.rs`): protocol runs keep going through
+//! every meeting, so the snapshot must capture agents mid-gossip — bags,
+//! phase machinery, token flags — and a copy-on-write handle onto a
+//! meeting log that keeps growing on both sides of the fork afterwards.
+
+use rv_core::Label;
+use rv_explore::SeededUxs;
+use rv_graph::{generators, Graph, NodeId};
+use rv_protocols::{SglBehavior, SglConfig};
+use rv_sim::adversary::{Adversary, EagerMeet, RandomAdversary};
+use rv_sim::{RunConfig, RunOutcome, Runtime};
+
+type Rt<'g> = Runtime<'g, SglBehavior<'g, SeededUxs>>;
+
+const LABELS: [u64; 3] = [6, 9, 14];
+
+fn team(g: &Graph) -> Vec<SglBehavior<'_, SeededUxs>> {
+    let uxs = SeededUxs::quadratic();
+    LABELS
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| {
+            SglBehavior::new(
+                g,
+                uxs,
+                NodeId(i * g.order() / LABELS.len()),
+                Label::new(l).unwrap(),
+                l + 1000,
+                SglConfig::default(),
+            )
+        })
+        .collect()
+}
+
+/// FNV-1a-style mix for the meeting log (full `Debug` would be megabytes).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write_u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x1_0000_01b3);
+        }
+    }
+}
+
+/// Everything observable about a finished protocol run, as one string:
+/// outcome counters, a hash of the complete meeting log, and per-agent
+/// protocol state (state kind, gossip bag, output set, order bound).
+fn fingerprint(out: &RunOutcome, rt: &Rt<'_>) -> String {
+    let mut h = Fnv::new();
+    for m in &out.meetings {
+        h.write_u64(m.agents.len() as u64);
+        for &a in &m.agents {
+            h.write_u64(a as u64);
+        }
+        h.write_u64(m.at_cost);
+        h.write_u64(m.at_action);
+        h.write_u64(match m.place {
+            rv_sim::MeetingPlace::Node(v) => v.0 as u64,
+            rv_sim::MeetingPlace::Edge(e) => (1 << 32) | ((e.a.0 as u64) << 16) | e.b.0 as u64,
+        });
+    }
+    let agents: Vec<String> = (0..rt.agent_count())
+        .map(|i| {
+            let b = rt.behavior(i);
+            format!(
+                "{}:{:?} bag={:?} out={:?} e={:?}",
+                b.label(),
+                b.state(),
+                b.bag().labels(),
+                b.output().map(|s| s.iter().collect::<Vec<_>>()),
+                b.order_bound(),
+            )
+        })
+        .collect();
+    format!(
+        "{:?} cost={} actions={} per={:?} meetings={}#{:016x} agents={agents:?}",
+        out.end,
+        out.total_traversals,
+        out.actions,
+        out.per_agent,
+        out.meetings.len(),
+        h.0,
+    )
+}
+
+/// Runs the instance uninterrupted and returns its fingerprint + action
+/// count (so detours can split strictly mid-run).
+fn uninterrupted<A: Adversary>(g: &Graph, mut adv: A) -> (String, u64) {
+    let mut rt = Runtime::new(g, team(g), RunConfig::protocol());
+    let out = rt.run(&mut adv);
+    let actions = out.actions;
+    (fingerprint(&out, &rt), actions)
+}
+
+/// Steps a manual prefix of `split` actions via [`Runtime::step`] —
+/// `run()`'s own loop body, so the prefix is decision-for-decision
+/// identical by construction (protocol mode does *not* stop at meetings)
+/// — then snapshots, forks the adversary, and finishes both continuations.
+fn detour<A: Adversary + Clone>(g: &Graph, mut adv: A, split: u64) -> (String, String) {
+    let config = RunConfig::protocol();
+    let mut rt = Runtime::new(g, team(g), config);
+    let mut meetings = Vec::new();
+    for _ in 0..split {
+        let end = rt.step(&mut adv, &mut meetings);
+        assert!(end.is_none(), "split must be strictly mid-run");
+    }
+    let snap = rt.snapshot();
+    let mut forked_adv = adv.clone();
+
+    let out = rt.run(&mut adv);
+    let continued = fingerprint(&out, &rt);
+
+    let mut restored = Runtime::from_snapshot(g, &snap, config);
+    let out = restored.run(&mut forked_adv);
+    let resumed = fingerprint(&out, &restored);
+    (continued, resumed)
+}
+
+/// The detour check for one adversary over the ring(5) contention
+/// instance, splitting at several points across the run (early wakes,
+/// mid-run gossip, deep into the explorer phases).
+fn check_detours<A: Adversary + Clone>(make_adv: impl Fn() -> A, name: &str) {
+    let g = generators::ring(5);
+    let (golden, actions) = uninterrupted(&g, make_adv());
+    assert!(actions > 100, "instance must be non-trivial");
+    for split in [1, actions / 4, actions / 2, actions - 1] {
+        let (continued, resumed) = detour(&g, make_adv(), split);
+        assert_eq!(
+            continued, golden,
+            "{name}: continuing past a snapshot at action {split} diverged"
+        );
+        assert_eq!(
+            resumed, golden,
+            "{name}: restoring a snapshot at action {split} diverged"
+        );
+    }
+}
+
+#[test]
+fn snapshot_detour_is_invisible_under_seeded_random_contention() {
+    // RandomAdversary: the fork must capture the RNG stream mid-way.
+    check_detours(|| RandomAdversary::new(11), "random(11)");
+}
+
+#[test]
+fn snapshot_detour_is_invisible_under_eager_meetings() {
+    // EagerMeet maximises meeting density: every snapshot lands between
+    // gossip exchanges and the log keeps growing on both sides.
+    check_detours(EagerMeet::new, "eager-meet");
+}

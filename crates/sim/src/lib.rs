@@ -83,7 +83,7 @@ pub mod minimax;
 mod runtime;
 
 pub use behavior::{Behavior, NaiveBehavior, RvBehavior, ScriptBehavior, SpecBehavior};
-pub use meeting::{Meeting, MeetingPlace};
+pub use meeting::{Meeting, MeetingLog, MeetingPlace};
 pub use runtime::{
     ActionKind, Choice, ChoiceInfo, Place, RunConfig, RunEnd, RunOutcome, Runtime, RuntimeSnapshot,
 };

@@ -21,11 +21,15 @@
 //! # Deep parallel splits
 //!
 //! Parallelism is a work-stealing frontier of forked runtime snapshots,
-//! not a per-root-choice fan-out: the schedule tree is first expanded
-//! breadth-first to depth ≥ 2 (deeper until the frontier oversubscribes
-//! the worker pool ~4×), every frontier node becomes an independent job,
-//! and worker threads steal jobs from the shared frontier until it drains.
-//! This scales with the core count instead of being capped at the root
+//! not a per-root-choice fan-out: every frontier node is an independent
+//! job, and worker threads steal jobs from the shared frontier until it
+//! drains. **Expansion is itself job-driven**: a worker that steals a
+//! shallow job (depth < 2, or an undersubscribed frontier below depth 6)
+//! *splits* it — applies each legal choice and pushes the children back as
+//! jobs — instead of searching it, so frontier seeding parallelises with
+//! the same pool instead of serialising on the caller thread. Deeper or
+//! sufficiently numerous jobs are searched depth-first in place. This
+//! scales with the core count instead of being capped at the root
 //! branching factor (= the agent count, usually 2), and keeps all cores
 //! busy even when subtree sizes are skewed. Each worker owns one
 //! [`Runtime`] (built via [`Runtime::from_snapshot`] from its first stolen
@@ -33,11 +37,14 @@
 //!
 //! The explored leaf set — and therefore every field of [`WorstCase`] —
 //! is bit-identical to the sequential enumeration regardless of worker
-//! count or steal order (the aggregates are commutative).
+//! count, steal order, or where the racy split-vs-search decision lands
+//! (splitting a subtree and searching it produce the same leaves; the
+//! aggregates are commutative).
 
 use crate::behavior::Behavior;
 use crate::runtime::{ChoiceInfo, RunConfig, Runtime, RuntimeSnapshot};
 use rv_graph::Graph;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Result of an exhaustive search.
@@ -88,10 +95,11 @@ struct Job<B> {
     depth: usize,
 }
 
-/// Minimum frontier depth: always split strictly below the root fan-out.
+/// Minimum split depth: jobs shallower than this are always split further
+/// (strictly below the root fan-out).
 const SPLIT_DEPTH_MIN: usize = 2;
-/// Frontier expansion stops once every job is at least this deep, even if
-/// the oversubscription target was not reached (narrow trees).
+/// Jobs at least this deep are always searched, even if the frontier never
+/// reached the oversubscription target (narrow trees).
 const SPLIT_DEPTH_MAX: usize = 6;
 /// Target frontier size, as a multiple of the worker count — enough jobs
 /// that work-stealing evens out skewed subtree sizes.
@@ -130,111 +138,132 @@ where
     let mut choices: Vec<ChoiceInfo> = Vec::new();
     let mut meetings = Vec::new();
 
-    // Phase 1: expand the schedule tree breadth-first into the job
-    // frontier. Leaves encountered during expansion are scored directly.
-    let mut frontier = std::collections::VecDeque::new();
-    frontier.push_back(Job {
+    if workers <= 1 {
+        // Single worker: splitting only buys parallelism, so don't —
+        // search the whole tree depth-first from the root (this is the
+        // sequential enumeration the parallel results are tested against).
+        explore_subtree(
+            &mut rt,
+            0,
+            max_actions,
+            &mut choices,
+            &mut meetings,
+            &mut result,
+        );
+        return result;
+    }
+
+    let target = workers * OVERSUBSCRIBE;
+    let root = Job {
         snap: rt.snapshot(),
         depth: 0,
-    });
-    let target = workers * OVERSUBSCRIBE;
-    while let Some(job) = frontier.front() {
-        let deep_enough = job.depth >= SPLIT_DEPTH_MIN
-            && (frontier.len() >= target || job.depth >= SPLIT_DEPTH_MAX);
-        if deep_enough {
-            break;
-        }
-        let job = frontier.pop_front().expect("front() was Some");
-        rt.restore(&job.snap);
-        if job.depth >= max_actions {
-            result.record_avoidance();
-            continue;
-        }
-        rt.legal_choices_into(&mut choices);
-        let width = choices.len();
-        if width == 0 {
-            // All parked counts as an avoiding schedule.
-            result.record_avoidance();
-            continue;
-        }
-        for i in 0..width {
-            if i > 0 {
-                rt.restore(&job.snap);
-                rt.legal_choices_into(&mut choices);
-            }
-            meetings.clear();
-            rt.apply_into(choices[i].choice, &mut meetings);
-            if meetings.is_empty() {
-                frontier.push_back(Job {
-                    snap: rt.snapshot(),
-                    depth: job.depth + 1,
-                });
-            } else {
-                result.record_meeting(rt.total_traversals());
-            }
-        }
-    }
+    };
 
-    if frontier.is_empty() {
-        return result;
-    }
-
-    // Phase 2: workers steal jobs from the shared frontier and search each
-    // subtree depth-first.
-    let threads = workers.min(frontier.len());
-    if threads <= 1 {
-        // Single worker: keep the runtime and buffers we already have.
-        for job in frontier {
-            rt.restore_owned(job.snap);
-            explore_subtree(
-                &mut rt,
-                job.depth,
-                max_actions,
-                &mut choices,
-                &mut meetings,
-                &mut result,
-            );
-        }
-        return result;
-    }
-    let queue = Mutex::new(Vec::from(frontier));
+    // Workers steal jobs from the shared frontier; shallow jobs are split
+    // back into it (expansion parallelises too), deep ones are searched in
+    // place. `pending` counts queued jobs plus in-flight *splits*: a split
+    // publishes its children before retiring, while a search job retires
+    // at steal time (it can never enqueue anything), so queue-empty +
+    // pending == 0 means no job can ever appear again — an empty queue
+    // alone proves nothing while another worker might still split.
+    let queue = Mutex::new(vec![root]);
+    let pending = AtomicUsize::new(1);
     let branches: Vec<WorstCase> = std::thread::scope(|scope| {
         let queue = &queue;
-        let handles: Vec<_> = (0..threads)
+        let pending = &pending;
+        let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(move || {
                     let mut local = WorstCase::empty();
                     let mut rt: Option<Runtime<B>> = None;
                     let mut choices: Vec<ChoiceInfo> = Vec::new();
                     let mut meetings = Vec::new();
+                    let mut children: Vec<Job<B>> = Vec::new();
                     loop {
                         // A plain `let` drops the queue guard at the end of
                         // the statement — a `while let` scrutinee would hold
                         // it across the whole subtree search and serialize
                         // the workers.
-                        let job = queue.lock().expect("frontier poisoned").pop();
-                        let Some(job) = job else { break };
-                        if let Some(rt) = rt.as_mut() {
-                            // Jobs are owned: re-entering costs a move, not
-                            // a fork.
-                            rt.restore_owned(job.snap);
+                        let (job, backlog) = {
+                            let mut q = queue.lock().expect("frontier poisoned");
+                            let job = q.pop();
+                            (job, q.len())
+                        };
+                        let Some(job) = job else {
+                            if pending.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            // Another worker is still splitting; its
+                            // children will land in the queue shortly.
+                            std::thread::yield_now();
+                            continue;
+                        };
+                        if should_split(job.depth, backlog, target) {
+                            // Position at the job's state: the first job
+                            // builds this worker's runtime (one fork, via
+                            // the borrowing constructor — the snapshot is
+                            // re-entered per sibling during the split).
+                            let rt = match rt.as_mut() {
+                                Some(rt) => {
+                                    rt.restore(&job.snap);
+                                    rt
+                                }
+                                None => rt.insert(Runtime::from_snapshot(
+                                    g,
+                                    &job.snap,
+                                    RunConfig::rendezvous(),
+                                )),
+                            };
+                            split_job(
+                                rt,
+                                job,
+                                max_actions,
+                                &mut choices,
+                                &mut meetings,
+                                &mut children,
+                                &mut local,
+                            );
+                            if !children.is_empty() {
+                                // Publish the children before retiring the
+                                // parent so `pending` can't dip to zero
+                                // while work still exists.
+                                pending.fetch_add(children.len(), Ordering::AcqRel);
+                                queue
+                                    .lock()
+                                    .expect("frontier poisoned")
+                                    .append(&mut children);
+                            }
+                            pending.fetch_sub(1, Ordering::AcqRel);
                         } else {
-                            // First job: build the runtime by moving the
-                            // owned snapshot in — positioned, zero forks.
-                            rt = Some(Runtime::from_snapshot_owned(
-                                g,
-                                job.snap,
-                                RunConfig::rendezvous(),
-                            ));
+                            // Search jobs enqueue nothing, so retire the
+                            // job *before* the subtree search: once the
+                            // queue drains and every splitter has retired,
+                            // idle peers exit instead of busy-spinning for
+                            // the whole tail of the search.
+                            pending.fetch_sub(1, Ordering::AcqRel);
+                            // Jobs are owned: re-entering costs a move, not
+                            // a fork (the first job builds the runtime the
+                            // same way, via the consuming constructor).
+                            let rt = match rt.as_mut() {
+                                Some(rt) => {
+                                    rt.restore_owned(job.snap);
+                                    rt
+                                }
+                                None => rt.insert(Runtime::from_snapshot_owned(
+                                    g,
+                                    job.snap,
+                                    RunConfig::rendezvous(),
+                                )),
+                            };
+                            explore_subtree(
+                                rt,
+                                job.depth,
+                                max_actions,
+                                &mut choices,
+                                &mut meetings,
+                                &mut local,
+                            );
                         }
-                        explore_subtree(
-                            rt.as_mut().expect("just initialised"),
-                            job.depth,
-                            max_actions,
-                            &mut choices,
-                            &mut meetings,
-                            &mut local,
-                        );
                     }
                     local
                 })
@@ -249,6 +278,68 @@ where
         result.merge(b);
     }
     result
+}
+
+/// Whether a stolen job should be split into child jobs (true) or searched
+/// depth-first in place (false). `backlog` is the frontier size observed
+/// at steal time — under concurrency an approximation, which is safe: a
+/// subtree yields the same leaves whichever side of the boundary it lands
+/// on.
+fn should_split(depth: usize, backlog: usize, target: usize) -> bool {
+    depth < SPLIT_DEPTH_MIN || (depth < SPLIT_DEPTH_MAX && backlog < target)
+}
+
+/// Splits one job whose state `rt` is **already positioned at** (callers
+/// restore the job's snapshot — or build the runtime from it): applies
+/// each legal choice and pushes every meeting-free child as a new job
+/// onto `out`. Leaves (depth cap, all parked, or a forced meeting) are
+/// scored into `result` right here. The job is consumed: the final
+/// sibling takes its snapshot by move — no behavior fork, mirroring
+/// `explore_subtree`'s frame re-entry. On exit `rt` is at an arbitrary
+/// state.
+fn split_job<B: Behavior>(
+    rt: &mut Runtime<B>,
+    job: Job<B>,
+    max_actions: usize,
+    choices: &mut Vec<ChoiceInfo>,
+    meetings: &mut Vec<crate::Meeting>,
+    out: &mut Vec<Job<B>>,
+    result: &mut WorstCase,
+) {
+    let Job { snap, depth } = job;
+    if depth >= max_actions {
+        result.record_avoidance();
+        return;
+    }
+    rt.legal_choices_into(choices);
+    let width = choices.len();
+    if width == 0 {
+        // All parked counts as an avoiding schedule.
+        result.record_avoidance();
+        return;
+    }
+    let mut snap = Some(snap);
+    for i in 0..width {
+        if i > 0 {
+            if i + 1 == width {
+                let snap = snap.take().expect("moved only on the final sibling");
+                rt.restore_owned(snap);
+            } else {
+                rt.restore(snap.as_ref().expect("moved only on the final sibling"));
+            }
+            rt.legal_choices_into(choices);
+        }
+        meetings.clear();
+        rt.apply_into(choices[i].choice, meetings);
+        if meetings.is_empty() {
+            out.push(Job {
+                snap: rt.snapshot(),
+                depth: depth + 1,
+            });
+        } else {
+            result.record_meeting(rt.total_traversals());
+        }
+    }
 }
 
 /// A node of the depth-first descent: its frozen state (absent when the
@@ -484,6 +575,32 @@ mod tests {
                 worst_case_with_workers(&g, make, 8, workers),
                 reference,
                 "worker count {workers} changed the result"
+            );
+        }
+    }
+
+    #[test]
+    fn job_driven_expansion_is_worker_count_independent() {
+        // Now that frontier *expansion* also runs as work-stealing jobs,
+        // the split-vs-search boundary depends on racy backlog reads; the
+        // result must not. A 3-agent instance gives a wider root fan-out
+        // (more splitting at every shallow depth) and a deeper horizon
+        // keeps workers splitting and searching concurrently.
+        let g = generators::ring(6);
+        let make = || {
+            vec![
+                ScriptBehavior::new(NodeId(0), [0, 0, 0, 0, 0]),
+                ScriptBehavior::new(NodeId(2), [0, 0, 0, 0, 0]),
+                ScriptBehavior::new(NodeId(4), [0, 0, 0, 0, 0]),
+            ]
+        };
+        let reference = worst_case_with_workers(&g, make, 9, 1);
+        assert!(reference.schedules_explored > 1000);
+        for workers in [2, 4, 7, 16] {
+            assert_eq!(
+                worst_case_with_workers(&g, make, 9, workers),
+                reference,
+                "worker count {workers} changed the job-driven expansion result"
             );
         }
     }

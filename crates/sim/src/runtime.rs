@@ -22,7 +22,7 @@
 //! thumb).
 
 use crate::behavior::Behavior;
-use crate::meeting::{Meeting, MeetingPlace};
+use crate::meeting::{Meeting, MeetingLog, MeetingPlace};
 use rv_graph::{EdgeId, Graph, NodeId, PortId};
 
 /// Agent position at the abstraction level of the model (see crate docs).
@@ -91,8 +91,10 @@ pub struct RunOutcome {
     pub total_traversals: u64,
     /// Completed traversals per agent.
     pub per_agent: Vec<u64>,
-    /// All meetings declared, in order.
-    pub meetings: Vec<Meeting>,
+    /// All meetings declared, in order — an O(1) handle onto the runtime's
+    /// copy-on-write log, not a deep copy (protocol runs log a meeting per
+    /// exchange; the outcome must not double peak memory).
+    pub meetings: MeetingLog,
     /// Number of adversary actions executed.
     pub actions: u64,
 }
@@ -198,7 +200,7 @@ impl EdgeOcc {
 pub struct RuntimeSnapshot<B> {
     slots: Vec<Slot<B>>,
     edges: Vec<EdgeOcc>,
-    meetings: Vec<Meeting>,
+    meetings: MeetingLog,
     actions: u64,
     total_traversals: u64,
 }
@@ -213,6 +215,12 @@ impl<B: Behavior> RuntimeSnapshot<B> {
     pub fn actions(&self) -> u64 {
         self.actions
     }
+
+    /// The meeting log as of the snapshot (an O(1) copy-on-write handle;
+    /// the snapshot shares sealed chunks with the runtime it froze).
+    pub fn meetings(&self) -> &MeetingLog {
+        &self.meetings
+    }
 }
 
 /// The adversarial scheduler over a set of agents in one graph.
@@ -225,7 +233,9 @@ pub struct Runtime<'g, B> {
     /// Occupancy per dense edge index (`edges.len() == g.size()`). Queues
     /// of edges that empty out keep their capacity for the next occupant.
     edges: Vec<EdgeOcc>,
-    meetings: Vec<Meeting>,
+    /// Append-only copy-on-write log (see [`MeetingLog`]): snapshots, the
+    /// [`RunOutcome`], and forks all take O(1) handles instead of copies.
+    meetings: MeetingLog,
     actions: u64,
     total_traversals: u64,
     config: RunConfig,
@@ -233,6 +243,9 @@ pub struct Runtime<'g, B> {
     /// `self.slots` is borrowed (meeting declaration is rare; the scratch
     /// keeps the common paths allocation-free even when it fires).
     scratch: Vec<usize>,
+    /// Reusable legal-choice buffer for [`Runtime::step`] (transient, not
+    /// part of the frozen state — snapshots never carry it).
+    choice_scratch: Vec<ChoiceInfo>,
 }
 
 impl<'g, B: Behavior> Runtime<'g, B> {
@@ -248,11 +261,12 @@ impl<'g, B: Behavior> Runtime<'g, B> {
             g,
             slots: Vec::new(),
             edges: vec![EdgeOcc::default(); g.size()],
-            meetings: Vec::new(),
+            meetings: MeetingLog::new(),
             actions: 0,
             total_traversals: 0,
             config,
             scratch: Vec::new(),
+            choice_scratch: Vec::new(),
         };
         rt.install(behaviors);
         rt
@@ -287,9 +301,13 @@ impl<'g, B: Behavior> Runtime<'g, B> {
 
     /// Freezes the complete mid-run state — agent behaviors (via
     /// [`Behavior::fork`]), positions, committed moves, edge occupancy,
-    /// meeting history, and counters — into an O(state) snapshot that can
-    /// be [`Runtime::restore`]d any number of times, on this runtime or on
-    /// a fresh one built with [`Runtime::from_snapshot`].
+    /// meeting history, and counters — into an **O(agents + edges)**
+    /// snapshot that can be [`Runtime::restore`]d any number of times, on
+    /// this runtime or on a fresh one built with
+    /// [`Runtime::from_snapshot`]. The meeting history is captured as an
+    /// O(1) [`MeetingLog`] handle, so snapshot cost is independent of how
+    /// many meetings the run has accumulated — protocol runs snapshot as
+    /// cheaply at their millionth exchange as at their first.
     ///
     /// Snapshots are independent of the runtime that produced them: taking
     /// one never perturbs the run, and a snapshot outlives its runtime.
@@ -324,7 +342,7 @@ impl<'g, B: Behavior> Runtime<'g, B> {
         self.slots.clear();
         self.slots.extend(snap.slots.iter().map(Slot::fork));
         self.edges.clone_from(&snap.edges);
-        self.meetings.clone_from(&snap.meetings);
+        self.meetings = snap.meetings.clone();
         self.actions = snap.actions;
         self.total_traversals = snap.total_traversals;
     }
@@ -373,6 +391,7 @@ impl<'g, B: Behavior> Runtime<'g, B> {
             total_traversals: snap.total_traversals,
             config,
             scratch: Vec::new(),
+            choice_scratch: Vec::new(),
         }
     }
 
@@ -400,6 +419,7 @@ impl<'g, B: Behavior> Runtime<'g, B> {
             total_traversals: snap.total_traversals,
             config,
             scratch: Vec::new(),
+            choice_scratch: Vec::new(),
         }
     }
 
@@ -456,7 +476,7 @@ impl<'g, B: Behavior> Runtime<'g, B> {
     }
 
     /// Meetings declared so far.
-    pub fn meetings(&self) -> &[Meeting] {
+    pub fn meetings(&self) -> &MeetingLog {
         &self.meetings
     }
 
@@ -744,27 +764,55 @@ impl<'g, B: Behavior> Runtime<'g, B> {
         });
     }
 
+    /// Executes **one** adversary decision — exactly one iteration of
+    /// [`Runtime::run`]'s loop (cutoff check, legal-choice enumeration,
+    /// `adversary.choose`, apply, first-meeting check), decision for
+    /// decision. Meetings forced by the step are pushed onto
+    /// `new_meetings` (cleared first); `Some(end)` means the run is over
+    /// and no action was taken this call (for `Cutoff`/`AllParked`) or
+    /// the configured stop fired (`Meeting`).
+    ///
+    /// `run` is a loop over `step`, so callers driving a run step-by-step
+    /// — the perf harness's checkpointing loop, the snapshot-detour
+    /// golden suites — stay in lockstep with `run()` by construction.
+    pub fn step(
+        &mut self,
+        adversary: &mut dyn crate::adversary::Adversary,
+        new_meetings: &mut Vec<Meeting>,
+    ) -> Option<RunEnd> {
+        new_meetings.clear();
+        if self.total_traversals >= self.config.max_total_traversals {
+            return Some(RunEnd::Cutoff);
+        }
+        let mut choices = std::mem::take(&mut self.choice_scratch);
+        self.legal_choices_into(&mut choices);
+        if choices.is_empty() {
+            self.choice_scratch = choices;
+            return Some(RunEnd::AllParked);
+        }
+        let choice = adversary.choose(&choices, self.actions);
+        debug_assert!(
+            choices.iter().any(|c| c.choice == choice),
+            "adversary returned an illegal choice"
+        );
+        self.apply_into(choice, new_meetings);
+        self.choice_scratch = choices;
+        if self.config.stop_on_first_meeting && !new_meetings.is_empty() {
+            return Some(RunEnd::Meeting);
+        }
+        None
+    }
+
     /// Runs under `adversary` until a terminal condition (see [`RunEnd`]).
+    ///
+    /// The returned outcome's meeting list is an O(1) handle onto the
+    /// runtime's copy-on-write log — constructing the outcome costs
+    /// O(agents) however many meetings the run declared.
     pub fn run(&mut self, adversary: &mut dyn crate::adversary::Adversary) -> RunOutcome {
-        let mut choices: Vec<ChoiceInfo> = Vec::new();
         let mut new_meetings: Vec<Meeting> = Vec::new();
         let end = loop {
-            if self.total_traversals >= self.config.max_total_traversals {
-                break RunEnd::Cutoff;
-            }
-            self.legal_choices_into(&mut choices);
-            if choices.is_empty() {
-                break RunEnd::AllParked;
-            }
-            let choice = adversary.choose(&choices, self.actions);
-            debug_assert!(
-                choices.iter().any(|c| c.choice == choice),
-                "adversary returned an illegal choice"
-            );
-            new_meetings.clear();
-            self.apply_into(choice, &mut new_meetings);
-            if self.config.stop_on_first_meeting && !new_meetings.is_empty() {
-                break RunEnd::Meeting;
+            if let Some(end) = self.step(adversary, &mut new_meetings) {
+                break end;
             }
         };
         RunOutcome {
@@ -845,6 +893,60 @@ mod tests {
         let c = finish(&mut rt);
         assert_eq!(a, b);
         assert_eq!(b, c);
+    }
+
+    /// Runs a protocol-mode schedule long enough to accumulate meetings,
+    /// then checks the O(agents + edges) snapshot contract structurally:
+    /// the snapshot's meeting log *shares* the runtime's sealed chunks
+    /// instead of copying them, at any log length.
+    #[test]
+    fn protocol_snapshots_share_the_meeting_log() {
+        let g = generators::ring(4);
+        // Two scripted walkers marching in lockstep on a small ring meet
+        // constantly; protocol mode keeps going through every meeting.
+        let behaviors = vec![
+            ScriptBehavior::new(NodeId(0), [0; 600]),
+            ScriptBehavior::new(NodeId(1), [0; 600]),
+        ];
+        let mut rt = Runtime::new(&g, behaviors, RunConfig::protocol());
+        let mut choices = Vec::new();
+        let mut meetings = Vec::new();
+        let mut checked = 0;
+        loop {
+            rt.legal_choices_into(&mut choices);
+            let Some(c) = choices.first() else { break };
+            meetings.clear();
+            rt.apply_into(c.choice, &mut meetings);
+            if rt.actions().is_multiple_of(64) {
+                let snap = rt.snapshot();
+                assert!(
+                    snap.meetings().shares_storage_with(rt.meetings()),
+                    "snapshot at action {} copied the meeting log",
+                    rt.actions()
+                );
+                assert_eq!(snap.meetings().len(), rt.meetings().len());
+                checked += 1;
+            }
+        }
+        assert!(checked > 5, "the schedule must snapshot repeatedly");
+        assert!(
+            rt.meetings().len() > 100,
+            "the schedule must accumulate meetings (got {})",
+            rt.meetings().len()
+        );
+    }
+
+    #[test]
+    fn run_outcome_shares_the_meeting_log() {
+        let g = generators::ring(6);
+        let mut rt = Runtime::new(&g, two_walkers(&g), RunConfig::protocol());
+        let out = rt.run(&mut RoundRobin::new());
+        assert_eq!(out.end, RunEnd::AllParked);
+        assert!(
+            out.meetings.shares_storage_with(rt.meetings()) || rt.meetings().len() < 32, // short logs have no sealed chunks to share
+            "RunOutcome must hand out the COW log, not a deep copy"
+        );
+        assert_eq!(out.meetings.len(), rt.meetings().len());
     }
 
     #[test]

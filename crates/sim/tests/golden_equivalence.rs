@@ -230,17 +230,12 @@ fn detour_fingerprints(i: usize, split: u64) -> (String, String) {
             RvBehavior::new(&g, uxs, NodeId(g.order() / 2), Label::new(9).unwrap()),
         ];
         let mut rt = Runtime::new(&g, agents, config);
-        // Manual prefix, decision-for-decision identical to `Runtime::run`.
-        let mut choices = Vec::new();
+        // Manual prefix via `Runtime::step` — `run()`'s own loop body, so
+        // the prefix is decision-for-decision identical by construction.
         let mut meetings = Vec::new();
         for _ in 0..split {
-            assert!(rt.total_traversals() < CUTOFF, "split is strictly mid-run");
-            rt.legal_choices_into(&mut choices);
-            assert!(!choices.is_empty(), "split is strictly mid-run");
-            let choice = adv.choose(&choices, rt.actions());
-            meetings.clear();
-            rt.apply_into(choice, &mut meetings);
-            assert!(meetings.is_empty(), "split is strictly mid-run");
+            let end = rt.step(&mut adv, &mut meetings);
+            assert!(end.is_none(), "split is strictly mid-run (got {end:?})");
         }
         let snap = rt.snapshot();
         let mut forked_adv = adv.clone();
