@@ -12,10 +12,17 @@ use crate::Big;
 /// those decrements branch-predictable single-word operations while still
 /// being exact past `2^64` (where [`Big`] takes over).
 ///
-/// The representation is canonical: the [`Big`] variant is used **iff** the
-/// value does not fit `u64`, so derived equality agrees with numeric
-/// equality. Decrementing a spilled counter demotes it back to the inline
-/// variant as soon as the value fits.
+/// The representation is canonical — spilled **iff** the value does not
+/// fit `u64` — and the internals are private, so the invariant cannot be
+/// constructed around from outside the crate: every value flows through
+/// the canonicalising constructors ([`RepCount::from`]), which is what
+/// makes derived equality agree with numeric equality and keeps
+/// [`RepCount::try_decrement`]'s non-zero-when-spilled expectation
+/// unreachable. (The enum used to be public; a hand-built
+/// `Spilled(small)` broke equality and could panic `try_decrement`.)
+/// Decrementing a spilled counter demotes it back to the inline
+/// representation as soon as the value fits; [`RepCount::is_spilled`]
+/// observes the representation without exposing it.
 ///
 /// # Examples
 ///
@@ -29,38 +36,52 @@ use crate::Big;
 ///
 /// // Values past 2^64 spill to Big and demote on the way back down.
 /// let mut big = RepCount::from(&Big::from(u64::MAX as u128 + 1));
+/// assert!(big.is_spilled());
 /// assert!(big.try_decrement());
 /// assert_eq!(big, RepCount::from(u64::MAX));
+/// assert!(!big.is_spilled());
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
-pub enum RepCount {
+pub struct RepCount(Repr);
+
+/// The private representation. `Spilled` holds a value `>= 2^64`
+/// (canonical invariant, enforced by the constructors).
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
     /// Any value `< 2^64`, stored inline.
     Small(u64),
-    /// A value `>= 2^64` (canonical invariant).
+    /// A value `>= 2^64`.
     Spilled(Big),
 }
 
 impl RepCount {
     /// The exhausted counter.
     pub const fn zero() -> Self {
-        RepCount::Small(0)
+        RepCount(Repr::Small(0))
     }
 
     /// `true` once the counter reaches zero.
     pub fn is_zero(&self) -> bool {
-        matches!(self, RepCount::Small(0))
+        matches!(self.0, Repr::Small(0))
+    }
+
+    /// `true` while the value exceeds `u64::MAX` (the heap-backed
+    /// representation). Canonical: `is_spilled()` iff the value does not
+    /// fit a machine word.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.0, Repr::Spilled(_))
     }
 
     /// Decrements by one; returns `false` (leaving the counter untouched)
     /// if it is already exhausted.
     pub fn try_decrement(&mut self) -> bool {
-        match self {
-            RepCount::Small(0) => false,
-            RepCount::Small(v) => {
+        match &mut self.0 {
+            Repr::Small(0) => false,
+            Repr::Small(v) => {
                 *v -= 1;
                 true
             }
-            RepCount::Spilled(b) => {
+            Repr::Spilled(b) => {
                 let next = b
                     .checked_sub(&Big::one())
                     .expect("spilled counters are >= 2^64 > 0");
@@ -72,16 +93,16 @@ impl RepCount {
 
     /// The remaining count as a [`Big`] (exact at any magnitude).
     pub fn to_big(&self) -> Big {
-        match self {
-            RepCount::Small(v) => Big::from(*v),
-            RepCount::Spilled(b) => b.clone(),
+        match &self.0 {
+            Repr::Small(v) => Big::from(*v),
+            Repr::Spilled(b) => b.clone(),
         }
     }
 }
 
 impl From<u64> for RepCount {
     fn from(v: u64) -> Self {
-        RepCount::Small(v)
+        RepCount(Repr::Small(v))
     }
 }
 
@@ -89,8 +110,8 @@ impl From<&Big> for RepCount {
     /// Selects the canonical representation for the value of `b`.
     fn from(b: &Big) -> Self {
         match b.to_u128() {
-            Some(v) if v <= u64::MAX as u128 => RepCount::Small(v as u64),
-            _ => RepCount::Spilled(b.clone()),
+            Some(v) if v <= u64::MAX as u128 => RepCount(Repr::Small(v as u64)),
+            _ => RepCount(Repr::Spilled(b.clone())),
         }
     }
 }
@@ -104,18 +125,18 @@ impl From<Big> for RepCount {
 impl std::fmt::Debug for RepCount {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Value, not representation — mirrors `Big`'s Debug.
-        match self {
-            RepCount::Small(v) => write!(f, "RepCount({v})"),
-            RepCount::Spilled(b) => write!(f, "RepCount({b})"),
+        match &self.0 {
+            Repr::Small(v) => write!(f, "RepCount({v})"),
+            Repr::Spilled(b) => write!(f, "RepCount({b})"),
         }
     }
 }
 
 impl std::fmt::Display for RepCount {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            RepCount::Small(v) => write!(f, "{v}"),
-            RepCount::Spilled(b) => write!(f, "{b}"),
+        match &self.0 {
+            Repr::Small(v) => write!(f, "{v}"),
+            Repr::Spilled(b) => write!(f, "{b}"),
         }
     }
 }
@@ -140,22 +161,28 @@ mod tests {
     fn from_big_is_canonical() {
         assert_eq!(
             RepCount::from(&Big::from(7u64)),
-            RepCount::Small(7),
+            RepCount::from(7u64),
             "values below 2^64 stay inline"
         );
+        assert!(!RepCount::from(&Big::from(7u64)).is_spilled());
         let boundary = Big::from(u64::MAX as u128 + 1);
-        assert!(matches!(RepCount::from(&boundary), RepCount::Spilled(_)));
+        assert!(RepCount::from(&boundary).is_spilled());
         let huge = Big::from(2u64).pow(200);
-        assert!(matches!(RepCount::from(&huge), RepCount::Spilled(_)));
+        assert!(RepCount::from(&huge).is_spilled());
+        assert!(
+            !RepCount::from(u64::MAX).is_spilled(),
+            "u64::MAX is the largest inline value"
+        );
     }
 
     #[test]
     fn spilled_demotes_at_the_boundary() {
         let mut c = RepCount::from(&Big::from(u64::MAX as u128 + 2));
         assert!(c.try_decrement());
-        assert!(matches!(c, RepCount::Spilled(_)), "still >= 2^64");
+        assert!(c.is_spilled(), "still >= 2^64");
         assert!(c.try_decrement());
-        assert_eq!(c, RepCount::Small(u64::MAX), "demoted once it fits");
+        assert_eq!(c, RepCount::from(u64::MAX), "demoted once it fits");
+        assert!(!c.is_spilled());
     }
 
     #[test]
@@ -163,6 +190,20 @@ mod tests {
         for v in [Big::from(0u64), Big::from(41u64), Big::from(2u64).pow(130)] {
             assert_eq!(RepCount::from(&v).to_big(), v);
         }
+    }
+
+    #[test]
+    fn equality_is_numeric_because_representation_is_canonical() {
+        // The struct wrapper leaves no way to build a non-canonical
+        // Spilled(small), so representation equality IS numeric equality:
+        // equal values constructed via u64 and via Big always compare
+        // equal, across the spill boundary in both directions.
+        for v in [0u64, 1, 41, u64::MAX] {
+            assert_eq!(RepCount::from(v), RepCount::from(&Big::from(v)));
+        }
+        let mut down = RepCount::from(&Big::from(u64::MAX as u128 + 1));
+        assert!(down.try_decrement());
+        assert_eq!(down, RepCount::from(u64::MAX));
     }
 
     #[test]

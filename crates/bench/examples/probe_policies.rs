@@ -1,0 +1,128 @@
+//! Probe: end-to-end stop-policy verification over the matrix's critical
+//! cells — the 18 divergent rendezvous cells under `DivergenceDetector`,
+//! the 3 protocol outliers plus the worst converging cells under
+//! `AdaptiveThreshold`, and the large-order ring cells.
+
+use rv_core::{Label, RvVariant};
+use rv_explore::SeededUxs;
+use rv_graph::{GraphFamily, NodeId};
+use rv_protocols::{SglBehavior, SglConfig};
+use rv_sim::adversary::AdversaryKind;
+use rv_sim::{AdaptiveThreshold, DivergenceDetector, RunConfig, Runtime, RvBehavior};
+use std::time::Instant;
+
+const GRAPH_SEED: u64 = 5;
+const ADVERSARY_SEED: u64 = 3;
+const SGL_LABELS: [u64; 4] = [6, 9, 14, 21];
+
+fn family(name: &str) -> GraphFamily {
+    match name {
+        "ring" => GraphFamily::Ring,
+        "path" => GraphFamily::Path,
+        "tree" => GraphFamily::RandomTree,
+        "gnp" => GraphFamily::Gnp,
+        "lollipop" => GraphFamily::Lollipop,
+        other => panic!("unknown family {other}"),
+    }
+}
+
+fn rendezvous(fname: &str, n: usize, kind: AdversaryKind, vname: &str) {
+    let paper = RvVariant::default();
+    let variant = match vname {
+        "paper" => paper,
+        "unscaled" => RvVariant {
+            scaled_params: false,
+            ..paper
+        },
+        _ => panic!("unknown variant"),
+    };
+    let uxs = SeededUxs::quadratic();
+    let g = family(fname).generate(n, GRAPH_SEED);
+    let agents = vec![
+        RvBehavior::with_variant(&g, uxs, NodeId(0), Label::new(6).unwrap(), variant),
+        RvBehavior::with_variant(
+            &g,
+            uxs,
+            NodeId(g.order() / 2),
+            Label::new(9).unwrap(),
+            variant,
+        ),
+    ];
+    let mut rt = Runtime::new(&g, agents, RunConfig::rendezvous().with_cutoff(100_000));
+    let mut adv = kind.build(ADVERSARY_SEED);
+    let mut policy = DivergenceDetector::default();
+    let start = Instant::now();
+    let out = rt.run_with_policy(adv.as_mut(), &mut policy);
+    println!(
+        "{fname}{n}/{kind}/{vname}: end={:?} cost={} wall={:?}",
+        out.end,
+        out.total_traversals,
+        start.elapsed()
+    );
+}
+
+fn protocol(fname: &str, n: usize, k: usize, kind: AdversaryKind, cutoff: u64) {
+    let uxs = SeededUxs::quadratic();
+    let g = family(fname).generate(n, GRAPH_SEED);
+    let behaviors: Vec<_> = SGL_LABELS[..k]
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| {
+            SglBehavior::new(
+                &g,
+                uxs,
+                NodeId(i * g.order() / k),
+                Label::new(l).unwrap(),
+                l + 1000,
+                SglConfig::default(),
+            )
+        })
+        .collect();
+    let mut rt = Runtime::new(&g, behaviors, RunConfig::protocol().with_cutoff(cutoff));
+    let mut adv = kind.build(ADVERSARY_SEED);
+    let mut policy = AdaptiveThreshold::default();
+    let start = Instant::now();
+    let out = rt.run_with_policy(adv.as_mut(), &mut policy);
+    println!(
+        "{fname}{n}/{kind}/sgl-k{k}: end={:?} cost={} actions={} wall={:?}",
+        out.end,
+        out.total_traversals,
+        out.actions,
+        start.elapsed()
+    );
+}
+
+fn main() {
+    println!("--- divergent rendezvous cells (expect Diverged well under 100k) ---");
+    for (f, n, a) in [
+        ("ring", 8, AdversaryKind::LazySecond),
+        ("ring", 12, AdversaryKind::GreedyAvoid),
+        ("ring", 16, AdversaryKind::RoundRobin),
+        ("ring", 16, AdversaryKind::EagerMeet),
+        ("path", 16, AdversaryKind::LazySecond),
+        ("tree", 16, AdversaryKind::GreedyAvoid),
+        ("tree", 16, AdversaryKind::EagerMeet),
+    ] {
+        rendezvous(f, n, a, "unscaled");
+    }
+    println!("--- converging rendezvous control (expect Meeting, unchanged) ---");
+    rendezvous("ring", 12, AdversaryKind::GreedyAvoid, "paper");
+    rendezvous("lollipop", 16, AdversaryKind::LazySecond, "paper");
+
+    println!("--- protocol outliers (expect Stalled under 2.5M) ---");
+    protocol("tree", 8, 3, AdversaryKind::LazySecond, 2_500_000);
+    protocol("tree", 8, 3, AdversaryKind::GreedyAvoid, 2_500_000);
+    protocol("gnp", 8, 4, AdversaryKind::GreedyAvoid, 2_500_000);
+
+    println!("--- worst converging protocol cells (expect AllParked, unchanged) ---");
+    protocol("tree", 8, 2, AdversaryKind::GreedyAvoid, 2_500_000);
+    protocol("lollipop", 8, 4, AdversaryKind::GreedyAvoid, 2_500_000);
+    protocol("lollipop", 8, 2, AdversaryKind::EagerMeet, 2_500_000);
+
+    println!("--- large-order cells under the adaptive policy (expect AllParked) ---");
+    protocol("ring", 12, 2, AdversaryKind::RoundRobin, 50_000_000);
+    protocol("ring", 12, 3, AdversaryKind::GreedyAvoid, 50_000_000);
+    protocol("ring", 16, 2, AdversaryKind::RoundRobin, 50_000_000);
+    protocol("ring", 16, 3, AdversaryKind::EagerMeet, 50_000_000);
+    protocol("ring", 16, 2, AdversaryKind::GreedyAvoid, 50_000_000);
+}

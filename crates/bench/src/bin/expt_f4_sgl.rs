@@ -195,30 +195,27 @@ fn run_sgl(
         RunEnd::Cutoff => return SglRun::Cutoff,
         RunEnd::AllParked => {}
         RunEnd::Meeting => unreachable!("protocol runs do not stop at meetings"),
+        RunEnd::Diverged | RunEnd::Stalled => {
+            unreachable!("plain run() never ends with a detector verdict")
+        }
     }
 
-    // Quiesced: verify the postcondition; violations are genuine failures.
+    // Quiesced: verify the postcondition; violations are genuine
+    // failures. The core (complete outputs, gossip values, minimal agent
+    // met every teammate via the meeting-log views) is the shared
+    // [`rv_bench::sgl_postcondition_violations`] — the same check behind
+    // the scenario matrix's `complete` column — and the `solve`-derived
+    // application consistency checks layer on top.
     let mut fail = |msg: String| failures.push(format!("{instance}: {msg}"));
+    for msg in rv_bench::sgl_postcondition_violations(&rt, &labels, |l| l + 1000) {
+        fail(msg);
+    }
     let mut expected = labels.clone();
     expected.sort_unstable();
     let mut names = Vec::new();
     for i in 0..rt.agent_count() {
         let b = rt.behavior(i);
-        let Some(set) = b.output() else {
-            fail(format!("agent {i} parked without an output"));
-            continue;
-        };
-        if set.labels() != expected {
-            fail(format!(
-                "agent {i} output the wrong label set {:?}",
-                set.labels()
-            ));
-        }
-        for (l, v) in set.iter() {
-            if v != l + 1000 {
-                fail(format!("gossip value mismatch for label {l}"));
-            }
-        }
+        let Some(set) = b.output() else { continue };
         let s = solve(b.label().value(), set);
         if s.team_size != k {
             fail(format!("agent {i} derived team size {}", s.team_size));

@@ -1,13 +1,15 @@
 //! **perf_baseline** — the committed performance trajectory of the
 //! simulator hot path.
 //!
-//! Times six fixed scenarios that together cover every layer the
+//! Times seven fixed scenarios that together cover every layer the
 //! experiments exercise — end-to-end rendezvous runs under two adversaries,
-//! raw trajectory-cursor streaming, the exhaustive minimax search, and a
-//! protocol-mode SGL run with search-style snapshot checkpoints — with
-//! warmup and repeated trials, and writes the median ns/op per scenario as
-//! JSON (default `BENCH_baseline.json`, the repo-root perf baseline future
-//! PRs are compared against).
+//! raw trajectory-cursor streaming, the exhaustive minimax search, a
+//! protocol-mode SGL run with search-style snapshot checkpoints, and the
+//! detector-on divergent matrix slice (the 18 rendezvous cells the
+//! divergence detector retires early) — with warmup and repeated trials,
+//! and writes the median ns/op per scenario as JSON (default
+//! `BENCH_baseline.json`, the repo-root perf baseline future PRs are
+//! compared against).
 //!
 //! Usage:
 //!
@@ -29,13 +31,14 @@ use serde::Serialize;
 use std::time::Instant;
 
 /// The scenarios a baseline file must cover, in reporting order.
-pub const SCENARIOS: [&str; 6] = [
+pub const SCENARIOS: [&str; 7] = [
     "f1_rendezvous/ring12/greedy-avoid",
     "f1_rendezvous/ring12/lazy-second",
     "cursor_stream/gnp16/B8",
     "minimax/path3/depth10",
     "minimax/ring4/depth8",
     "sgl/ring8/k3",
+    "matrix_slice/diverge18",
 ];
 
 /// One measured scenario, serialised into the baseline JSON.
@@ -83,6 +86,7 @@ fn main() {
         minimax_scenario(trials),
         minimax_ring_scenario(trials),
         sgl_protocol_scenario(trials),
+        matrix_slice_scenario(trials),
     ];
 
     let json = serde_json::to_string(&records).expect("records serialise");
@@ -245,6 +249,70 @@ fn sgl_protocol_scenario(trials: usize) -> Record {
         }
         assert_eq!(rt.total_traversals(), SGL_CUTOFF, "fixed-work prefix");
         std::hint::black_box(rt.actions());
+    })
+}
+
+/// The detector-on divergent matrix slice: the 18 rendezvous matrix
+/// cells (all `unscaled`-ablation) whose piece number stagnates while
+/// cost grows, each run to retirement under `DivergenceDetector`. Before
+/// the stop-policy layer each of these burned the full 100k-traversal
+/// matrix budget; the detector retires each at ≈ 5.1k, so this scenario
+/// prices exactly what the matrix saves — plus the detector's own
+/// progress-record overhead on the run loop.
+fn matrix_slice_scenario(trials: usize) -> Record {
+    use rv_core::RvVariant;
+    use rv_sim::DivergenceDetector;
+    // The 18 F6-divergence cells of the scenario matrix (family, order,
+    // adversary), graph seed 5, labels (6, 9), adversary seed 3.
+    let slice: [(GraphFamily, usize, AdversaryKind); 18] = [
+        (GraphFamily::Ring, 8, AdversaryKind::LazySecond),
+        (GraphFamily::Ring, 12, AdversaryKind::LazySecond),
+        (GraphFamily::Ring, 12, AdversaryKind::GreedyAvoid),
+        (GraphFamily::Ring, 16, AdversaryKind::RoundRobin),
+        (GraphFamily::Ring, 16, AdversaryKind::LazySecond),
+        (GraphFamily::Ring, 16, AdversaryKind::GreedyAvoid),
+        (GraphFamily::Ring, 16, AdversaryKind::EagerMeet),
+        (GraphFamily::Path, 8, AdversaryKind::LazySecond),
+        (GraphFamily::Path, 12, AdversaryKind::LazySecond),
+        (GraphFamily::Path, 12, AdversaryKind::GreedyAvoid),
+        (GraphFamily::Path, 16, AdversaryKind::RoundRobin),
+        (GraphFamily::Path, 16, AdversaryKind::LazySecond),
+        (GraphFamily::Path, 16, AdversaryKind::GreedyAvoid),
+        (GraphFamily::Path, 16, AdversaryKind::EagerMeet),
+        (GraphFamily::RandomTree, 16, AdversaryKind::RoundRobin),
+        (GraphFamily::RandomTree, 16, AdversaryKind::LazySecond),
+        (GraphFamily::RandomTree, 16, AdversaryKind::GreedyAvoid),
+        (GraphFamily::RandomTree, 16, AdversaryKind::EagerMeet),
+    ];
+    let unscaled = RvVariant {
+        scaled_params: false,
+        ..RvVariant::default()
+    };
+    let uxs = SeededUxs::quadratic();
+    let graphs: Vec<_> = slice
+        .iter()
+        .map(|&(fam, n, _)| fam.generate(n, 5))
+        .collect();
+    measure(SCENARIOS[6], "run", trials, 2, 18, || {
+        for (i, &(_, _, kind)) in slice.iter().enumerate() {
+            let g = &graphs[i];
+            let agents = vec![
+                RvBehavior::with_variant(g, uxs, NodeId(0), Label::new(6).unwrap(), unscaled),
+                RvBehavior::with_variant(
+                    g,
+                    uxs,
+                    NodeId(g.order() / 2),
+                    Label::new(9).unwrap(),
+                    unscaled,
+                ),
+            ];
+            let mut rt = Runtime::new(g, agents, RunConfig::rendezvous().with_cutoff(100_000));
+            let mut adv = kind.build(3);
+            let mut policy = DivergenceDetector::default();
+            let out = rt.run_with_policy(adv.as_mut(), &mut policy);
+            assert_eq!(out.end, RunEnd::Diverged, "slice cells must diverge");
+            std::hint::black_box(out.total_traversals);
+        }
     })
 }
 

@@ -2,39 +2,55 @@
 //!
 //! Sweeps the cartesian product of a declarative table and emits **one
 //! JSON row per cell** (JSON-lines, like the `expt_*` binaries). Where
-//! `perf_baseline` tracks six hand-picked hot-path scenarios over time,
+//! `perf_baseline` tracks seven hand-picked hot-path scenarios over time,
 //! this runner measures *breadth*: how cost and wall-clock behave across
 //! every combination, so future PRs can quantify scenario diversity
-//! instead of overfitting to the baseline six.
+//! instead of overfitting to the baseline seven.
 //!
-//! Two sub-tables share the family × adversary axes:
+//! Three sub-tables share the family × adversary axes:
 //!
 //! * **Rendezvous** cells — graph family × order (8, 12, 16) × adversary ×
 //!   algorithm variant (the paper's algorithm plus the three F6
 //!   ablations), two `RvBehavior` agents, stop at the first meeting.
 //! * **Protocol (SGL)** cells — graph family × order (5, 6, 8) × adversary
 //!   × team size k ∈ {2, 3, 4}, `SglBehavior` agents run to quiescence
-//!   (meetings are exchanges, not terminals). The order axis is the
-//!   SGL-affordable range `expt_f4_sgl` sweeps: quiescence cost grows with
-//!   the ESST order bound cubed, so the rendezvous orders would cost
-//!   seconds-to-minutes *per cell* (see README "Performance").
+//!   (meetings are exchanges, not terminals).
+//! * **Protocol large-order** cells — ring × order (12, 16) ×
+//!   {round-robin, greedy-avoid, eager-meet} × k ∈ {2, 3}: the rendezvous
+//!   orders, affordable **only** under the adaptive stop policy (a flat
+//!   budget must choose between starving them and letting stalled cells
+//!   burn it; `lazy(1)` is excluded because its adversarially inflated
+//!   final ESST phase sits inside the stall detector's margin — see
+//!   `docs/STALL_TRACE.md`).
 //!
-//! Every row carries a **cutoff column** (`cutoff`, plus `traversals` at
-//! the end of the run): a cell whose `end` is `"Cutoff"` was stopped at
-//! exactly `cutoff` traversals — distinguishable at a glance from cells
-//! that merely ran slowly, and comparable across modes (the known
-//! F6-divergence cells are the rendezvous rows with `end == "Cutoff"`).
+//! Every cell runs under a **stop policy** (the `policy` column):
+//! rendezvous cells under `DivergenceDetector` (piece-number stagnation →
+//! `end == "Diverged"`), protocol cells under `AdaptiveThreshold`
+//! (progress-tick silence → `end == "Stalled"`), both backstopped by the
+//! per-cell traversal budget (`cutoff` column; `end == "Cutoff"` rows
+//! stopped at exactly `cutoff`). Detectors only change when a
+//! non-converging run stops — converging cells report the same outcome
+//! they always did, which the golden suite asserts bit for bit.
+//!
+//! Protocol rows that quiesce also carry the **post-hoc completeness
+//! check** (`complete` column): every agent output the full label/value
+//! set *and* the minimal agent met every teammate (checked on the meeting
+//! log's per-agent views) — the property the completion-threshold
+//! substitution must deliver (DESIGN.md §4).
 //!
 //! Usage:
 //!
 //! ```text
-//! scenario_matrix [--smoke] [--trials N] [--out PATH]   # run and write rows
-//! scenario_matrix --check PATH                          # validate rows
+//! scenario_matrix [--smoke] [--trials N] [--out PATH] [--only SUBSTR]
+//! scenario_matrix --check PATH
 //! ```
 //!
 //! `--smoke` runs 1 trial per cell and caps protocol cells at a smaller
 //! cutoff (the CI gate is a schema/coverage check, not a measurement);
-//! the default is 5 trials with the full protocol cutoff. `--check`
+//! the default is 5 trials with the full protocol cutoffs. `--only`
+//! restricts the sweep to cells whose scenario id contains the substring
+//! (the CI detector smoke exercises one Diverged cell this way; such
+//! partial files fail `--check`'s coverage gate by design). `--check`
 //! verifies every line parses as a JSON object with the expected fields
 //! and that the file covers exactly the declared matrix — CI fails on any
 //! malformed or missing row.
@@ -44,7 +60,7 @@ use rv_explore::SeededUxs;
 use rv_graph::{GraphFamily, NodeId};
 use rv_protocols::{SglBehavior, SglConfig};
 use rv_sim::adversary::AdversaryKind;
-use rv_sim::{RunConfig, RunEnd, RunOutcome, Runtime, RvBehavior};
+use rv_sim::{AdaptiveThreshold, DivergenceDetector, RunConfig, RunEnd, Runtime, RvBehavior};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -60,19 +76,34 @@ const FAMILIES: [(GraphFamily, &str); 5] = [
 /// Graph orders swept by the rendezvous cells.
 const SIZES: [usize; 3] = [8, 12, 16];
 
-/// Graph orders swept by the protocol (SGL) cells — the affordable range
-/// (quiescence cost grows with the ESST order bound cubed; these mirror
-/// the `expt_f4_sgl` sweep).
+/// Graph orders swept by the regular protocol (SGL) cells — the range
+/// `expt_f4_sgl` sweeps (quiescence cost grows with the ESST order bound
+/// cubed).
 const PROTOCOL_SIZES: [usize; 3] = [5, 6, 8];
 
-/// SGL team sizes swept by the protocol cells.
+/// SGL team sizes swept by the regular protocol cells.
 const TEAM_SIZES: [usize; 3] = [2, 3, 4];
+
+/// Orders of the large protocol cells (the rendezvous orders, unlocked by
+/// the adaptive policy).
+const LARGE_PROTOCOL_SIZES: [usize; 2] = [12, 16];
+
+/// Team sizes of the large protocol cells.
+const LARGE_TEAM_SIZES: [usize; 2] = [2, 3];
 
 /// Adversaries swept (a spread from cooperative to strongest-avoiding;
 /// seeded strategies use [`ADVERSARY_SEED`]).
 const ADVERSARIES: [AdversaryKind; 4] = [
     AdversaryKind::RoundRobin,
     AdversaryKind::LazySecond,
+    AdversaryKind::GreedyAvoid,
+    AdversaryKind::EagerMeet,
+];
+
+/// Adversaries of the large protocol cells (see module docs for why
+/// `lazy(1)` stays out).
+const LARGE_ADVERSARIES: [AdversaryKind; 3] = [
+    AdversaryKind::RoundRobin,
     AdversaryKind::GreedyAvoid,
     AdversaryKind::EagerMeet,
 ];
@@ -111,12 +142,16 @@ fn variants() -> [(&'static str, RvVariant); 4] {
 const GRAPH_SEED: u64 = 5;
 /// Fixed adversary seed for the seeded strategies.
 const ADVERSARY_SEED: u64 = 3;
-/// Rendezvous cutoff: generous for every converging cell, small enough
-/// that diverging ablation cells return quickly.
+/// Rendezvous budget backstop: generous for every converging cell; the
+/// divergence detector retires diverging cells ~20× earlier.
 const CUTOFF: u64 = 100_000;
-/// Protocol cutoff, full mode: above every known quiescence cost on the
-/// protocol orders, so `Cutoff` rows flag genuine outliers.
+/// Protocol budget backstop, full mode, regular orders: above every known
+/// quiescence cost there, so `Cutoff` rows flag genuine surprises (the
+/// known non-quiescers read `Stalled` long before).
 const PROTOCOL_CUTOFF: u64 = 2_500_000;
+/// Protocol budget backstop for the large-order cells (ring(16) quiesces
+/// at ≈ 17.8M traversals).
+const LARGE_PROTOCOL_CUTOFF: u64 = 50_000_000;
 /// Protocol cutoff under `--smoke`: bounds the CI gate's wall-clock (the
 /// gate checks schema and coverage; protocol smoke rows all read
 /// `end == "Cutoff"` by design and record this cutoff in the row).
@@ -130,7 +165,8 @@ const SGL_LABELS: [u64; 4] = [6, 9, 14, 21];
 pub fn cell_count() -> usize {
     let rendezvous = FAMILIES.len() * SIZES.len() * ADVERSARIES.len() * variants().len();
     let protocol = FAMILIES.len() * PROTOCOL_SIZES.len() * ADVERSARIES.len() * TEAM_SIZES.len();
-    rendezvous + protocol
+    let large = LARGE_PROTOCOL_SIZES.len() * LARGE_ADVERSARIES.len() * LARGE_TEAM_SIZES.len();
+    rendezvous + protocol + large
 }
 
 /// One measured cell, serialised as a JSON-lines row.
@@ -152,28 +188,35 @@ struct Row {
     variant: String,
     /// Number of agents in the cell (2, or the SGL team size).
     agents: usize,
-    /// How the run ended (`Meeting`, `AllParked`, or `Cutoff`).
+    /// Stop policy the cell ran under (`divergence` or `adaptive`; the
+    /// cutoff backstop is always armed).
+    policy: String,
+    /// How the run ended (`Meeting`, `AllParked`, `Cutoff`, `Diverged`,
+    /// or `Stalled`).
     end: String,
     /// Meeting cost (total traversals at the first forced meeting);
-    /// `null` for any non-`Meeting` end (`Cutoff` and `AllParked` alike —
-    /// protocol cells quiesce instead of meeting, so theirs is always
-    /// `null`; their cost to quiescence is `traversals`).
+    /// `null` for any non-`Meeting` end.
     cost: Option<u64>,
-    /// Total completed traversals when the run ended — the cutoff column's
-    /// "traversals at cutoff" for `Cutoff` rows, the cost to quiescence
-    /// for `AllParked` rows.
+    /// Total completed traversals when the run ended — where a `Cutoff`
+    /// row stopped (exactly `cutoff`), where a detector row was retired,
+    /// or the cost to quiescence for `AllParked` rows.
     traversals: u64,
-    /// The traversal cutoff this cell ran under.
+    /// The traversal budget backstop this cell ran under.
     cutoff: u64,
     /// Adversary actions executed.
     actions: u64,
+    /// Post-hoc completeness check for quiesced protocol rows: every
+    /// agent output the complete label/value set and the minimal agent
+    /// met every teammate (meeting-log views). `null` for every other
+    /// row.
+    complete: Option<bool>,
     /// Timed trials.
     trials: usize,
     /// Median wall time per run, nanoseconds.
     median_ns_per_run: f64,
 }
 
-/// The two cell kinds sharing the family × adversary axes.
+/// The cell kinds sharing the family × adversary axes.
 #[derive(Clone, Copy)]
 enum CellKind {
     Rendezvous {
@@ -210,6 +253,13 @@ fn cells() -> Vec<(GraphFamily, &'static str, usize, AdversaryKind, CellKind)> {
             }
         }
     }
+    for n in LARGE_PROTOCOL_SIZES {
+        for adversary in LARGE_ADVERSARIES {
+            for k in LARGE_TEAM_SIZES {
+                out.push((GraphFamily::Ring, "ring", n, adversary, CellKind::Sgl { k }));
+            }
+        }
+    }
     out
 }
 
@@ -218,6 +268,15 @@ fn scenario_id(fname: &str, n: usize, adversary: AdversaryKind, kind: &CellKind)
     match kind {
         CellKind::Rendezvous { vname, .. } => format!("{fname}{n}/{adversary}/{vname}"),
         CellKind::Sgl { k } => format!("{fname}{n}/{adversary}/sgl-k{k}"),
+    }
+}
+
+/// The traversal budget backstop of a cell (full mode).
+fn full_cutoff(n: usize, kind: &CellKind) -> u64 {
+    match kind {
+        CellKind::Rendezvous { .. } => CUTOFF,
+        CellKind::Sgl { .. } if n > 8 => LARGE_PROTOCOL_CUTOFF,
+        CellKind::Sgl { .. } => PROTOCOL_CUTOFF,
     }
 }
 
@@ -250,29 +309,47 @@ fn main() {
                 .clone()
         })
         .unwrap_or_else(|| "MATRIX_baseline.jsonl".to_string());
-    let protocol_cutoff = if smoke {
-        PROTOCOL_SMOKE_CUTOFF
-    } else {
-        PROTOCOL_CUTOFF
-    };
+    let only = args.iter().position(|a| a == "--only").map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| panic!("--only requires a substring argument"))
+            .clone()
+    });
 
     let mut lines = String::new();
+    let mut rows = 0usize;
     for (family, fname, n, adversary, kind) in cells() {
+        let scenario = scenario_id(fname, n, adversary, &kind);
+        if let Some(filter) = &only {
+            if !scenario.contains(filter.as_str()) {
+                continue;
+            }
+        }
+        let cutoff = if smoke && matches!(kind, CellKind::Sgl { .. }) {
+            PROTOCOL_SMOKE_CUTOFF
+        } else {
+            full_cutoff(n, &kind)
+        };
         let g = family.generate(n, GRAPH_SEED);
-        let row = run_cell(&g, fname, n, adversary, &kind, trials, protocol_cutoff);
+        let row = run_cell(&g, fname, n, adversary, &kind, trials, cutoff);
         lines.push_str(&serde_json::to_string(&row).expect("rows serialise"));
         lines.push('\n');
+        rows += 1;
     }
     std::fs::write(&out_path, &lines).expect("write matrix JSON-lines");
-    println!(
-        "wrote {} rows ({} trials per cell) to {out_path}",
-        cell_count(),
-        trials
-    );
+    println!("wrote {rows} rows ({trials} trials per cell) to {out_path}");
 }
 
-/// Runs one cell `trials` times; reports the outcome of the (deterministic)
-/// run and the median wall time.
+/// Outcome of one cell run: the pieces of [`Row`] that depend on the run.
+struct CellOutcome {
+    end: RunEnd,
+    cost: Option<u64>,
+    traversals: u64,
+    actions: u64,
+    complete: Option<bool>,
+}
+
+/// Runs one cell `trials` times under its stop policy; reports the
+/// outcome of the (deterministic) run and the median wall time.
 fn run_cell(
     g: &rv_graph::Graph,
     family: &str,
@@ -280,42 +357,51 @@ fn run_cell(
     adversary: AdversaryKind,
     kind: &CellKind,
     trials: usize,
-    protocol_cutoff: u64,
+    cutoff: u64,
 ) -> Row {
     let uxs = SeededUxs::quadratic();
-    let (mode, agents, cutoff) = match kind {
-        CellKind::Rendezvous { .. } => ("rendezvous", 2, CUTOFF),
-        CellKind::Sgl { k } => ("protocol", *k, protocol_cutoff),
+    let (mode, agents, policy_name) = match kind {
+        CellKind::Rendezvous { .. } => ("rendezvous", 2, "divergence"),
+        CellKind::Sgl { k } => ("protocol", *k, "adaptive"),
     };
-    let mut outcome: Option<RunOutcome> = None;
+    let mut outcome: Option<CellOutcome> = None;
     let mut samples = Vec::with_capacity(trials);
     for _ in 0..trials {
         let mut adv = adversary.build(ADVERSARY_SEED);
         let (elapsed, out) = match kind {
             CellKind::Rendezvous { variant, .. } => {
-                let make = || {
-                    vec![
-                        RvBehavior::with_variant(
-                            g,
-                            uxs,
-                            NodeId(0),
-                            Label::new(LABELS.0).unwrap(),
-                            *variant,
-                        ),
-                        RvBehavior::with_variant(
-                            g,
-                            uxs,
-                            NodeId(g.order() / 2),
-                            Label::new(LABELS.1).unwrap(),
-                            *variant,
-                        ),
-                    ]
-                };
+                let agents = vec![
+                    RvBehavior::with_variant(
+                        g,
+                        uxs,
+                        NodeId(0),
+                        Label::new(LABELS.0).unwrap(),
+                        *variant,
+                    ),
+                    RvBehavior::with_variant(
+                        g,
+                        uxs,
+                        NodeId(g.order() / 2),
+                        Label::new(LABELS.1).unwrap(),
+                        *variant,
+                    ),
+                ];
                 let config = RunConfig::rendezvous().with_cutoff(cutoff);
-                let mut rt = Runtime::new(g, make(), config);
+                let mut rt = Runtime::new(g, agents, config);
+                let mut policy = DivergenceDetector::default();
                 let start = Instant::now();
-                let out = rt.run(adv.as_mut());
-                (start.elapsed(), out)
+                let out = rt.run_with_policy(adv.as_mut(), &mut policy);
+                let elapsed = start.elapsed();
+                (
+                    elapsed,
+                    CellOutcome {
+                        end: out.end,
+                        cost: (out.end == RunEnd::Meeting).then_some(out.total_traversals),
+                        traversals: out.total_traversals,
+                        actions: out.actions,
+                        complete: None,
+                    },
+                )
             }
             CellKind::Sgl { k } => {
                 let behaviors: Vec<_> = SGL_LABELS[..*k]
@@ -334,9 +420,22 @@ fn run_cell(
                     .collect();
                 let config = RunConfig::protocol().with_cutoff(cutoff);
                 let mut rt = Runtime::new(g, behaviors, config);
+                let mut policy = AdaptiveThreshold::default();
                 let start = Instant::now();
-                let out = rt.run(adv.as_mut());
-                (start.elapsed(), out)
+                let out = rt.run_with_policy(adv.as_mut(), &mut policy);
+                let elapsed = start.elapsed();
+                let complete =
+                    (out.end == RunEnd::AllParked).then(|| sgl_complete(&rt, &SGL_LABELS[..*k]));
+                (
+                    elapsed,
+                    CellOutcome {
+                        end: out.end,
+                        cost: None,
+                        traversals: out.total_traversals,
+                        actions: out.actions,
+                        complete,
+                    },
+                )
             }
         };
         samples.push(elapsed.as_nanos() as f64);
@@ -355,14 +454,23 @@ fn run_cell(
             CellKind::Sgl { k } => format!("sgl-k{k}"),
         },
         agents,
+        policy: policy_name.to_string(),
         end: format!("{:?}", out.end),
-        cost: (out.end == RunEnd::Meeting).then_some(out.total_traversals),
-        traversals: out.total_traversals,
+        cost: out.cost,
+        traversals: out.traversals,
         cutoff,
         actions: out.actions,
+        complete: out.complete,
         trials,
         median_ns_per_run: samples[samples.len() / 2],
     }
+}
+
+/// The post-hoc completeness check on a quiesced SGL runtime — the
+/// shared [`rv_bench::sgl_postcondition_violations`] core (also behind
+/// `expt_f4_sgl`'s verdicts) with this matrix's gossip-value convention.
+fn sgl_complete(rt: &Runtime<SglBehavior<SeededUxs>>, labels: &[u64]) -> bool {
+    rv_bench::sgl_postcondition_violations(rt, labels, |l| l + 1000).is_empty()
 }
 
 /// `--check`: the CI gate. Every line must parse as a JSON object with the
@@ -411,12 +519,26 @@ fn check(path: &str) {
         if mode == "protocol" {
             protocol_rows += 1;
         }
+        let policy = field("policy");
+        let policy = policy
+            .as_str()
+            .unwrap_or_else(|| panic!("{path}:{} policy must be a string", lineno + 1));
+        assert_eq!(
+            policy,
+            if mode == "protocol" {
+                "adaptive"
+            } else {
+                "divergence"
+            },
+            "{path}:{} wrong policy for mode {mode}",
+            lineno + 1
+        );
         let end = field("end");
         let end = end
             .as_str()
             .unwrap_or_else(|| panic!("{path}:{} end must be a string", lineno + 1));
         assert!(
-            ["Meeting", "AllParked", "Cutoff"].contains(&end),
+            ["Meeting", "AllParked", "Cutoff", "Diverged", "Stalled"].contains(&end),
             "{path}:{} unknown end {end:?}",
             lineno + 1
         );
@@ -425,10 +547,23 @@ fn check(path: &str) {
             "{path}:{} protocol cells never stop at a meeting",
             lineno + 1
         );
+        // Detector verdicts are mode-specific: piece-number divergence is
+        // a rendezvous concept, progress-tick stalls a protocol one.
+        assert!(
+            mode == "rendezvous" || end != "Diverged",
+            "{path}:{} only rendezvous cells can diverge",
+            lineno + 1
+        );
+        assert!(
+            mode == "protocol" || end != "Stalled",
+            "{path}:{} only protocol cells can stall",
+            lineno + 1
+        );
         let agents = field("agents").as_u64().unwrap_or(0);
         assert!(agents >= 2, "{path}:{} fewer than two agents", lineno + 1);
-        // The cutoff column: every row records the cutoff it ran under and
-        // where it actually stopped; `Cutoff` rows stopped exactly there.
+        // The cutoff column: every row records the budget backstop it ran
+        // under and where it actually stopped; `Cutoff` rows stopped
+        // exactly there, detector rows strictly before.
         let cutoff = field("cutoff")
             .as_u64()
             .unwrap_or_else(|| panic!("{path}:{} cutoff must be a count", lineno + 1));
@@ -444,6 +579,11 @@ fn check(path: &str) {
         assert!(
             end != "Cutoff" || traversals == cutoff,
             "{path}:{} a Cutoff row must stop exactly at the cutoff",
+            lineno + 1
+        );
+        assert!(
+            !["Diverged", "Stalled"].contains(&end) || traversals < cutoff,
+            "{path}:{} a detector row must retire strictly under the budget",
             lineno + 1
         );
         let ns = field("median_ns_per_run")
@@ -464,6 +604,24 @@ fn check(path: &str) {
             "{path}:{} cost must be present iff the run met",
             lineno + 1
         );
+        // The completeness check rides exactly on quiesced protocol rows
+        // — and must pass there (a quiesced-but-incomplete run is a
+        // protocol bug, not a budget artifact).
+        let complete = field("complete");
+        if mode == "protocol" && end == "AllParked" {
+            assert_eq!(
+                complete.as_bool(),
+                Some(true),
+                "{path}:{} quiesced protocol row failed its completeness check",
+                lineno + 1
+            );
+        } else {
+            assert!(
+                complete.is_null(),
+                "{path}:{} complete must be null off the quiesced protocol rows",
+                lineno + 1
+            );
+        }
         seen.push(scenario);
     }
     assert_eq!(

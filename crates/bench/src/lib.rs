@@ -21,6 +21,55 @@ pub struct Sample {
     pub cost: Option<u64>,
 }
 
+/// Violations of Algorithm SGL's quiescence postcondition core, shared
+/// by the scenario matrix's `complete` column and `expt_f4_sgl` so the
+/// two cannot drift: every agent output exactly the full label set with
+/// the right gossip values (`value_of(label)`), and the minimal agent
+/// met every teammate — read off the meeting log's per-agent views, no
+/// `to_vec()` of a potentially million-exchange log. Returns one message
+/// per violation (empty = postcondition holds). Callers layer their own
+/// extras on top (expt F4 adds the `solve`-derived team-size / leader /
+/// renaming consistency checks).
+pub fn sgl_postcondition_violations<P: rv_explore::ExplorationProvider + Clone>(
+    rt: &rv_sim::Runtime<rv_protocols::SglBehavior<P>>,
+    labels: &[u64],
+    value_of: impl Fn(u64) -> u64,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut expected: Vec<u64> = labels.to_vec();
+    expected.sort_unstable();
+    for i in 0..rt.agent_count() {
+        let Some(set) = rt.behavior(i).output() else {
+            out.push(format!("agent {i} parked without an output"));
+            continue;
+        };
+        if set.labels() != expected {
+            out.push(format!(
+                "agent {i} output the wrong label set {:?}",
+                set.labels()
+            ));
+        }
+        for (l, v) in set.iter() {
+            if v != value_of(l) {
+                out.push(format!("gossip value mismatch for label {l}"));
+            }
+        }
+    }
+    // The completion-threshold substitution's soundness condition
+    // (DESIGN.md §4): the minimal agent heard from everyone — directly
+    // suffices, because its collection sweep visits every ghost.
+    let min_idx = (0..rt.agent_count())
+        .min_by_key(|&i| rt.behavior(i).label().value())
+        .expect("at least two agents");
+    let log = rt.meetings();
+    for j in 0..rt.agent_count() {
+        if j != min_idx && !log.pair_met(min_idx, j) {
+            out.push(format!("the minimal agent never met agent {j}"));
+        }
+    }
+    out
+}
+
 /// Renders a markdown-style table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");

@@ -42,4 +42,4 @@ mod sgl;
 
 pub use applications::{solve, Solutions};
 pub use bag::Bag;
-pub use sgl::{SglBehavior, SglConfig, SglInfo, StateKind};
+pub use sgl::{SglBehavior, SglConfig, SglInfo, SglPhase, SglProgress, StateKind};

@@ -69,6 +69,58 @@ impl SglConfig {
     }
 }
 
+/// The explorer phase an agent is in, as revealed by
+/// [`SglBehavior::quiescence_progress`] — the public mirror of the private
+/// phase machinery, for progress observers (stop policies, traces).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SglPhase {
+    /// Phase 1: procedure ESST with the token.
+    Esst,
+    /// Phase 2a: backtracking the ESST trajectory.
+    Backtrack,
+    /// Phase 2b: resumed RV-asynch-poly until threshold or smaller label.
+    ResumeRv,
+    /// Phase 3 (non-minimal): seeking the token via `R(E(n), ·)`.
+    SeekToken,
+    /// Phase 3 (minimal): forward collection sweep.
+    CollectFwd,
+    /// Phase 3 (minimal): backward announcement sweep.
+    AnnounceBack,
+}
+
+/// How far an SGL agent has progressed toward quiescence — the protocol's
+/// contribution to the simulator's progress-aware stop-policy layer (see
+/// `rv_sim::Progress`). All counters are monotone over a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SglProgress {
+    /// Current protocol state.
+    pub state: StateKind,
+    /// Current explorer phase, if the agent is mid-phase.
+    pub phase: Option<SglPhase>,
+    /// Labels gathered so far.
+    pub bag_len: usize,
+    /// Whether the complete label set has reached this agent.
+    pub has_final_set: bool,
+    /// Whether the agent has produced its output.
+    pub has_output: bool,
+    /// RV-asynch-poly traversals consumed (traveller + Phase 2).
+    pub rv_traversals: u64,
+    /// The ESST machine's current phase while Phase 1 runs (monotone
+    /// within the phase; `None` outside it). A Phase-1 blowup shows as
+    /// this climbing while cost explodes — see the stall-trace note.
+    pub esst_phase: Option<u64>,
+    /// Monotone progress ticks: every committed move in a bounded phase
+    /// (backtrack, Phase-2 RV, collection and announcement sweeps,
+    /// traveller RV), every ESST *phase* advance, and every information
+    /// gain (new label, final set, state transition, output).
+    /// Deliberately **silent** during Phase-3 token-seek moves and within
+    /// a single ESST phase — both can be prolonged without bound by an
+    /// adversary suspending the token inside an edge, and a stalled run
+    /// is exactly one whose summed ticks stop advancing (see the
+    /// stall-trace note in `docs/`).
+    pub ticks: u64,
+}
+
 /// Explorer sub-state.
 // The Esst variant dominates the enum's size, but Phase is held once per
 // agent (not per node or per step), so boxing would cost more in indirection
@@ -137,6 +189,9 @@ pub struct SglBehavior<'g, P> {
     /// initialised at the next `next_port` (i.e. at the node where the
     /// committed edge ends).
     needs_esst_init: bool,
+    /// Monotone progress counter (see [`SglProgress::ticks`]). Never read
+    /// by the protocol itself — pure instrumentation for stop policies.
+    progress_ticks: u64,
 }
 
 impl<'g, P: ExplorationProvider + Clone> SglBehavior<'g, P> {
@@ -171,6 +226,7 @@ impl<'g, P: ExplorationProvider + Clone> SglBehavior<'g, P> {
             met_token_inside: false,
             token_had_output: false,
             needs_esst_init: false,
+            progress_ticks: 0,
         }
     }
 
@@ -199,8 +255,47 @@ impl<'g, P: ExplorationProvider + Clone> SglBehavior<'g, P> {
         self.e_bound
     }
 
-    /// Records a committed move: updates the self-tracked position.
+    /// How far this agent has progressed toward quiescence (all counters
+    /// monotone) — see [`SglProgress`]. This is what protocol-mode stop
+    /// policies watch: a run whose agents' summed [`SglProgress::ticks`]
+    /// stop advancing has stalled (typically a Phase-3 token seek pinned
+    /// open by a meeting-postponing adversary).
+    pub fn quiescence_progress(&self) -> SglProgress {
+        SglProgress {
+            state: self.state,
+            phase: self.phase.as_ref().map(|p| match p {
+                Phase::Esst { .. } => SglPhase::Esst,
+                Phase::Backtrack { .. } => SglPhase::Backtrack,
+                Phase::ResumeRv { .. } => SglPhase::ResumeRv,
+                Phase::SeekToken { .. } => SglPhase::SeekToken,
+                Phase::CollectFwd { .. } => SglPhase::CollectFwd,
+                Phase::AnnounceBack { .. } => SglPhase::AnnounceBack,
+            }),
+            bag_len: self.bag.len(),
+            has_final_set: self.final_set.is_some(),
+            has_output: self.output.is_some(),
+            rv_traversals: self.rv_traversals,
+            esst_phase: match &self.phase {
+                Some(Phase::Esst { machine, .. }) => Some(machine.phase()),
+                _ => None,
+            },
+            ticks: self.progress_ticks,
+        }
+    }
+
+    /// Records a committed move: updates the self-tracked position. Moves
+    /// tick the progress counter except in the phases an adversary can
+    /// prolong without bound — Phase-3 token seeking (sweeps repeat until
+    /// the token is pinned) and Phase-1 ESST walking (the machine can
+    /// chase an adversarially suspended token indefinitely; ESST progress
+    /// is its *phase* advancing instead — see [`SglProgress::ticks`]).
     fn commit(&mut self, port: PortId) -> PortId {
+        if !matches!(
+            self.phase,
+            Some(Phase::SeekToken { .. }) | Some(Phase::Esst { .. })
+        ) {
+            self.progress_ticks += 1;
+        }
         let arr = self.g.traverse(self.cur, port);
         self.cur = arr.node;
         self.cur_entry = Some(arr.entry_port);
@@ -212,6 +307,7 @@ impl<'g, P: ExplorationProvider + Clone> SglBehavior<'g, P> {
         loop {
             if let Some(t) = self.cursor.next_traversal() {
                 self.rv_traversals += 1;
+                self.progress_ticks += 1;
                 // The cursor tracks position itself; keep ours in sync.
                 self.cur = t.to;
                 self.cur_entry = Some(t.entry);
@@ -231,6 +327,7 @@ impl<'g, P: ExplorationProvider + Clone> SglBehavior<'g, P> {
     }
 
     fn produce_output(&mut self, set: Bag) {
+        self.progress_ticks += 1;
         self.final_set = Some(set.clone());
         self.output = Some(set);
     }
@@ -244,12 +341,19 @@ impl<'g, P: ExplorationProvider + Clone> SglBehavior<'g, P> {
         if *fresh {
             *fresh = false;
         } else {
+            let phase_before = machine.phase();
             machine.arrived(ArrivalReport {
                 entry: self.cur_entry.expect("moved at least once"),
                 degree: self.g.degree(self.cur),
                 token_inside: inside,
                 token_at_node: at_node,
             });
+            // An ESST phase advance is the protocol-level progress unit of
+            // Phase 1 (individual walks within a phase are not: an
+            // adversary can prolong the token chase without bound).
+            if machine.phase() > phase_before {
+                self.progress_ticks += 1;
+            }
         }
         match machine.current_request() {
             Drive::Traverse { port, .. } => Some(port),
@@ -422,11 +526,19 @@ impl<'g, P: ExplorationProvider + Clone> Behavior for SglBehavior<'g, P> {
 
     fn on_meeting(&mut self, place: MeetingPlace, peers: &[SglInfo]) {
         // 1. Bags merge and the final set propagates, unconditionally.
+        //    Information gained here is progress (see SglProgress::ticks):
+        //    new labels and a newly learned final set each tick.
+        let bag_before = self.bag.len();
+        let had_final_set = self.final_set.is_some();
         for p in peers {
             self.bag.merge(&p.bag);
             if self.final_set.is_none() {
                 self.final_set = p.final_set.clone();
             }
+        }
+        self.progress_ticks += (self.bag.len() - bag_before) as u64;
+        if !had_final_set && self.final_set.is_some() {
+            self.progress_ticks += 1;
         }
         // 2. Token sighting flags.
         if let Some(token) = self.token_label {
@@ -460,6 +572,7 @@ impl<'g, P: ExplorationProvider + Clone> Behavior for SglBehavior<'g, P> {
             if heard_smaller {
                 self.state = StateKind::Ghost;
                 self.phase = None;
+                self.progress_ticks += 1;
                 return;
             }
             let non_explorers: Vec<&SglInfo> = peers
@@ -470,11 +583,22 @@ impl<'g, P: ExplorationProvider + Clone> Behavior for SglBehavior<'g, P> {
                 self.state = StateKind::Explorer;
                 self.token_label = Some(token);
                 self.needs_esst_init = true;
+                self.progress_ticks += 1;
             }
         }
     }
 
     fn fork(&self) -> Self {
         self.clone()
+    }
+
+    /// The protocol's progress ticks plus the output flag — what the
+    /// stall-detecting stop policies ([`rv_sim::AdaptiveThreshold`]) and
+    /// quiescence checks watch (see [`SglProgress::ticks`]).
+    fn progress(&self) -> rv_sim::BehaviorProgress {
+        rv_sim::BehaviorProgress {
+            metric: self.progress_ticks,
+            done: self.output.is_some(),
+        }
     }
 }

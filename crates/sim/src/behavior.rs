@@ -49,6 +49,21 @@ pub trait Behavior {
     fn fork(&self) -> Self
     where
         Self: Sized;
+
+    /// Self-reported progress for the stop-policy layer (see
+    /// [`crate::stop::BehaviorProgress`]): a monotone work ordinal plus a
+    /// done flag, aggregated into [`crate::stop::Progress`] by
+    /// [`crate::Runtime::progress`]. The default reports no progress,
+    /// which keeps scripted test behaviors trivially compatible with
+    /// census- and cutoff-based policies (`FixedCutoff`,
+    /// `EarlyQuiescence`). **Metric-watching detectors read a permanently
+    /// flat metric as stagnation**: running a default-progress behavior
+    /// under `DivergenceDetector`/`AdaptiveThreshold` will fire once the
+    /// window elapses — wire those detectors only to behaviors that
+    /// override this with a real metric.
+    fn progress(&self) -> crate::stop::BehaviorProgress {
+        crate::stop::BehaviorProgress::default()
+    }
 }
 
 /// Algorithm RV-asynch-poly as a schedulable behavior: streams the infinite
@@ -131,6 +146,16 @@ impl<'g, P: ExplorationProvider + Clone> Behavior for RvBehavior<'g, P> {
 
     fn fork(&self) -> Self {
         self.clone()
+    }
+
+    /// The algorithm's piece number — the ordinal whose stagnation while
+    /// cost grows is the rendezvous divergence signature (see
+    /// [`crate::stop::DivergenceDetector`]).
+    fn progress(&self) -> crate::stop::BehaviorProgress {
+        crate::stop::BehaviorProgress {
+            metric: self.algorithm.piece(),
+            done: false,
+        }
     }
 }
 

@@ -81,9 +81,14 @@ mod behavior;
 mod meeting;
 pub mod minimax;
 mod runtime;
+pub mod stop;
 
 pub use behavior::{Behavior, NaiveBehavior, RvBehavior, ScriptBehavior, SpecBehavior};
-pub use meeting::{Meeting, MeetingLog, MeetingPlace};
+pub use meeting::{AgentMeetings, Meeting, MeetingLog, MeetingPlace};
 pub use runtime::{
     ActionKind, Choice, ChoiceInfo, Place, RunConfig, RunEnd, RunOutcome, Runtime, RuntimeSnapshot,
+};
+pub use stop::{
+    and_then, AdaptiveThreshold, BehaviorProgress, DivergenceDetector, EarlyQuiescence,
+    FixedCutoff, Progress, StopPolicy,
 };

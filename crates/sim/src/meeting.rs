@@ -184,6 +184,28 @@ impl MeetingLog {
             _ => false,
         }
     }
+
+    /// A per-agent **view**: iterates, in declaration order, exactly the
+    /// meetings `agent` participated in — a filtered cursor over the
+    /// shared chunk chain, not a materialised copy, so protocol analytics
+    /// (per-agent meeting counts, who-met-whom completeness checks) walk
+    /// the log without a `to_vec()` of millions of exchanges.
+    pub fn for_agent(&self, agent: usize) -> AgentMeetings<'_> {
+        AgentMeetings {
+            inner: self.iter(),
+            agent,
+        }
+    }
+
+    /// `true` if agents `a` and `b` ever appeared in one meeting — the
+    /// pairwise building block of the SGL post-hoc completeness check
+    /// (the completion-threshold substitution is sound on a run iff the
+    /// minimal agent met every other agent). Walks `a`'s view —
+    /// allocation-free, linear in the log's length, early-exiting at the
+    /// first shared meeting.
+    pub fn pair_met(&self, a: usize, b: usize) -> bool {
+        self.for_agent(a).any(|m| m.agents.contains(&b))
+    }
 }
 
 impl std::fmt::Debug for MeetingLog {
@@ -230,6 +252,22 @@ impl<'a> IntoIterator for &'a MeetingLog {
 
     fn into_iter(self) -> Iter<'a> {
         self.iter()
+    }
+}
+
+/// A per-agent view over a [`MeetingLog`]: the meetings one agent
+/// participated in, oldest first. Created by [`MeetingLog::for_agent`];
+/// borrows the shared chunk chain (no copying).
+pub struct AgentMeetings<'a> {
+    inner: Iter<'a>,
+    agent: usize,
+}
+
+impl<'a> Iterator for AgentMeetings<'a> {
+    type Item = &'a Meeting;
+
+    fn next(&mut self) -> Option<&'a Meeting> {
+        self.inner.by_ref().find(|m| m.agents.contains(&self.agent))
     }
 }
 
@@ -322,6 +360,53 @@ mod tests {
         let keep_alive = log.clone();
         drop(log); // shared chain: unlink stops at the shared node
         drop(keep_alive); // sole owner: unlinks the whole chain iteratively
+    }
+
+    #[test]
+    fn agent_views_filter_without_materialising() {
+        let mut log = MeetingLog::new();
+        // Meetings alternate participants: {0,1}, {1,2}, {0,2}, {0,1,2}…
+        let patterns: [&[usize]; 4] = [&[0, 1], &[1, 2], &[0, 2], &[0, 1, 2]];
+        for i in 0..(4 * CHUNK) {
+            log.push(Meeting {
+                agents: patterns[i % 4].to_vec(),
+                place: MeetingPlace::Node(NodeId(i % 5)),
+                at_cost: i as u64,
+                at_action: i as u64,
+            });
+        }
+        for agent in 0..3usize {
+            let via_view: Vec<_> = log.for_agent(agent).cloned().collect();
+            let via_filter: Vec<_> = log
+                .iter()
+                .filter(|m| m.agents.contains(&agent))
+                .cloned()
+                .collect();
+            assert_eq!(via_view, via_filter, "view drifted for agent {agent}");
+            assert_eq!(via_view.len(), 3 * CHUNK, "3 of every 4 meetings");
+        }
+        assert!(log.for_agent(7).next().is_none(), "unknown agent: empty");
+    }
+
+    #[test]
+    fn pair_met_is_symmetric_and_exact() {
+        let mut log = MeetingLog::new();
+        log.push(Meeting {
+            agents: vec![0, 2],
+            place: MeetingPlace::Node(NodeId(1)),
+            at_cost: 1,
+            at_action: 1,
+        });
+        log.push(Meeting {
+            agents: vec![1, 3],
+            place: MeetingPlace::Node(NodeId(2)),
+            at_cost: 2,
+            at_action: 2,
+        });
+        assert!(log.pair_met(0, 2) && log.pair_met(2, 0));
+        assert!(log.pair_met(1, 3) && log.pair_met(3, 1));
+        assert!(!log.pair_met(0, 1));
+        assert!(!log.pair_met(2, 3));
     }
 
     #[test]

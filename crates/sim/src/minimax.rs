@@ -18,32 +18,45 @@
 //! takes the snapshot by move ([`Runtime::restore_owned`]) and pays no
 //! fork at all. Interior nodes with a single legal action never snapshot.
 //!
-//! # Deep parallel splits
+//! # Deep parallel splits over per-worker stealing deques
 //!
 //! Parallelism is a work-stealing frontier of forked runtime snapshots,
 //! not a per-root-choice fan-out: every frontier node is an independent
-//! job, and worker threads steal jobs from the shared frontier until it
-//! drains. **Expansion is itself job-driven**: a worker that steals a
-//! shallow job (depth < 2, or an undersubscribed frontier below depth 6)
-//! *splits* it — applies each legal choice and pushes the children back as
-//! jobs — instead of searching it, so frontier seeding parallelises with
-//! the same pool instead of serialising on the caller thread. Deeper or
-//! sufficiently numerous jobs are searched depth-first in place. This
-//! scales with the core count instead of being capped at the root
-//! branching factor (= the agent count, usually 2), and keeps all cores
-//! busy even when subtree sizes are skewed. Each worker owns one
-//! [`Runtime`] (built via [`Runtime::from_snapshot`] from its first stolen
-//! job) plus one choice/meeting buffer pair, reused across all its jobs.
+//! job. Each worker owns a **deque** of jobs: it pushes and pops at the
+//! *hot* end (newest jobs — depth-first locality, warm snapshots), and an
+//! out-of-work worker **steals half** of a victim's deque from the *cold*
+//! end (the oldest, shallowest jobs — the biggest subtrees, so one steal
+//! buys the thief a long stretch of private work). There is no global
+//! queue to contend on: lock traffic is one uncontended lock per owner
+//! operation, and stealing only touches a victim when the thief is
+//! otherwise idle.
+//!
+//! **Expansion is itself job-driven**: a worker holding a shallow job
+//! (depth < 2, or an undersubscribed local deque below depth 6) *splits*
+//! it — applies each legal choice and pushes the children back as jobs —
+//! instead of searching it, so frontier seeding parallelises with the
+//! same pool instead of serialising on the caller thread. Deeper or
+//! sufficiently numerous jobs are searched depth-first in place. Each
+//! worker owns one [`Runtime`] (built via [`Runtime::from_snapshot`] from
+//! its first job) plus one choice/meeting buffer pair, reused across all
+//! its jobs.
+//!
+//! Termination is the pending-counter protocol: `pending` counts queued
+//! jobs plus in-flight splits (a split publishes its children *before*
+//! retiring, a search job retires at pop time), so empty deques plus
+//! `pending == 0` proves no job can ever appear again. Steals move jobs
+//! without touching the counter.
 //!
 //! The explored leaf set — and therefore every field of [`WorstCase`] —
 //! is bit-identical to the sequential enumeration regardless of worker
-//! count, steal order, or where the racy split-vs-search decision lands
-//! (splitting a subtree and searching it produce the same leaves; the
-//! aggregates are commutative).
+//! count, steal order, steal size, or where the racy split-vs-search
+//! decision lands (splitting a subtree and searching it produce the same
+//! leaves; the aggregates are commutative).
 
 use crate::behavior::Behavior;
 use crate::runtime::{ChoiceInfo, RunConfig, Runtime, RuntimeSnapshot};
 use rv_graph::Graph;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -101,9 +114,55 @@ const SPLIT_DEPTH_MIN: usize = 2;
 /// Jobs at least this deep are always searched, even if the frontier never
 /// reached the oversubscription target (narrow trees).
 const SPLIT_DEPTH_MAX: usize = 6;
-/// Target frontier size, as a multiple of the worker count — enough jobs
-/// that work-stealing evens out skewed subtree sizes.
+/// Target **per-worker** deque depth — enough local jobs that thieves
+/// find meaty cold ends to steal and owners rarely go hunting.
 const OVERSUBSCRIBE: usize = 4;
+
+/// One worker's job deque. Owners push/pop at the back (hot end); thieves
+/// drain from the front (cold end). A `Mutex<VecDeque>` is deliberate:
+/// owner operations are uncontended in steady state, steals are rare and
+/// O(half the deque), and the workspace bans external lock-free-deque
+/// dependencies — the protocol (not the primitive) carries the scaling.
+struct WorkerDeque<B>(Mutex<VecDeque<Job<B>>>);
+
+impl<B: Behavior> WorkerDeque<B> {
+    fn new() -> Self {
+        WorkerDeque(Mutex::new(VecDeque::new()))
+    }
+
+    /// Owner pop from the hot end, plus the backlog left behind (the
+    /// split heuristic's undersubscription signal).
+    fn pop_hot(&self) -> (Option<Job<B>>, usize) {
+        let mut q = self.0.lock().expect("deque poisoned");
+        let job = q.pop_back();
+        (job, q.len())
+    }
+
+    /// Owner push of freshly split children onto the hot end.
+    fn push_children(&self, children: &mut Vec<Job<B>>) {
+        let mut q = self.0.lock().expect("deque poisoned");
+        q.extend(children.drain(..));
+    }
+}
+
+/// Steals **half of a victim's deque from the cold end** into `out`
+/// (order preserved: oldest first). Victims are scanned round-robin
+/// starting after the thief; returns `false` if every other deque was
+/// empty. Jobs only move — the pending counter is untouched.
+fn steal_half<B: Behavior>(deques: &[WorkerDeque<B>], thief: usize, out: &mut Vec<Job<B>>) -> bool {
+    let n = deques.len();
+    for offset in 1..n {
+        let victim = &deques[(thief + offset) % n];
+        let mut q = victim.0.lock().expect("deque poisoned");
+        if q.is_empty() {
+            continue;
+        }
+        let take = q.len().div_ceil(2);
+        out.extend(q.drain(..take));
+        return true;
+    }
+    false
+}
 
 /// Exhaustively explores every adversary schedule of at most `max_actions`
 /// actions over the agents produced by `make_behaviors` — which is called
@@ -153,117 +212,92 @@ where
         return result;
     }
 
-    let target = workers * OVERSUBSCRIBE;
     let root = Job {
         snap: rt.snapshot(),
         depth: 0,
     };
 
-    // Workers steal jobs from the shared frontier; shallow jobs are split
-    // back into it (expansion parallelises too), deep ones are searched in
-    // place. `pending` counts queued jobs plus in-flight *splits*: a split
-    // publishes its children before retiring, while a search job retires
-    // at steal time (it can never enqueue anything), so queue-empty +
-    // pending == 0 means no job can ever appear again — an empty queue
-    // alone proves nothing while another worker might still split.
-    let queue = Mutex::new(vec![root]);
+    // Per-worker deques with steal-half: the root seeds worker 0, shallow
+    // jobs split back into the owner's deque (expansion parallelises
+    // too), deep ones are searched in place, and idle workers steal half
+    // a victim's cold end. `pending` counts queued jobs plus in-flight
+    // *splits*: a split publishes its children before retiring, while a
+    // search job retires at pop time (it can never enqueue anything), so
+    // all-deques-empty + pending == 0 means no job can ever appear again
+    // — an empty sweep alone proves nothing while a peer might still
+    // split (or hold stolen jobs mid-transfer).
+    let deques: Vec<WorkerDeque<B>> = (0..workers).map(|_| WorkerDeque::new()).collect();
+    deques[0].0.lock().expect("deque poisoned").push_back(root);
     let pending = AtomicUsize::new(1);
     let branches: Vec<WorstCase> = std::thread::scope(|scope| {
-        let queue = &queue;
+        let deques = &deques;
         let pending = &pending;
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|id| {
                 scope.spawn(move || {
                     let mut local = WorstCase::empty();
                     let mut rt: Option<Runtime<B>> = None;
                     let mut choices: Vec<ChoiceInfo> = Vec::new();
                     let mut meetings = Vec::new();
                     let mut children: Vec<Job<B>> = Vec::new();
+                    let mut loot: Vec<Job<B>> = Vec::new();
                     loop {
-                        // A plain `let` drops the queue guard at the end of
-                        // the statement — a `while let` scrutinee would hold
-                        // it across the whole subtree search and serialize
-                        // the workers.
-                        let (job, backlog) = {
-                            let mut q = queue.lock().expect("frontier poisoned");
-                            let job = q.pop();
-                            (job, q.len())
-                        };
+                        // Own deque first (hot end — depth-first locality).
+                        let (job, backlog) = deques[id].pop_hot();
                         let Some(job) = job else {
+                            // Out of local work: steal half a victim's
+                            // cold end and requeue it here, keeping one
+                            // job out to run immediately.
+                            if steal_half(deques, id, &mut loot) {
+                                let job = loot.pop().expect("steal yields at least one job");
+                                let backlog = loot.len();
+                                if !loot.is_empty() {
+                                    deques[id]
+                                        .0
+                                        .lock()
+                                        .expect("deque poisoned")
+                                        .extend(loot.drain(..));
+                                }
+                                run_job(
+                                    RunCtx {
+                                        g,
+                                        deque: &deques[id],
+                                        pending,
+                                        max_actions,
+                                    },
+                                    job,
+                                    backlog,
+                                    &mut rt,
+                                    &mut choices,
+                                    &mut meetings,
+                                    &mut children,
+                                    &mut local,
+                                );
+                                continue;
+                            }
                             if pending.load(Ordering::Acquire) == 0 {
                                 break;
                             }
-                            // Another worker is still splitting; its
-                            // children will land in the queue shortly.
+                            // A peer is still splitting (or mid-steal);
+                            // jobs will surface shortly.
                             std::thread::yield_now();
                             continue;
                         };
-                        if should_split(job.depth, backlog, target) {
-                            // Position at the job's state: the first job
-                            // builds this worker's runtime (one fork, via
-                            // the borrowing constructor — the snapshot is
-                            // re-entered per sibling during the split).
-                            let rt = match rt.as_mut() {
-                                Some(rt) => {
-                                    rt.restore(&job.snap);
-                                    rt
-                                }
-                                None => rt.insert(Runtime::from_snapshot(
-                                    g,
-                                    &job.snap,
-                                    RunConfig::rendezvous(),
-                                )),
-                            };
-                            split_job(
-                                rt,
-                                job,
+                        run_job(
+                            RunCtx {
+                                g,
+                                deque: &deques[id],
+                                pending,
                                 max_actions,
-                                &mut choices,
-                                &mut meetings,
-                                &mut children,
-                                &mut local,
-                            );
-                            if !children.is_empty() {
-                                // Publish the children before retiring the
-                                // parent so `pending` can't dip to zero
-                                // while work still exists.
-                                pending.fetch_add(children.len(), Ordering::AcqRel);
-                                queue
-                                    .lock()
-                                    .expect("frontier poisoned")
-                                    .append(&mut children);
-                            }
-                            pending.fetch_sub(1, Ordering::AcqRel);
-                        } else {
-                            // Search jobs enqueue nothing, so retire the
-                            // job *before* the subtree search: once the
-                            // queue drains and every splitter has retired,
-                            // idle peers exit instead of busy-spinning for
-                            // the whole tail of the search.
-                            pending.fetch_sub(1, Ordering::AcqRel);
-                            // Jobs are owned: re-entering costs a move, not
-                            // a fork (the first job builds the runtime the
-                            // same way, via the consuming constructor).
-                            let rt = match rt.as_mut() {
-                                Some(rt) => {
-                                    rt.restore_owned(job.snap);
-                                    rt
-                                }
-                                None => rt.insert(Runtime::from_snapshot_owned(
-                                    g,
-                                    job.snap,
-                                    RunConfig::rendezvous(),
-                                )),
-                            };
-                            explore_subtree(
-                                rt,
-                                job.depth,
-                                max_actions,
-                                &mut choices,
-                                &mut meetings,
-                                &mut local,
-                            );
-                        }
+                            },
+                            job,
+                            backlog,
+                            &mut rt,
+                            &mut choices,
+                            &mut meetings,
+                            &mut children,
+                            &mut local,
+                        );
                     }
                     local
                 })
@@ -280,11 +314,86 @@ where
     result
 }
 
-/// Whether a stolen job should be split into child jobs (true) or searched
-/// depth-first in place (false). `backlog` is the frontier size observed
-/// at steal time — under concurrency an approximation, which is safe: a
-/// subtree yields the same leaves whichever side of the boundary it lands
-/// on.
+/// Shared references a worker needs to run one job.
+struct RunCtx<'a, 'g, B> {
+    g: &'g Graph,
+    deque: &'a WorkerDeque<B>,
+    pending: &'a AtomicUsize,
+    max_actions: usize,
+}
+
+/// Runs one popped job: splits it into the owner's deque or searches it
+/// in place, maintaining the pending-counter protocol (children published
+/// before the parent retires; search jobs retire before the search so
+/// idle peers don't spin through the tail).
+// `inline(never)`: letting this body (split + search dispatch) inline into
+// the worker closure perturbs `explore_subtree`'s codegen enough to cost the
+// *single-core* sequential path ~8% on minimax/ring4 (measured, interleaved
+// A/B) — and the per-job call overhead is noise next to a subtree search.
+#[allow(clippy::too_many_arguments)]
+#[inline(never)]
+fn run_job<'g, B: Behavior>(
+    ctx: RunCtx<'_, 'g, B>,
+    job: Job<B>,
+    backlog: usize,
+    rt: &mut Option<Runtime<'g, B>>,
+    choices: &mut Vec<ChoiceInfo>,
+    meetings: &mut Vec<crate::Meeting>,
+    children: &mut Vec<Job<B>>,
+    local: &mut WorstCase,
+) {
+    if should_split(job.depth, backlog, OVERSUBSCRIBE) {
+        // Position at the job's state: the first job builds this worker's
+        // runtime (one fork, via the borrowing constructor — the snapshot
+        // is re-entered per sibling during the split).
+        let rt = match rt.as_mut() {
+            Some(rt) => {
+                rt.restore(&job.snap);
+                rt
+            }
+            None => rt.insert(Runtime::from_snapshot(
+                ctx.g,
+                &job.snap,
+                RunConfig::rendezvous(),
+            )),
+        };
+        split_job(rt, job, ctx.max_actions, choices, meetings, children, local);
+        if !children.is_empty() {
+            // Publish the children before retiring the parent so
+            // `pending` can't dip to zero while work still exists.
+            ctx.pending.fetch_add(children.len(), Ordering::AcqRel);
+            ctx.deque.push_children(children);
+        }
+        ctx.pending.fetch_sub(1, Ordering::AcqRel);
+    } else {
+        // Search jobs enqueue nothing, so retire the job *before* the
+        // subtree search: once the deques drain and every splitter has
+        // retired, idle peers exit instead of busy-spinning for the
+        // whole tail of the search.
+        ctx.pending.fetch_sub(1, Ordering::AcqRel);
+        // Jobs are owned: re-entering costs a move, not a fork (the
+        // first job builds the runtime the same way, via the consuming
+        // constructor).
+        let rt = match rt.as_mut() {
+            Some(rt) => {
+                rt.restore_owned(job.snap);
+                rt
+            }
+            None => rt.insert(Runtime::from_snapshot_owned(
+                ctx.g,
+                job.snap,
+                RunConfig::rendezvous(),
+            )),
+        };
+        explore_subtree(rt, job.depth, ctx.max_actions, choices, meetings, local);
+    }
+}
+
+/// Whether a popped job should be split into child jobs (true) or searched
+/// depth-first in place (false). `backlog` is the owner's deque depth
+/// observed at pop time — with stealing an approximation, which is safe:
+/// a subtree yields the same leaves whichever side of the boundary it
+/// lands on.
 fn should_split(depth: usize, backlog: usize, target: usize) -> bool {
     depth < SPLIT_DEPTH_MIN || (depth < SPLIT_DEPTH_MAX && backlog < target)
 }
@@ -575,6 +684,39 @@ mod tests {
                 worst_case_with_workers(&g, make, 8, workers),
                 reference,
                 "worker count {workers} changed the result"
+            );
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+        /// Worker-count independence over the stealing deques, as a
+        /// property: random ring size, script lengths, start offsets,
+        /// horizon, and worker count must all reproduce the sequential
+        /// enumeration bit for bit — whatever the steal interleaving.
+        #[test]
+        fn stealing_deques_are_worker_count_independent(
+            n in 3usize..7,
+            script_len in 1usize..6,
+            offset in 1usize..6,
+            horizon in 1usize..9,
+            workers in 2usize..9,
+        ) {
+            let g = generators::ring(n);
+            let offset = 1 + (offset % (n - 1)); // distinct start nodes
+            let make = || {
+                vec![
+                    ScriptBehavior::new(NodeId(0), vec![0; script_len]),
+                    ScriptBehavior::new(NodeId(offset), vec![0; script_len]),
+                ]
+            };
+            let reference = worst_case_with_workers(&g, make, horizon, 1);
+            let parallel = worst_case_with_workers(&g, make, horizon, workers);
+            proptest::prop_assert_eq!(
+                parallel, reference,
+                "workers={} n={} script_len={} offset={} horizon={}",
+                workers, n, script_len, offset, horizon
             );
         }
     }

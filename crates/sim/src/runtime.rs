@@ -80,6 +80,14 @@ pub enum RunEnd {
     AllParked,
     /// The total-traversal cutoff was reached.
     Cutoff,
+    /// A stop policy concluded the run diverges: its progress metric (the
+    /// rendezvous piece number) stagnated while cost grew past the
+    /// policy's window (see [`crate::stop::DivergenceDetector`]).
+    Diverged,
+    /// A stop policy concluded the run stalled: the summed progress
+    /// metric went silent for longer than the policy's patience window
+    /// (see [`crate::stop::AdaptiveThreshold`]).
+    Stalled,
 }
 
 /// Result of a run.
@@ -126,6 +134,13 @@ impl RunConfig {
     }
 
     /// Replaces the traversal cutoff.
+    ///
+    /// This is the **compatibility shim** over the stop-policy layer: the
+    /// run loop checks this budget inline before every action (exactly
+    /// the semantics of a [`crate::stop::FixedCutoff`] policy at cadence
+    /// 1), so it doubles as the hard backstop under
+    /// [`Runtime::run_with_policy`] — detectors fire first when they have
+    /// something to say, the budget catches everything else.
     pub fn with_cutoff(mut self, max: u64) -> Self {
         self.max_total_traversals = max;
         self
@@ -815,6 +830,11 @@ impl<'g, B: Behavior> Runtime<'g, B> {
                 break end;
             }
         };
+        self.outcome(end)
+    }
+
+    /// Assembles the current state into a [`RunOutcome`] ending with `end`.
+    fn outcome(&self, end: RunEnd) -> RunOutcome {
         RunOutcome {
             end,
             total_traversals: self.total_traversals,
@@ -822,6 +842,99 @@ impl<'g, B: Behavior> Runtime<'g, B> {
             meetings: self.meetings.clone(),
             actions: self.actions,
         }
+    }
+
+    /// Assembles the run's [`crate::stop::Progress`] record in O(agents):
+    /// the incremental counters the runtime already maintains, a census of
+    /// agent states, and the agents' [`Behavior::progress`] reports.
+    pub fn progress(&self) -> crate::stop::Progress {
+        let mut parked = 0usize;
+        let mut asleep = 0usize;
+        let mut moving = 0usize;
+        let mut done_agents = 0usize;
+        let mut metric_sum = 0u64;
+        let mut metric_max = 0u64;
+        let mut min_tr = u64::MAX;
+        let mut max_tr = 0u64;
+        for slot in &self.slots {
+            if !slot.awake {
+                asleep += 1;
+            } else {
+                match slot.place {
+                    Place::AtNode(_) => {
+                        if slot.pending.is_none() {
+                            parked += 1;
+                        }
+                    }
+                    Place::Inside { .. } => moving += 1,
+                }
+            }
+            let bp = slot.behavior.progress();
+            metric_sum += bp.metric;
+            metric_max = metric_max.max(bp.metric);
+            if bp.done {
+                done_agents += 1;
+            }
+            min_tr = min_tr.min(slot.traversals);
+            max_tr = max_tr.max(slot.traversals);
+        }
+        let last = self.meetings.last();
+        crate::stop::Progress {
+            actions: self.actions,
+            total_traversals: self.total_traversals,
+            meetings: self.meetings.len() as u64,
+            last_meeting_action: last.map(|m| m.at_action),
+            last_meeting_cost: last.map(|m| m.at_cost),
+            agents: self.slots.len(),
+            parked,
+            asleep,
+            moving,
+            done_agents,
+            min_agent_traversals: if self.slots.is_empty() { 0 } else { min_tr },
+            max_agent_traversals: max_tr,
+            metric_sum,
+            metric_max,
+        }
+    }
+
+    /// Runs under `adversary` until a terminal condition **or** until
+    /// `policy` calls the run over — consulted with a fresh
+    /// [`crate::stop::Progress`] record every
+    /// [`crate::stop::StopPolicy::cadence`] adversary actions (and once
+    /// before the first action, so priming policies observe the start).
+    ///
+    /// Between policy checks this is [`Runtime::run`]'s exact loop —
+    /// decision for decision — and policy checks are pure reads, so a run
+    /// whose policy never fires is bit-identical to a plain `run()`. The
+    /// config's traversal budget ([`RunConfig::with_cutoff`]) stays active
+    /// as the hard backstop.
+    pub fn run_with_policy(
+        &mut self,
+        adversary: &mut dyn crate::adversary::Adversary,
+        policy: &mut dyn crate::stop::StopPolicy,
+    ) -> RunOutcome {
+        let cadence = policy.cadence().max(1);
+        let mut next_check = self.actions;
+        let mut new_meetings: Vec<Meeting> = Vec::new();
+        let end = loop {
+            if self.actions >= next_check {
+                // The config budget wins ties: if the backstop is already
+                // exhausted, this run IS a cutoff — a detector firing in
+                // the same cadence gap must not relabel it (detector ends
+                // mean "retired strictly under the budget").
+                if self.total_traversals >= self.config.max_total_traversals {
+                    break RunEnd::Cutoff;
+                }
+                if let Some(end) = policy.check(&self.progress()) {
+                    break end;
+                }
+                next_check = self.actions + cadence;
+            }
+            if let Some(end) = self.step(adversary, &mut new_meetings) {
+                break end;
+            }
+        };
+        self.outcome(end)
     }
 }
 

@@ -1,0 +1,403 @@
+//! The progress-aware stop-policy layer.
+//!
+//! A run used to know exactly one way to stop early: a flat traversal
+//! cutoff. That burns the full budget on runs that stopped *telling you
+//! anything* long before — a rendezvous ablation whose piece number is
+//! stuck while cost explodes, or a protocol run pinned in an ESST phase by
+//! an adversarially suspended token. This module separates the *decision
+//! to stop* from the run loop:
+//!
+//! * [`Progress`] — a cheap record of everything observable about a run's
+//!   advancement, assembled by [`crate::Runtime::progress`] from counters
+//!   the runtime already maintains incrementally plus the agents'
+//!   [`BehaviorProgress`] reports;
+//! * [`StopPolicy`] — a pluggable termination rule consulted every
+//!   [`StopPolicy::cadence`] adversary actions by
+//!   [`crate::Runtime::run_with_policy`];
+//! * the built-in policies — [`FixedCutoff`] (the policy form of the
+//!   legacy `RunConfig::with_cutoff` plumbing, which survives as a thin
+//!   compatibility shim and hard backstop), [`DivergenceDetector`]
+//!   (rendezvous piece-number stagnation), [`AdaptiveThreshold`]
+//!   (protocol-mode stall detection with a progress-scaled patience
+//!   window), and [`EarlyQuiescence`] (census-based quiescence check).
+//!
+//! Policies are deterministic: they read action/traversal counters, never
+//! the clock, so a policy-terminated run is exactly reproducible and the
+//! golden suites can assert that detector-enabled runs are bit-identical
+//! to plain runs on every converging instance (a detector may change when
+//! a *non-converging* run stops, never what a converging run computes).
+
+use crate::runtime::RunEnd;
+
+/// An agent's self-reported progress, aggregated into [`Progress`] by the
+/// runtime. The default (all zeros) makes every behavior trivially
+/// compatible; behaviors with a meaningful notion of advancement override
+/// [`crate::Behavior::progress`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BehaviorProgress {
+    /// A monotone work ordinal. For rendezvous agents this is the
+    /// algorithm's **piece number** — the quantity whose stagnation-
+    /// while-cost-grows defines divergence. For SGL agents it is the
+    /// protocol's progress-tick counter (`SglProgress::ticks`): moves in
+    /// bounded phases plus information gains, silent in the
+    /// adversarially prolongable ones.
+    pub metric: u64,
+    /// `true` once the agent has delivered its final result (an SGL
+    /// output). Rendezvous agents never report done — the *run* ends at
+    /// the meeting instead.
+    pub done: bool,
+}
+
+/// Everything observable about a run's advancement, assembled in
+/// O(agents) by [`crate::Runtime::progress`]: the runtime's incremental
+/// counters, a census of agent states, per-agent traversal extremes, and
+/// the aggregated [`BehaviorProgress`] reports.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Progress {
+    /// Adversary actions executed.
+    pub actions: u64,
+    /// Total completed traversals — the paper's *cost*.
+    pub total_traversals: u64,
+    /// Meetings declared so far.
+    pub meetings: u64,
+    /// Action counter at the most recent meeting (`None` before the
+    /// first), giving policies the meeting *rate* for free.
+    pub last_meeting_action: Option<u64>,
+    /// Cost at the most recent meeting.
+    pub last_meeting_cost: Option<u64>,
+    /// Number of agents.
+    pub agents: usize,
+    /// Census: awake agents standing at a node with no committed move.
+    pub parked: usize,
+    /// Census: agents not yet woken.
+    pub asleep: usize,
+    /// Census: agents strictly inside an edge.
+    pub moving: usize,
+    /// Agents whose behavior reports `done` (see [`BehaviorProgress`]).
+    pub done_agents: usize,
+    /// Fewest completed traversals over the agents (starvation signal).
+    pub min_agent_traversals: u64,
+    /// Most completed traversals over the agents.
+    pub max_agent_traversals: u64,
+    /// Sum over agents of [`BehaviorProgress::metric`].
+    pub metric_sum: u64,
+    /// Max over agents of [`BehaviorProgress::metric`].
+    pub metric_max: u64,
+}
+
+/// A pluggable termination rule for [`crate::Runtime::run_with_policy`].
+///
+/// The run loop consults the policy every [`StopPolicy::cadence`] actions
+/// with a fresh [`Progress`] record; returning `Some(end)` stops the run
+/// with that end. Policies must be deterministic functions of the records
+/// they see (no clocks, no RNG) so policy-stopped runs reproduce exactly.
+pub trait StopPolicy {
+    /// Adversary actions between checks. Checks cost O(agents), so the
+    /// default keeps the overhead invisible next to the run loop while
+    /// bounding detection latency; [`FixedCutoff`] overrides it to 1 for
+    /// exactness.
+    fn cadence(&self) -> u64 {
+        1024
+    }
+
+    /// Inspects the progress record; `Some(end)` stops the run.
+    fn check(&mut self, progress: &Progress) -> Option<RunEnd>;
+}
+
+/// Stops at a traversal budget — the [`StopPolicy`] form of the legacy
+/// [`crate::RunConfig::with_cutoff`] plumbing (which remains available as
+/// a compatibility shim and always-on backstop: the run loop checks the
+/// config cutoff inline before every action). Cadence 1, so a
+/// policy-driven cutoff stops at exactly the configured cost, matching
+/// the shim bit for bit.
+#[derive(Clone, Copy, Debug)]
+pub struct FixedCutoff {
+    /// Stop once total traversals reach this.
+    pub max_total_traversals: u64,
+}
+
+impl FixedCutoff {
+    /// Cutoff at `max` total traversals.
+    pub fn new(max: u64) -> Self {
+        FixedCutoff {
+            max_total_traversals: max,
+        }
+    }
+}
+
+impl StopPolicy for FixedCutoff {
+    fn cadence(&self) -> u64 {
+        1
+    }
+
+    fn check(&mut self, p: &Progress) -> Option<RunEnd> {
+        (p.total_traversals >= self.max_total_traversals).then_some(RunEnd::Cutoff)
+    }
+}
+
+/// Rendezvous divergence: the max piece number ([`BehaviorProgress::
+/// metric`]) has not advanced while cost grew past a window.
+///
+/// A converging rendezvous run either meets or advances its piece
+/// schedule; across the scenario matrix every converging cell meets at
+/// cost ≤ 278 without leaving piece 1, while the diverging ablation cells
+/// (`unscaled`) burn any budget inside one piece. The default window of
+/// 5 000 traversals therefore has ~18× margin over every converging cell
+/// and stops diverging cells ~20× under the matrix's 100k budget.
+#[derive(Clone, Copy, Debug)]
+pub struct DivergenceDetector {
+    /// Cost growth tolerated without a piece advance.
+    pub window_traversals: u64,
+    last_metric: u64,
+    cost_at_advance: u64,
+}
+
+impl DivergenceDetector {
+    /// Detector with an explicit window.
+    pub fn new(window_traversals: u64) -> Self {
+        DivergenceDetector {
+            window_traversals,
+            last_metric: 0,
+            cost_at_advance: 0,
+        }
+    }
+}
+
+impl Default for DivergenceDetector {
+    /// The matrix calibration: window 5 000 (see type docs).
+    fn default() -> Self {
+        DivergenceDetector::new(5_000)
+    }
+}
+
+impl StopPolicy for DivergenceDetector {
+    fn cadence(&self) -> u64 {
+        256
+    }
+
+    fn check(&mut self, p: &Progress) -> Option<RunEnd> {
+        // Re-prime on any non-forward movement, not just metric advances:
+        // a policy value reused for a second run — or consulted after a
+        // `Runtime::restore` rolled the counters back — must restart its
+        // window instead of comparing across timelines (an unchecked
+        // subtraction here would underflow and mis-fire instantly).
+        if p.metric_max != self.last_metric || p.total_traversals < self.cost_at_advance {
+            self.last_metric = p.metric_max;
+            self.cost_at_advance = p.total_traversals;
+            return None;
+        }
+        (p.total_traversals - self.cost_at_advance >= self.window_traversals)
+            .then_some(RunEnd::Diverged)
+    }
+}
+
+/// Protocol-mode stall detection with a progress-scaled patience window:
+/// the run is stalled once the summed progress metric has been silent for
+/// `max(base_actions, slack × actions-at-last-advance)` adversary
+/// actions.
+///
+/// The two terms cover the two legitimate-silence regimes measured across
+/// the SGL matrix (see `docs/STALL_TRACE.md`): early in a run the longest
+/// honest silence is bounded in absolute terms (the base), while late
+/// phases of large instances (a ring(16) final ESST phase) are silent for
+/// a multiple of the work that preceded them (the slack). The defaults —
+/// base 2 200 000 actions, slack 9 — sit between every measured
+/// converging cell (worst honest silence: 1.98M actions from action 242k,
+/// and 15.2M from action 1.80M on ring(16)) and the three stalled outlier
+/// cells (silent from action ≈ 240k to their 5M-action budget).
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveThreshold {
+    /// Absolute silence tolerated regardless of position.
+    pub base_actions: u64,
+    /// Additional patience per action of progress already banked.
+    pub slack: u64,
+    action_at_advance: u64,
+    last_sum: u64,
+    primed: bool,
+}
+
+impl AdaptiveThreshold {
+    /// Policy with explicit base and slack.
+    pub fn new(base_actions: u64, slack: u64) -> Self {
+        AdaptiveThreshold {
+            base_actions,
+            slack,
+            action_at_advance: 0,
+            last_sum: 0,
+            primed: false,
+        }
+    }
+}
+
+impl Default for AdaptiveThreshold {
+    /// The matrix calibration: base 2.2M actions, slack 9 (see type docs).
+    fn default() -> Self {
+        AdaptiveThreshold::new(2_200_000, 9)
+    }
+}
+
+impl StopPolicy for AdaptiveThreshold {
+    fn check(&mut self, p: &Progress) -> Option<RunEnd> {
+        // `!=` rather than `>`, and a backwards-clock check: reuse across
+        // runs or a `Runtime::restore` can move both the metric and the
+        // action counter backwards, and the window must restart rather
+        // than underflow (see the same guard on `DivergenceDetector`).
+        if !self.primed || p.metric_sum != self.last_sum || p.actions < self.action_at_advance {
+            self.primed = true;
+            self.last_sum = p.metric_sum;
+            self.action_at_advance = p.actions;
+            return None;
+        }
+        let window = self
+            .base_actions
+            .max(self.slack.saturating_mul(self.action_at_advance));
+        (p.actions - self.action_at_advance >= window).then_some(RunEnd::Stalled)
+    }
+}
+
+/// Census-based quiescence check: ends the run `AllParked` as soon as
+/// every agent is awake, at a node, and parked — the same condition the
+/// run loop detects by enumerating legal choices and finding none, read
+/// directly off the incremental census instead. Composes with detectors
+/// whose custom drivers want quiescence checks without enumeration; by
+/// construction it never changes what a run computes, only (at most) how
+/// its final no-choices probe is spelled.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EarlyQuiescence;
+
+impl StopPolicy for EarlyQuiescence {
+    fn check(&mut self, p: &Progress) -> Option<RunEnd> {
+        (p.asleep == 0 && p.moving == 0 && p.parked == p.agents).then_some(RunEnd::AllParked)
+    }
+}
+
+/// Consults `a` then `b` at the finer of the two cadences — policy
+/// combinators compose left to right, first hit wins. Built by
+/// [`and_then`].
+#[derive(Clone, Copy, Debug)]
+pub struct Chain<A, B> {
+    a: A,
+    b: B,
+}
+
+/// Chains two policies: check `a`, then `b`; the first `Some(end)` stops
+/// the run. The chain runs at the finer cadence of the two, so each
+/// policy is checked at least as often as it asked for.
+pub fn and_then<A: StopPolicy, B: StopPolicy>(a: A, b: B) -> Chain<A, B> {
+    Chain { a, b }
+}
+
+impl<A: StopPolicy, B: StopPolicy> StopPolicy for Chain<A, B> {
+    fn cadence(&self) -> u64 {
+        self.a.cadence().min(self.b.cadence())
+    }
+
+    fn check(&mut self, p: &Progress) -> Option<RunEnd> {
+        self.a.check(p).or_else(|| self.b.check(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn progress(actions: u64, cost: u64, metric_sum: u64, metric_max: u64) -> Progress {
+        Progress {
+            actions,
+            total_traversals: cost,
+            meetings: 0,
+            last_meeting_action: None,
+            last_meeting_cost: None,
+            agents: 2,
+            parked: 0,
+            asleep: 0,
+            moving: 1,
+            done_agents: 0,
+            min_agent_traversals: 0,
+            max_agent_traversals: cost,
+            metric_sum,
+            metric_max,
+        }
+    }
+
+    #[test]
+    fn fixed_cutoff_fires_at_the_budget() {
+        let mut p = FixedCutoff::new(100);
+        assert_eq!(p.check(&progress(10, 99, 0, 0)), None);
+        assert_eq!(p.check(&progress(11, 100, 0, 0)), Some(RunEnd::Cutoff));
+        assert_eq!(p.cadence(), 1, "exact cutoffs need per-action checks");
+    }
+
+    #[test]
+    fn divergence_detector_resets_on_piece_advance() {
+        let mut d = DivergenceDetector::new(1_000);
+        assert_eq!(d.check(&progress(0, 0, 1, 1)), None);
+        assert_eq!(d.check(&progress(10, 900, 1, 1)), None);
+        // Piece advance at cost 950: window restarts there.
+        assert_eq!(d.check(&progress(11, 950, 2, 2)), None);
+        assert_eq!(d.check(&progress(20, 1_900, 2, 2)), None);
+        assert_eq!(d.check(&progress(21, 1_950, 2, 2)), Some(RunEnd::Diverged));
+    }
+
+    #[test]
+    fn adaptive_threshold_scales_patience_with_position() {
+        let mut a = AdaptiveThreshold::new(1_000, 4);
+        // First check primes the window at the current position.
+        assert_eq!(a.check(&progress(100, 0, 5, 5)), None);
+        // Base window governs early: silent for 1 000 actions from 100.
+        assert_eq!(a.check(&progress(1_099, 0, 5, 5)), None);
+        assert_eq!(a.check(&progress(1_100, 0, 5, 5)), Some(RunEnd::Stalled));
+
+        // Later, the slack term governs: progress at action 10 000 buys
+        // a 40 000-action window.
+        let mut a = AdaptiveThreshold::new(1_000, 4);
+        assert_eq!(a.check(&progress(100, 0, 5, 5)), None);
+        assert_eq!(a.check(&progress(10_000, 0, 6, 6)), None);
+        assert_eq!(a.check(&progress(49_999, 0, 6, 6)), None);
+        assert_eq!(a.check(&progress(50_000, 0, 6, 6)), Some(RunEnd::Stalled));
+    }
+
+    #[test]
+    fn detectors_reprime_when_counters_move_backwards() {
+        // Reusing a policy for a second run (or consulting it after a
+        // snapshot restore) presents smaller counters; the window must
+        // restart, not underflow.
+        let mut d = DivergenceDetector::new(1_000);
+        assert_eq!(d.check(&progress(0, 0, 5, 5)), None);
+        assert_eq!(d.check(&progress(10, 900, 6, 6)), None);
+        // Second run: cost rolled back below cost_at_advance (900).
+        assert_eq!(d.check(&progress(1, 50, 1, 1)), None, "must re-prime");
+        assert_eq!(d.check(&progress(9, 1_049, 1, 1)), None);
+        assert_eq!(d.check(&progress(10, 1_050, 1, 1)), Some(RunEnd::Diverged));
+
+        let mut a = AdaptiveThreshold::new(1_000, 0);
+        assert_eq!(a.check(&progress(5_000, 0, 9, 9)), None);
+        // Restore: actions rolled back, metric shrank.
+        assert_eq!(a.check(&progress(100, 0, 3, 3)), None, "must re-prime");
+        assert_eq!(a.check(&progress(1_099, 0, 3, 3)), None);
+        assert_eq!(a.check(&progress(1_100, 0, 3, 3)), Some(RunEnd::Stalled));
+    }
+
+    #[test]
+    fn early_quiescence_reads_the_census() {
+        let mut q = EarlyQuiescence;
+        let mut p = progress(5, 3, 0, 0);
+        assert_eq!(q.check(&p), None, "an agent is mid-edge");
+        p.moving = 0;
+        p.parked = 2;
+        assert_eq!(q.check(&p), Some(RunEnd::AllParked));
+        p.asleep = 1;
+        p.parked = 1;
+        assert_eq!(q.check(&p), None, "asleep agents can still be woken");
+    }
+
+    #[test]
+    fn chain_checks_left_then_right_at_the_finer_cadence() {
+        let mut c = and_then(FixedCutoff::new(50), DivergenceDetector::new(10));
+        assert_eq!(c.cadence(), 1);
+        assert_eq!(c.check(&progress(1, 50, 1, 1)), Some(RunEnd::Cutoff));
+        let mut c = and_then(DivergenceDetector::new(10), FixedCutoff::new(1_000));
+        assert_eq!(c.check(&progress(1, 0, 1, 1)), None);
+        assert_eq!(c.check(&progress(2, 10, 1, 1)), Some(RunEnd::Diverged));
+    }
+}

@@ -88,7 +88,7 @@ fn cutoff_is_respected_exactly() {
     match out.end {
         RunEnd::Cutoff => assert!(out.total_traversals >= 10),
         RunEnd::Meeting => assert!(out.total_traversals <= 10),
-        RunEnd::AllParked => panic!("RV agents never park"),
+        other => panic!("plain RV runs end at a meeting or the cutoff, not {other:?}"),
     }
 }
 

@@ -283,6 +283,86 @@ proptest! {
     }
 }
 
+/// Replays golden run case `i` under a stop policy instead of a plain
+/// `run()` and returns the fingerprint.
+fn policy_fingerprint(i: usize, policy: &mut dyn rv_sim::StopPolicy) -> String {
+    let (fam, n, gseed, kind, aseed) = RUN_CASES[i];
+    let uxs = SeededUxs::quadratic();
+    let g = fam.generate(n, gseed);
+    let agents = vec![
+        RvBehavior::new(&g, uxs, NodeId(0), Label::new(6).unwrap()),
+        RvBehavior::new(&g, uxs, NodeId(g.order() / 2), Label::new(9).unwrap()),
+    ];
+    let mut rt = Runtime::new(&g, agents, RunConfig::rendezvous().with_cutoff(CUTOFF));
+    let mut adv = kind.build(aseed);
+    let out = rt.run_with_policy(adv.as_mut(), policy);
+    format!(
+        "{:?} cost={} actions={} per={:?} meetings={:?}",
+        out.end, out.total_traversals, out.actions, out.per_agent, out.meetings
+    )
+}
+
+/// The stop-policy contract on converging runs: a detector may change
+/// *when* a non-converging run stops, never *what* a converging run
+/// computes. Every golden case converges, so running it under the
+/// divergence detector — alone, chained with a policy-level cutoff, or
+/// with the census-based quiescence check — must reproduce the golden
+/// fingerprint bit for bit, adversary RNG streams included.
+#[test]
+fn detector_enabled_runs_match_golden_fingerprints() {
+    use rv_sim::{and_then, DivergenceDetector, EarlyQuiescence, FixedCutoff};
+    for (i, golden) in GOLDEN_RUNS.iter().enumerate() {
+        let mut detector = DivergenceDetector::default();
+        assert_eq!(
+            policy_fingerprint(i, &mut detector),
+            *golden,
+            "divergence detector changed converging case {i}"
+        );
+        let mut chained = and_then(
+            EarlyQuiescence,
+            and_then(DivergenceDetector::default(), FixedCutoff::new(CUTOFF)),
+        );
+        assert_eq!(
+            policy_fingerprint(i, &mut chained),
+            *golden,
+            "chained policies changed converging case {i}"
+        );
+    }
+}
+
+/// A policy-level [`rv_sim::FixedCutoff`] stops at exactly the same point
+/// as the legacy `with_cutoff` plumbing it replaces: same end, same
+/// traversal count, same meeting log — on a cutoff-bound run.
+#[test]
+fn policy_cutoff_matches_the_with_cutoff_shim() {
+    let uxs = SeededUxs::quadratic();
+    let g = GraphFamily::Ring.generate(12, 5);
+    let make = || {
+        vec![
+            RvBehavior::new(&g, uxs, NodeId(0), Label::new(6).unwrap()),
+            RvBehavior::new(&g, uxs, NodeId(6), Label::new(9).unwrap()),
+        ]
+    };
+    for budget in [1u64, 7, 25, 40] {
+        // Shim: the budget lives in the config.
+        let mut rt = Runtime::new(&g, make(), RunConfig::rendezvous().with_cutoff(budget));
+        let mut adv = RoundRobin::new();
+        let shim = rt.run(&mut adv);
+        // Policy: generous config backstop, the policy carries the budget.
+        let mut rt = Runtime::new(&g, make(), RunConfig::rendezvous().with_cutoff(CUTOFF));
+        let mut adv = RoundRobin::new();
+        let mut policy = rv_sim::FixedCutoff::new(budget);
+        let via_policy = rt.run_with_policy(&mut adv, &mut policy);
+        assert_eq!(shim.end, via_policy.end, "budget {budget}");
+        assert_eq!(
+            shim.total_traversals, via_policy.total_traversals,
+            "budget {budget}"
+        );
+        assert_eq!(shim.actions, via_policy.actions, "budget {budget}");
+        assert_eq!(shim.meetings, via_policy.meetings, "budget {budget}");
+    }
+}
+
 /// Prints the current fingerprints for re-capture (see module docs).
 #[test]
 #[ignore = "capture helper: prints fingerprints instead of asserting"]

@@ -673,7 +673,10 @@ mod tests {
         c.push(Spec::B(1));
         match c.stack.last() {
             Some(Task::Repeat { remaining, .. }) => {
-                assert!(matches!(remaining, RepCount::Small(_)));
+                assert!(
+                    !remaining.is_spilled(),
+                    "small repetition counts stay inline"
+                );
                 assert_eq!(remaining.to_big(), c.lengths().b_reps(1));
             }
             other => panic!("expected a Repeat task, found {:?}", other.is_some()),
