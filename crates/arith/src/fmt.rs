@@ -18,7 +18,10 @@ impl fmt::Display for Big {
             chunks.push(r);
             cur = q;
         }
-        let mut s = chunks.pop().unwrap().to_string();
+        let mut s = chunks
+            .pop()
+            .expect("non-zero Big yields at least one decimal chunk")
+            .to_string();
         for c in chunks.iter().rev() {
             s.push_str(&format!("{c:019}"));
         }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Minimal arbitrary-precision unsigned integer arithmetic.
 //!
 //! The cost analysis of *How to Meet Asynchronously at Polynomial Cost*

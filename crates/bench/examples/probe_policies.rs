@@ -3,6 +3,8 @@
 //! the 3 protocol outliers plus the worst converging cells under
 //! `AdaptiveThreshold`, and the large-order ring cells.
 
+// Timing harness: wall-clock here is the product, not a determinism leak.
+#![allow(clippy::disallowed_methods)]
 use rv_core::{Label, RvVariant};
 use rv_explore::SeededUxs;
 use rv_graph::{GraphFamily, NodeId};

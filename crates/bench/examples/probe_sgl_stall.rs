@@ -21,6 +21,8 @@
 //!   order (12/16) to quiescence with no cutoff, reporting cost, the
 //!   longest tick silence, and wall time.
 
+// Timing harness: wall-clock here is the product, not a determinism leak.
+#![allow(clippy::disallowed_methods)]
 use rv_core::Label;
 use rv_explore::SeededUxs;
 use rv_graph::{GraphFamily, NodeId};

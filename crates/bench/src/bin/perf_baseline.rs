@@ -21,6 +21,8 @@
 //! `--quick` runs fewer trials (CI smoke); `--check` verifies that the file
 //! parses and covers all expected scenarios (used by CI after `--quick`).
 
+// Timing harness: wall-clock here is the product, not a determinism leak.
+#![allow(clippy::disallowed_methods)]
 use rv_core::Label;
 use rv_explore::SeededUxs;
 use rv_graph::{GraphFamily, NodeId};

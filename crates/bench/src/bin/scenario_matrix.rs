@@ -55,6 +55,8 @@
 //! and that the file covers exactly the declared matrix — CI fails on any
 //! malformed or missing row.
 
+// Timing harness: wall-clock here is the product, not a determinism leak.
+#![allow(clippy::disallowed_methods)]
 use rv_core::{Label, RvVariant};
 use rv_explore::SeededUxs;
 use rv_graph::{GraphFamily, NodeId};

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared infrastructure for the experiment binaries (`src/bin/expt_*`)
 //! that regenerate every table and figure of the paper — see DESIGN.md §3
 //! for the experiment index and EXPERIMENTS.md for recorded results.

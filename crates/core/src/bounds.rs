@@ -28,7 +28,9 @@ use rv_explore::ExplorationProvider;
 #[derive(Debug)]
 pub struct StarredLengths<P> {
     provider: P,
-    memo: std::cell::RefCell<std::collections::HashMap<(u8, u64), Big>>,
+    // BTreeMap rather than HashMap: deterministic everywhere, and the
+    // memo is tiny (a handful of (tag, k) keys), so the log factor is free.
+    memo: std::cell::RefCell<std::collections::BTreeMap<(u8, u64), Big>>,
 }
 
 impl<P: ExplorationProvider> StarredLengths<P> {

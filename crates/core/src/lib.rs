@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Algorithm **RV-asynch-poly** — deterministic asynchronous rendezvous at
 //! polynomial cost (paper §3), plus the naive exponential baseline and the
 //! exact worst-case cost bound `Π(n, m)` of Theorem 3.1.

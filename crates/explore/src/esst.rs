@@ -30,11 +30,12 @@
 
 use crate::provider::{ExplorationProvider, RWalker};
 use rv_graph::{EdgeId, EdgeSet, Graph, NodeId, PortId};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A recorded code: the sequence of exit ports walked from a trunc node to
 /// the token, plus whether the token was met inside the final edge.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+// `Ord` keys the dedup set below (a BTreeSet, for deterministic iteration).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Code {
     /// Exit ports from the trunc node up to (and including, when
     /// `inside_edge`) the edge where the token was met.
@@ -218,7 +219,7 @@ pub struct EsstMachine<P> {
     cur_entry: Option<PortId>,
     token_here: bool,
     /// Distinct codes recorded in the current phase.
-    codes: HashSet<Code>,
+    codes: BTreeSet<Code>,
     /// Trunc traversal log of the current phase.
     trunc_log: Vec<Step>,
     /// Degree of each trunc node (`trunc_degrees[0]` = phase start node).
@@ -249,7 +250,7 @@ impl<P: ExplorationProvider + Clone> EsstMachine<P> {
             cur_degree: start_degree,
             cur_entry: None,
             token_here: token_at_start,
-            codes: HashSet::new(),
+            codes: BTreeSet::new(),
             trunc_log: Vec::new(),
             trunc_degrees: Vec::new(),
             trunc_token_seen: false,
@@ -284,6 +285,13 @@ impl<P: ExplorationProvider + Clone> EsstMachine<P> {
     /// replaying this sequence reversed walks the agent back to its start.
     pub fn walk_entries(&self) -> &[PortId] {
         &self.walk_entries
+    }
+
+    /// Consumes the machine and takes ownership of the walk entries —
+    /// for callers that are done driving and need the walk (backtracking,
+    /// outcome reports) without copying a potentially huge log.
+    pub fn into_walk_entries(self) -> Vec<PortId> {
+        self.walk_entries
     }
 
     fn start_phase(&mut self, i: u64) {
@@ -645,7 +653,7 @@ where
         final_phase: m.phase(),
         phases_aborted: m.phases_aborted(),
         edges_covered: covered.len(),
-        walk_entries: m.walk_entries().to_vec(),
+        walk_entries: m.into_walk_entries(),
     })
 }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Graph-exploration substrate for the rendezvous algorithm.
 //!
 //! The paper (§2, Preliminaries) builds everything on two procedures:

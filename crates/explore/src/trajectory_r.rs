@@ -31,7 +31,7 @@ impl ConcreteTrajectory {
     }
 
     /// The set of distinct nodes visited.
-    pub fn distinct_nodes(&self) -> std::collections::HashSet<NodeId> {
+    pub fn distinct_nodes(&self) -> std::collections::BTreeSet<NodeId> {
         self.nodes.iter().copied().collect()
     }
 

@@ -18,9 +18,11 @@ pub fn ring(n: usize) -> Graph {
     assert!(n >= 3, "ring needs at least 3 nodes");
     let mut b = GraphBuilder::new(n);
     for v in 0..n {
-        b.edge(v, (v + 1) % n).unwrap();
+        b.edge(v, (v + 1) % n)
+            .expect("generator edges are in-bounds and duplicate-free");
     }
-    b.build().unwrap()
+    b.build()
+        .expect("generator graphs are connected and well-formed by construction")
 }
 
 /// A simple path on `n >= 2` nodes.
@@ -32,9 +34,11 @@ pub fn path(n: usize) -> Graph {
     assert!(n >= 2, "path needs at least 2 nodes");
     let mut b = GraphBuilder::new(n);
     for v in 0..n - 1 {
-        b.edge(v, v + 1).unwrap();
+        b.edge(v, v + 1)
+            .expect("generator edges are in-bounds and duplicate-free");
     }
-    b.build().unwrap()
+    b.build()
+        .expect("generator graphs are connected and well-formed by construction")
 }
 
 /// The complete graph on `n >= 2` nodes.
@@ -47,10 +51,12 @@ pub fn complete(n: usize) -> Graph {
     let mut b = GraphBuilder::new(n);
     for u in 0..n {
         for v in u + 1..n {
-            b.edge(u, v).unwrap();
+            b.edge(u, v)
+                .expect("generator edges are in-bounds and duplicate-free");
         }
     }
-    b.build().unwrap()
+    b.build()
+        .expect("generator graphs are connected and well-formed by construction")
 }
 
 /// A star: one hub adjacent to `n - 1` leaves.
@@ -62,9 +68,11 @@ pub fn star(n: usize) -> Graph {
     assert!(n >= 2, "star needs at least 2 nodes");
     let mut b = GraphBuilder::new(n);
     for v in 1..n {
-        b.edge(0, v).unwrap();
+        b.edge(0, v)
+            .expect("generator edges are in-bounds and duplicate-free");
     }
-    b.build().unwrap()
+    b.build()
+        .expect("generator graphs are connected and well-formed by construction")
 }
 
 /// A `w × h` grid (open boundaries).
@@ -82,14 +90,17 @@ pub fn grid(w: usize, h: usize) -> Graph {
     for y in 0..h {
         for x in 0..w {
             if x + 1 < w {
-                b.edge(id(x, y), id(x + 1, y)).unwrap();
+                b.edge(id(x, y), id(x + 1, y))
+                    .expect("generator edges are in-bounds and duplicate-free");
             }
             if y + 1 < h {
-                b.edge(id(x, y), id(x, y + 1)).unwrap();
+                b.edge(id(x, y), id(x, y + 1))
+                    .expect("generator edges are in-bounds and duplicate-free");
             }
         }
     }
-    b.build().unwrap()
+    b.build()
+        .expect("generator graphs are connected and well-formed by construction")
 }
 
 /// A `w × h` torus (wrap-around grid); requires `w, h >= 3` so the graph
@@ -104,11 +115,14 @@ pub fn torus(w: usize, h: usize) -> Graph {
     let mut b = GraphBuilder::new(w * h);
     for y in 0..h {
         for x in 0..w {
-            b.edge(id(x, y), id((x + 1) % w, y)).unwrap();
-            b.edge(id(x, y), id(x, (y + 1) % h)).unwrap();
+            b.edge(id(x, y), id((x + 1) % w, y))
+                .expect("generator edges are in-bounds and duplicate-free");
+            b.edge(id(x, y), id(x, (y + 1) % h))
+                .expect("generator edges are in-bounds and duplicate-free");
         }
     }
-    b.build().unwrap()
+    b.build()
+        .expect("generator graphs are connected and well-formed by construction")
 }
 
 /// The `d`-dimensional hypercube (`2^d` nodes), `d >= 1`.
@@ -127,11 +141,13 @@ pub fn hypercube(d: usize) -> Graph {
         for bit in 0..d {
             let u = v ^ (1 << bit);
             if u > v {
-                b.edge(v, u).unwrap();
+                b.edge(v, u)
+                    .expect("generator edges are in-bounds and duplicate-free");
             }
         }
     }
-    b.build().unwrap()
+    b.build()
+        .expect("generator graphs are connected and well-formed by construction")
 }
 
 /// A complete binary tree with `n >= 2` nodes (heap-shaped).
@@ -143,9 +159,11 @@ pub fn binary_tree(n: usize) -> Graph {
     assert!(n >= 2, "binary tree needs at least 2 nodes");
     let mut b = GraphBuilder::new(n);
     for v in 1..n {
-        b.edge(v, (v - 1) / 2).unwrap();
+        b.edge(v, (v - 1) / 2)
+            .expect("generator edges are in-bounds and duplicate-free");
     }
-    b.build().unwrap()
+    b.build()
+        .expect("generator graphs are connected and well-formed by construction")
 }
 
 /// The lollipop graph: a clique of `clique` nodes with a path of `tail`
@@ -161,14 +179,17 @@ pub fn lollipop(clique: usize, tail: usize) -> Graph {
     let mut b = GraphBuilder::new(n);
     for u in 0..clique {
         for v in u + 1..clique {
-            b.edge(u, v).unwrap();
+            b.edge(u, v)
+                .expect("generator edges are in-bounds and duplicate-free");
         }
     }
     for t in 0..tail {
         let prev = if t == 0 { clique - 1 } else { clique + t - 1 };
-        b.edge(prev, clique + t).unwrap();
+        b.edge(prev, clique + t)
+            .expect("generator edges are in-bounds and duplicate-free");
     }
-    b.build().unwrap()
+    b.build()
+        .expect("generator graphs are connected and well-formed by construction")
 }
 
 /// A uniformly random labelled tree on `n >= 2` nodes (random attachment),
@@ -183,9 +204,11 @@ pub fn random_tree(n: usize, seed: u64) -> Graph {
     let mut b = GraphBuilder::new(n);
     for v in 1..n {
         let parent = rng.gen_range(0..v);
-        b.edge(v, parent).unwrap();
+        b.edge(v, parent)
+            .expect("generator edges are in-bounds and duplicate-free");
     }
-    b.build().unwrap()
+    b.build()
+        .expect("generator graphs are connected and well-formed by construction")
 }
 
 /// A connected Erdős–Rényi graph: starts from a random tree (guaranteeing
@@ -206,16 +229,19 @@ pub fn gnp_connected(n: usize, p: f64, seed: u64) -> Graph {
     order.shuffle(&mut rng);
     for i in 1..n {
         let j = rng.gen_range(0..i);
-        b.edge(order[i], order[j]).unwrap();
+        b.edge(order[i], order[j])
+            .expect("generator edges are in-bounds and duplicate-free");
     }
     for u in 0..n {
         for v in u + 1..n {
             if !b.has_edge(u, v) && rng.gen_bool(p) {
-                b.edge(u, v).unwrap();
+                b.edge(u, v)
+                    .expect("generator edges are in-bounds and duplicate-free");
             }
         }
     }
-    b.build().unwrap()
+    b.build()
+        .expect("generator graphs are connected and well-formed by construction")
 }
 
 /// A caterpillar: a spine path of `spine` nodes, each with `legs` pendant
@@ -229,14 +255,17 @@ pub fn caterpillar(spine: usize, legs: usize) -> Graph {
     let n = spine * (1 + legs);
     let mut b = GraphBuilder::new(n);
     for s in 0..spine - 1 {
-        b.edge(s, s + 1).unwrap();
+        b.edge(s, s + 1)
+            .expect("generator edges are in-bounds and duplicate-free");
     }
     for s in 0..spine {
         for l in 0..legs {
-            b.edge(s, spine + s * legs + l).unwrap();
+            b.edge(s, spine + s * legs + l)
+                .expect("generator edges are in-bounds and duplicate-free");
         }
     }
-    b.build().unwrap()
+    b.build()
+        .expect("generator graphs are connected and well-formed by construction")
 }
 
 /// Applies a random port renumbering (deterministic in `seed`) to `g`,
@@ -247,7 +276,8 @@ pub fn with_shuffled_ports(g: &Graph, seed: u64) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(g.order());
     for e in g.edges() {
-        b.edge(e.a.0, e.b.0).unwrap();
+        b.edge(e.a.0, e.b.0)
+            .expect("generator edges are in-bounds and duplicate-free");
     }
     b.shuffle_ports(|d| {
         let mut perm: Vec<usize> = (0..d).collect();

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Anonymous port-numbered networks.
 //!
 //! This crate implements the network model of *How to Meet Asynchronously at

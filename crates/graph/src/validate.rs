@@ -54,7 +54,7 @@ pub fn validate(g: &Graph) -> Result<(), ValidationError> {
         return Err(ValidationError::TooSmall);
     }
     for v in g.nodes() {
-        let mut seen_neighbors = std::collections::HashSet::new();
+        let mut seen_neighbors = std::collections::BTreeSet::new();
         for p in 0..g.degree(v) {
             let port = PortId(p);
             let arr = {

@@ -1,0 +1,158 @@
+//! The committed allowlist: `lint.toml` at the workspace root.
+//!
+//! A deliberately tiny TOML subset — `[[allow]]` tables with string/integer
+//! scalar keys — parsed by hand so the linter stays dependency-free. Every
+//! entry **must** carry a non-empty `reason`; an unjustified entry is
+//! itself reported as a finding (the gate cannot be silenced silently),
+//! and so is an entry that no longer matches anything (stale suppressions
+//! rot the allowlist).
+//!
+//! ```toml
+//! # lint.toml
+//! [[allow]]
+//! rule = "det-hash-collections"
+//! path = "crates/sim/src/cache.rs"   # suffix match on the workspace-relative path
+//! line = 42                          # optional: restrict to one line
+//! reason = "keyed lookups only; the map is never iterated"
+//! ```
+
+/// One `[[allow]]` entry from `lint.toml`.
+#[derive(Clone, Debug, Default)]
+pub struct AllowEntry {
+    pub rule: String,
+    /// Suffix-matched against the `/`-separated workspace-relative path.
+    pub path: String,
+    /// When present, the entry only covers findings on this 1-based line.
+    pub line: Option<u32>,
+    pub reason: String,
+    /// The line in `lint.toml` where the entry starts (for diagnostics).
+    pub defined_at: u32,
+}
+
+impl AllowEntry {
+    /// Whether this entry suppresses a finding of `rule` at `path:line`.
+    pub fn covers(&self, rule: &str, path: &str, line: u32) -> bool {
+        if self.rule != rule {
+            return false;
+        }
+        if self.line.is_some_and(|l| l != line) {
+            return false;
+        }
+        path == self.path || path.ends_with(&format!("/{}", self.path))
+    }
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+    /// Malformed lines or entries (reported as `meta-` findings).
+    pub errors: Vec<(u32, String)>,
+}
+
+/// Parses the `lint.toml` subset. Unknown keys are errors — a typoed
+/// `ruel = …` must not silently widen the gate.
+pub fn parse_allowlist(src: &str) -> Allowlist {
+    let mut out = Allowlist::default();
+    let mut cur: Option<AllowEntry> = None;
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(e) = cur.take() {
+                out.push_entry(e);
+            }
+            cur = Some(AllowEntry {
+                defined_at: lineno,
+                ..AllowEntry::default()
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            out.errors
+                .push((lineno, format!("unparseable line: `{raw}`")));
+            continue;
+        };
+        let (key, value) = (key.trim(), value.trim());
+        let Some(entry) = cur.as_mut() else {
+            out.errors
+                .push((lineno, format!("`{key}` outside an [[allow]] table")));
+            continue;
+        };
+        match key {
+            "rule" | "path" | "reason" => match parse_toml_string(value) {
+                Some(s) => match key {
+                    "rule" => entry.rule = s,
+                    "path" => entry.path = s,
+                    _ => entry.reason = s,
+                },
+                None => out
+                    .errors
+                    .push((lineno, format!("`{key}` must be a quoted string"))),
+            },
+            "line" => match value.parse::<u32>() {
+                Ok(n) => entry.line = Some(n),
+                Err(_) => out
+                    .errors
+                    .push((lineno, format!("`line` must be an integer, got `{value}`"))),
+            },
+            other => out
+                .errors
+                .push((lineno, format!("unknown allowlist key `{other}`"))),
+        }
+    }
+    if let Some(e) = cur.take() {
+        out.push_entry(e);
+    }
+    out
+}
+
+impl Allowlist {
+    fn push_entry(&mut self, e: AllowEntry) {
+        if e.rule.is_empty() || e.path.is_empty() {
+            self.errors.push((
+                e.defined_at,
+                "allowlist entry needs both `rule` and `path`".to_string(),
+            ));
+            return;
+        }
+        if e.reason.trim().len() < 10 {
+            self.errors.push((
+                e.defined_at,
+                format!(
+                    "allowlist entry for `{}` needs a written justification \
+                     (`reason = \"…\"`, at least 10 characters)",
+                    e.rule
+                ),
+            ));
+            return;
+        }
+        self.entries.push(e);
+    }
+}
+
+/// Drops a `#`-comment, respecting quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses a double-quoted TOML string (no escape support needed here).
+fn parse_toml_string(value: &str) -> Option<String> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Some(v[1..v.len() - 1].to_string())
+    } else {
+        None
+    }
+}

@@ -1,0 +1,363 @@
+//! A small hand-rolled Rust lexer — just enough fidelity for lint rules.
+//!
+//! The rules in this crate match on *token* sequences, never on raw text,
+//! so an identifier inside a string literal, a `//` inside a string, or a
+//! `HashMap` mentioned in a doc comment can never produce a false finding.
+//! The lexer therefore has to get exactly four hard cases right:
+//!
+//! * line (`//`) and **nested** block (`/* /* */ */`) comments,
+//! * string, byte-string and **raw** string literals (`r#"…"#`, any number
+//!   of `#`s), with escapes,
+//! * char literals vs lifetimes (`'a'` vs `'a`, including `'\''`),
+//! * numeric literals containing `.` without swallowing `..` ranges.
+//!
+//! Comments are not discarded: they are collected per line so rules can
+//! demand *adjacent justification comments* (`// ordering:`, `// SAFETY:`)
+//! and honour inline suppressions (`// lint:allow(<rule-id>) — reason`).
+
+/// What kind of token a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// A lifetime such as `'a` (without the quote in [`Token::text`]).
+    Lifetime,
+    /// String, raw-string, byte-string or char literal (contents dropped).
+    Literal,
+    /// Numeric literal.
+    Num,
+    /// A single punctuation character (`:`, `.`, `(`, `{`, `!`, …).
+    Punct(char),
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokKind,
+    /// Identifier/number text; empty for literals and punctuation.
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// The result of lexing one file: the token stream plus per-line comment
+/// text (keyed by 1-based line; a line covered by a block comment gets the
+/// whole comment's text, so multi-line justifications work).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    /// Concatenated comment text per source line.
+    pub comments: std::collections::BTreeMap<u32, String>,
+}
+
+impl Lexed {
+    /// Lines that carry at least one code token.
+    pub fn code_lines(&self) -> std::collections::BTreeSet<u32> {
+        self.tokens.iter().map(|t| t.line).collect()
+    }
+
+    /// The justification context for a token on `line`: comment text on the
+    /// same line plus the run of comment-only lines directly above it.
+    /// This is what "adjacent comment" means for the `// ordering:`,
+    /// `// SAFETY:` and `// lint:allow(...)` checks.
+    pub fn adjacent_comment_text(&self, line: u32) -> String {
+        let code = self.code_lines();
+        let mut text = String::new();
+        if let Some(c) = self.comments.get(&line) {
+            text.push_str(c);
+        }
+        let mut l = line.saturating_sub(1);
+        while l > 0 {
+            match self.comments.get(&l) {
+                Some(c) if !code.contains(&l) => {
+                    text.push('\n');
+                    text.push_str(c);
+                    l -= 1;
+                }
+                _ => break,
+            }
+        }
+        text
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` (one Rust source file) into tokens and per-line comments.
+/// Unterminated constructs are tolerated — the lexer consumes to EOF
+/// rather than erroring, since lint input may be a broken fixture.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let push_comment = |out: &mut Lexed, first: u32, last: u32, text: &str| {
+        for l in first..=last {
+            let entry = out.comments.entry(l).or_default();
+            if !entry.is_empty() {
+                entry.push('\n');
+            }
+            entry.push_str(text);
+        }
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                push_comment(&mut out, line, line, &text);
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let (start, first_line) = (i, line);
+                let mut depth = 0usize;
+                while i < chars.len() {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                push_comment(&mut out, first_line, line, &text);
+            }
+            '"' => {
+                i = skip_string(&chars, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+            }
+            'r' | 'b' if starts_prefixed_literal(&chars, i) => {
+                let lit_line = line;
+                i = skip_prefixed_literal(&chars, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: lit_line,
+                });
+            }
+            '\'' => {
+                // Lifetime iff a bare identifier follows with no closing
+                // quote (`'a`, `'static`); otherwise a char literal
+                // (`'a'`, `'\''`, `'\u{1F980}'`).
+                let mut j = i + 1;
+                if j < chars.len() && is_ident_start(chars[j]) && chars[j] != '\\' {
+                    let ident_start = j;
+                    while j < chars.len() && is_ident_continue(chars[j]) {
+                        j += 1;
+                    }
+                    if chars.get(j) != Some(&'\'') {
+                        out.tokens.push(Token {
+                            kind: TokKind::Lifetime,
+                            text: chars[ident_start..j].iter().collect(),
+                            line,
+                        });
+                        i = j;
+                        continue;
+                    }
+                }
+                // Char literal: consume to the closing quote, honouring
+                // escapes.
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '\'' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            // Tolerate a stray quote (e.g. inside macro
+                            // token trees); treat it as punctuation.
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() {
+                    let d = chars[i];
+                    if is_ident_continue(d) {
+                        i += 1;
+                    } else if d == '.'
+                        && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                        && chars.get(i.wrapping_sub(1)) != Some(&'.')
+                        && !chars[start..i].contains(&'.')
+                    {
+                        // `1.5` continues the number; `0..10` does not.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Num,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c => {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct(c),
+                    text: String::new(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// True if position `i` (at `r` or `b`) starts a raw/byte string or byte
+/// char literal rather than an identifier.
+fn starts_prefixed_literal(chars: &[char], i: usize) -> bool {
+    // Only when the `r`/`b` is not the tail of a longer identifier.
+    if i > 0 && is_ident_continue(chars[i - 1]) {
+        return false;
+    }
+    let rest = &chars[i..];
+    match rest {
+        ['r', '"', ..] | ['b', '"', ..] | ['b', '\'', ..] => true,
+        ['b', 'r', ..] => matches!(rest.get(2), Some('"') | Some('#')) && raw_hashes_ok(rest, 2),
+        ['r', '#', ..] => raw_hashes_ok(rest, 1),
+        _ => false,
+    }
+}
+
+/// After the `r` (at offset `from`), checks `#…#"` actually leads to a
+/// quote — distinguishing `r#"…"#` from the raw identifier `r#match`.
+fn raw_hashes_ok(rest: &[char], from: usize) -> bool {
+    let mut j = from;
+    while rest.get(j) == Some(&'#') {
+        j += 1;
+    }
+    rest.get(j) == Some(&'"')
+}
+
+/// Consumes a `"…"` string starting at `i`; returns the index past it.
+fn skip_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consumes an `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` or `b'…'` literal
+/// starting at `i`; returns the index past it.
+fn skip_prefixed_literal(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    let mut raw = false;
+    if chars[i] == 'b' {
+        i += 1;
+    }
+    if chars.get(i) == Some(&'r') {
+        raw = true;
+        i += 1;
+    }
+    if !raw {
+        return match chars.get(i) {
+            Some('"') => skip_string(chars, i, line),
+            Some('\'') => {
+                // b'…' byte literal.
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '\'' => return i + 1,
+                        _ => i += 1,
+                    }
+                }
+                i
+            }
+            _ => i,
+        };
+    }
+    let mut hashes = 0usize;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) != Some(&'"') {
+        return i;
+    }
+    i += 1;
+    // Scan for `"` followed by `hashes` `#`s.
+    while i < chars.len() {
+        if chars[i] == '\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if chars[i] == '"' && chars[i + 1..].iter().take_while(|&&c| c == '#').count() >= hashes {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    i
+}

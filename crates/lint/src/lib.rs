@@ -1,0 +1,429 @@
+#![forbid(unsafe_code)]
+//! `rv_lint` — a std-only workspace lint engine.
+//!
+//! The golden suites check the workspace's core invariants — bit-identical
+//! determinism, panic-freedom, atomics discipline — *dynamically*: a bug
+//! ships first and a seed has to hit it. This crate states the same
+//! invariants *statically*, as named rules over every `.rs` file in the
+//! workspace, and gates CI on them. See [`rules`] for the rule packs and
+//! `docs/LINTS.md` for the catalogue.
+//!
+//! Design constraints:
+//!
+//! * **No dependencies at all** (not even the vendored stubs): the linter
+//!   is the root of trust, so it lexes Rust ([`lexer`]) and parses its
+//!   allowlist ([`config`]) by hand.
+//! * **Token-level matching**: rules never fire on comments or string
+//!   literals.
+//! * **Every suppression is justified**: inline
+//!   `// lint:allow(<rule-id>) — reason` and `lint.toml` entries both
+//!   require written reasons; unjustified or stale suppressions are
+//!   findings themselves (`meta-*` rules).
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// How a file participates in rule scoping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SourceKind {
+    /// Library source — full rule coverage.
+    LibSrc,
+    /// Tests, benches, examples, and the bench crate: exempt from the
+    /// determinism and panic-safety packs (concurrency rules still apply).
+    TestLike,
+}
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative `/`-separated path (the *real* path, even when a
+    /// fixture header declared an effective one).
+    pub path: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A whole engine run: findings plus scan statistics.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+/// Lints `root` — a directory (walked recursively, honouring the
+/// `lint.toml` allowlist found there) or a single `.rs` file (linted
+/// standalone, no allowlist).
+pub fn scan(root: &Path) -> Result<Report, String> {
+    let mut report = Report::default();
+    if root.is_file() {
+        let rel = root
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("input.rs")
+            .to_string();
+        lint_file(root, &rel, &mut report)?;
+        report.findings.sort_by(cmp_findings);
+        return Ok(report);
+    }
+    if !root.is_dir() {
+        return Err(format!("{}: not a file or directory", root.display()));
+    }
+
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    for rel in &files {
+        lint_file(&root.join(rel), rel, &mut report)?;
+    }
+
+    // Apply the committed allowlist, tracking per-entry usage so stale
+    // entries surface as findings.
+    let allow_path = root.join("lint.toml");
+    if let Ok(src) = std::fs::read_to_string(&allow_path) {
+        let allowlist = config::parse_allowlist(&src);
+        for (line, msg) in &allowlist.errors {
+            report.findings.push(Finding {
+                path: "lint.toml".to_string(),
+                line: *line,
+                rule: "meta-allowlist-entry",
+                message: msg.clone(),
+            });
+        }
+        let mut used = vec![false; allowlist.entries.len()];
+        report.findings.retain(|f| {
+            match allowlist
+                .entries
+                .iter()
+                .position(|e| e.covers(f.rule, &f.path, f.line))
+            {
+                Some(i) => {
+                    used[i] = true;
+                    false
+                }
+                None => true,
+            }
+        });
+        for (i, e) in allowlist.entries.iter().enumerate() {
+            if !used[i] {
+                report.findings.push(Finding {
+                    path: "lint.toml".to_string(),
+                    line: e.defined_at,
+                    rule: "meta-stale-allow",
+                    message: format!(
+                        "allowlist entry (rule `{}`, path `{}`) no longer matches \
+                         any finding — delete it",
+                        e.rule, e.path
+                    ),
+                });
+            }
+        }
+    }
+    report.findings.sort_by(cmp_findings);
+    Ok(report)
+}
+
+fn cmp_findings(a: &Finding, b: &Finding) -> std::cmp::Ordering {
+    (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule))
+}
+
+/// Directories never descended into: build output, vendored stubs (not
+/// ours to police), VCS/tool state, and the lint fixtures (linted only
+/// when targeted explicitly — they exist to be findings).
+fn skip_dir(name: &str) -> bool {
+    name.starts_with('.') || matches!(name, "target" | "vendor" | "fixtures" | "node_modules")
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !skip_dir(&name) {
+                collect_rs_files(root, &path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| e.to_string())?
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Lints one file, appending its surviving findings to `report`.
+fn lint_file(path: &Path, rel: &str, report: &mut Report) -> Result<(), String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    report.files_scanned += 1;
+
+    // Fixture files declare the path they should be judged as, so rule
+    // scoping (crate lists, lib-vs-test) is testable from standalone files.
+    let effective: String = fixture_override(&src).unwrap_or_else(|| rel.to_string());
+
+    let lexed = lexer::lex(&src);
+    let test_spans = cfg_test_spans(&lexed.tokens);
+    let ctx = rules::FileCtx {
+        rel_path: &effective,
+        crate_dir: crate_dir_of(&effective),
+        kind: classify(&effective),
+        is_crate_root: effective.ends_with("src/lib.rs") || effective == "lib.rs",
+        lexed: &lexed,
+        test_spans: &test_spans,
+    };
+    let mut findings = Vec::new();
+    rules::run_all(&ctx, &mut findings);
+
+    // Inline suppressions: `// lint:allow(<rule-id>) — reason`, adjacent to
+    // the finding (same line or the comment block directly above).
+    findings.retain(|f| {
+        !lexed
+            .adjacent_comment_text(f.line)
+            .contains(&format!("lint:allow({})", f.rule))
+    });
+    // …and every inline suppression must carry a reason and name a rule
+    // that exists.
+    for (line, text) in &lexed.comments {
+        for (rule, reason) in parse_inline_allows(text) {
+            // Placeholder shapes like `lint:allow(<rule-id>)` are syntax
+            // documentation, not suppression attempts.
+            if !rule
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+                || rule.is_empty()
+            {
+                continue;
+            }
+            if !rules::ALL_RULES.contains(&rule.as_str()) {
+                findings.push(Finding {
+                    path: String::new(),
+                    line: *line,
+                    rule: "meta-unknown-rule",
+                    message: format!("`lint:allow({rule})` names a rule that does not exist"),
+                });
+            } else if reason.trim().len() < 10 {
+                findings.push(Finding {
+                    path: String::new(),
+                    line: *line,
+                    rule: "meta-allow-needs-reason",
+                    message: format!(
+                        "`lint:allow({rule})` without a written reason — append \
+                         `— why this is sound`"
+                    ),
+                });
+            }
+        }
+    }
+
+    for mut f in findings {
+        f.path = rel.to_string();
+        report.findings.push(f);
+    }
+    Ok(())
+}
+
+/// Extracts `(rule, trailing reason)` pairs from one comment's text.
+fn parse_inline_allows(text: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("lint:allow(") {
+        rest = &rest[pos + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else { break };
+        let rule = rest[..close].trim().to_string();
+        rest = &rest[close + 1..];
+        let reason = rest.lines().next().unwrap_or("").to_string();
+        out.push((rule, reason));
+    }
+    out
+}
+
+/// Reads a `// lint-fixture: as=<path>` header from the first lines.
+fn fixture_override(src: &str) -> Option<String> {
+    for line in src.lines().take(5) {
+        if let Some(pos) = line.find("lint-fixture: as=") {
+            let path = line[pos + "lint-fixture: as=".len()..].trim();
+            if !path.is_empty() {
+                return Some(path.to_string());
+            }
+        }
+    }
+    None
+}
+
+/// The `crates/<dir>/…` directory name, if any.
+fn crate_dir_of(rel: &str) -> Option<&str> {
+    let mut parts = rel.split('/');
+    if parts.next() == Some("crates") {
+        parts.next()
+    } else {
+        None
+    }
+}
+
+/// Classifies a workspace-relative path for rule scoping.
+fn classify(rel: &str) -> SourceKind {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let in_crate = parts.first() == Some(&"crates");
+    let crate_dir = if in_crate {
+        parts.get(1).copied()
+    } else {
+        None
+    };
+    // The bench crate is harness code end to end (its `src/bin` binaries
+    // are experiment drivers), as is anything under tests/benches/examples.
+    if crate_dir == Some("bench") {
+        return SourceKind::TestLike;
+    }
+    let tree_root = if in_crate {
+        parts.get(2)
+    } else {
+        parts.first()
+    };
+    match tree_root {
+        Some(&"src") => SourceKind::LibSrc,
+        _ => SourceKind::TestLike,
+    }
+}
+
+/// Line spans of `#[cfg(test)] mod … { … }` bodies (attribute line through
+/// closing brace).
+fn cfg_test_spans(toks: &[lexer::Token]) -> Vec<(u32, u32)> {
+    use lexer::TokKind;
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        // `# [ cfg ( test ) ]`
+        let is_attr = toks[i].is_punct('#')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('['))
+            && toks.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 4).is_some_and(|t| t.is_ident("test"))
+            && toks.get(i + 5).is_some_and(|t| t.is_punct(')'))
+            && toks.get(i + 6).is_some_and(|t| t.is_punct(']'));
+        if !is_attr {
+            i += 1;
+            continue;
+        }
+        let start_line = toks[i].line;
+        let mut j = i + 7;
+        // Skip any further attributes between cfg(test) and the item.
+        while toks.get(j).is_some_and(|t| t.is_punct('#')) {
+            let mut depth = 0i32;
+            j += 1;
+            while let Some(t) = toks.get(j) {
+                match t.kind {
+                    TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // Only the `mod name { … }` form scopes a span; other cfg(test)
+        // items (stray fns) are rare and not worth modelling.
+        if toks.get(j).is_some_and(|t| t.is_ident("mod")) {
+            while j < toks.len() && !toks[j].is_punct('{') {
+                j += 1;
+            }
+            let mut depth = 0i32;
+            while let Some(t) = toks.get(j) {
+                match t.kind {
+                    TokKind::Punct('{') => depth += 1,
+                    TokKind::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            spans.push((start_line, t.line));
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        i = j.max(i + 1);
+    }
+    spans
+}
+
+/// Renders a report as machine-readable JSON (hand-rolled — see the
+/// no-dependency constraint in the crate docs).
+pub fn to_json(report: &Report) -> String {
+    let mut s = String::from("{\"findings\":[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"path\":{},\"line\":{},\"rule\":{},\"message\":{}}}",
+            json_str(&f.path),
+            f.line,
+            json_str(f.rule),
+            json_str(&f.message)
+        ));
+    }
+    s.push_str(&format!(
+        "],\"count\":{},\"files_scanned\":{}}}",
+        report.findings.len(),
+        report.files_scanned
+    ));
+    s
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Resolves the workspace root from a `--root` argument or the current
+/// directory (walking up to the first dir containing `Cargo.toml` +
+/// `crates/`).
+pub fn find_workspace_root(from: &Path) -> Option<PathBuf> {
+    let mut cur = Some(from.to_path_buf());
+    while let Some(dir) = cur {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    None
+}

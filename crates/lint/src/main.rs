@@ -1,0 +1,101 @@
+#![forbid(unsafe_code)]
+//! CLI for the workspace lint engine. See `rv_lint --help`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+rv_lint — std-only static analysis for this workspace's invariants
+
+USAGE:
+    rv_lint [OPTIONS] [PATH]
+
+ARGS:
+    <PATH>    Directory to walk (default: the enclosing workspace root)
+              or a single .rs file to lint standalone (no allowlist)
+
+OPTIONS:
+    --check        Same as the default (exit 1 on findings); the explicit
+                   spelling CI uses
+    --json         Machine-readable output
+    --list-rules   Print every rule id and exit
+    -h, --help     This help
+
+Findings print as `file:line:rule-id: message`. Suppress inline with
+`// lint:allow(rule-id) — reason` or in the committed lint.toml (every
+entry needs a written justification). See docs/LINTS.md.";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--check" => {} // exit-nonzero-on-findings is already the default
+            "--list-rules" => {
+                for r in rv_lint::rules::ALL_RULES {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with("--root=") => {
+                root = Some(PathBuf::from(other.trim_start_matches("--root=")));
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => root = Some(PathBuf::from(path)),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("rv_lint: cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match rv_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("rv_lint: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match rv_lint::scan(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rv_lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", rv_lint::to_json(&report));
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        eprintln!(
+            "rv_lint: {} finding(s) across {} file(s)",
+            report.findings.len(),
+            report.files_scanned
+        );
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

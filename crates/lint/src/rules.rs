@@ -1,0 +1,514 @@
+//! The rule packs. Every rule is a named, individually suppressible check
+//! over one file's token stream (see [`crate::lexer`]); scoping decisions
+//! (which crates feed golden fingerprints, what counts as test code) live
+//! here as data, next to the rules that consume them.
+//!
+//! | pack | rule ids |
+//! |---|---|
+//! | determinism | `det-hash-collections`, `det-wall-clock`, `det-thread-id` |
+//! | panic-safety | `panic-bare-unwrap`, `panic-bare-macro` |
+//! | concurrency | `atomics-ordering-comment`, `unsafe-needs-safety-comment`, `crate-forbids-unsafe` |
+//! | api-misuse | `api-meetinglog-to-vec`, `api-lock-across-dispatch` |
+//!
+//! See `docs/LINTS.md` for the rationale and an example per rule.
+
+use crate::lexer::{Lexed, TokKind, Token};
+use crate::{Finding, SourceKind};
+
+/// Crates whose runtime state feeds golden fingerprints: any
+/// iteration-order or wall-clock dependence here shows up (eventually,
+/// on some seed) as a broken golden hash. The facade (`src/lib.rs`,
+/// re-exports only) is held to the same bar.
+pub const FINGERPRINT_CRATES: &[&str] = &["sim", "protocols", "trajectory", "core", "explore"];
+
+/// Crates where `.to_vec()` is banned in library sources: these own the
+/// COW `MeetingLog` / ESST walk machinery whose whole point is not
+/// materialising views.
+pub const NO_TO_VEC_CRATES: &[&str] = &["sim", "protocols", "explore"];
+
+/// The only file allowed to consult worker/thread identity, and the
+/// functions in it that dispatch a stealing-frontier `Job` (no `Mutex`
+/// guard may be live across a call to one of these).
+pub const MINIMAX_PATH: &str = "crates/sim/src/minimax.rs";
+const DISPATCH_FNS: &[&str] = &["run_job", "split_job", "explore_subtree"];
+
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Per-file context handed to every rule.
+pub struct FileCtx<'a> {
+    /// Workspace-relative `/`-separated path — the *effective* path when a
+    /// fixture header (`// lint-fixture: as=…`) overrides it.
+    pub rel_path: &'a str,
+    /// `crates/<dir>/…` directory name, if under `crates/`.
+    pub crate_dir: Option<&'a str>,
+    pub kind: SourceKind,
+    /// True for `src/lib.rs` files (crate roots).
+    pub is_crate_root: bool,
+    pub lexed: &'a Lexed,
+    /// Line ranges of `#[cfg(test)] mod … { … }` bodies.
+    pub test_spans: &'a [(u32, u32)],
+}
+
+impl FileCtx<'_> {
+    fn is_lib(&self) -> bool {
+        self.kind == SourceKind::LibSrc
+    }
+
+    fn in_test_mod(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// Library code outside `#[cfg(test)]` — the scope of the determinism
+    /// and panic-safety packs (tests/benches/examples are exempt).
+    fn shipping_code(&self, line: u32) -> bool {
+        self.is_lib() && !self.in_test_mod(line)
+    }
+
+    fn in_crate(&self, list: &[&str]) -> bool {
+        match self.crate_dir {
+            Some(d) => list.contains(&d),
+            // Workspace-root `src/` (the facade) is in every scope.
+            None => true,
+        }
+    }
+
+    fn finding(&self, line: u32, rule: &'static str, message: String) -> Finding {
+        Finding {
+            path: self.rel_path.to_string(),
+            line,
+            rule,
+            message,
+        }
+    }
+}
+
+/// Runs every rule against one file.
+pub fn run_all(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    det_hash_collections(ctx, out);
+    det_wall_clock(ctx, out);
+    det_thread_id(ctx, out);
+    panic_bare_unwrap(ctx, out);
+    panic_bare_macro(ctx, out);
+    atomics_ordering_comment(ctx, out);
+    unsafe_needs_safety_comment(ctx, out);
+    crate_forbids_unsafe(ctx, out);
+    api_to_vec(ctx, out);
+    api_lock_across_dispatch(ctx, out);
+}
+
+/// Every rule id this engine can emit (used by `--list-rules` and the
+/// suppression-validity check).
+pub const ALL_RULES: &[&str] = &[
+    "det-hash-collections",
+    "det-wall-clock",
+    "det-thread-id",
+    "panic-bare-unwrap",
+    "panic-bare-macro",
+    "atomics-ordering-comment",
+    "unsafe-needs-safety-comment",
+    "crate-forbids-unsafe",
+    "api-meetinglog-to-vec",
+    "api-lock-across-dispatch",
+];
+
+// ---------------------------------------------------------------- determinism
+
+/// `det-hash-collections`: no `HashMap`/`HashSet`/`RandomState`/
+/// `DefaultHasher` in fingerprint-feeding library code. Iteration order of
+/// the std hash collections is randomized per process (`RandomState`), so
+/// any iteration — today's or one added in a refactor two years from now —
+/// is a latent golden-fingerprint break. `BTreeMap`/`BTreeSet` cost one
+/// log factor and are order-deterministic forever.
+fn det_hash_collections(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.in_crate(FINGERPRINT_CRATES) {
+        return;
+    }
+    for t in &ctx.lexed.tokens {
+        if t.kind != TokKind::Ident || !ctx.shipping_code(t.line) {
+            continue;
+        }
+        if matches!(
+            t.text.as_str(),
+            "HashMap" | "HashSet" | "RandomState" | "DefaultHasher"
+        ) {
+            out.push(ctx.finding(
+                t.line,
+                "det-hash-collections",
+                format!(
+                    "`{}` in a fingerprint-feeding crate: iteration order is \
+                     process-random; use BTreeMap/BTreeSet (or prove non-iteration \
+                     and allowlist with a justification)",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// `det-wall-clock`: no `Instant`/`SystemTime` in library code anywhere
+/// but the bench harness. Simulation time is action counts; wall-clock in
+/// the core would make stop policies and traces machine-dependent.
+fn det_wall_clock(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    for t in &ctx.lexed.tokens {
+        if t.kind != TokKind::Ident || !ctx.shipping_code(t.line) {
+            continue;
+        }
+        if t.text == "Instant" || t.text == "SystemTime" {
+            out.push(ctx.finding(
+                t.line,
+                "det-wall-clock",
+                format!(
+                    "`{}` in simulator core: time must be action counts, never \
+                     wall-clock (the bench harness is the sanctioned consumer)",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// `det-thread-id`: `thread::current().id()`-derived logic is banned
+/// outside the minimax worker loop — results must be worker-count- and
+/// scheduler-independent.
+fn det_thread_id(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.rel_path == MINIMAX_PATH {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        if !ctx.shipping_code(toks[i].line) {
+            continue;
+        }
+        // `current ( ) . id ( )`
+        if toks[i].is_ident("current")
+            && matches_punct_run(&toks[i + 1..], &['(', ')', '.'])
+            && toks.get(i + 4).is_some_and(|t| t.is_ident("id"))
+            && matches_punct_run(&toks[i + 5..], &['(', ')'])
+        {
+            out.push(
+                ctx.finding(
+                    toks[i].line,
+                    "det-thread-id",
+                    "thread-identity-dependent logic outside the minimax worker loop: \
+                 results must not depend on which thread runs what"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+// --------------------------------------------------------------- panic-safety
+
+/// `panic-bare-unwrap`: library code must state the invariant it relies on
+/// — `expect(\"<invariant>\")` or fallible handling — never a bare
+/// `unwrap()`. Tests, benches and examples are exempt.
+fn panic_bare_unwrap(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        if !ctx.shipping_code(toks[i].line) {
+            continue;
+        }
+        if toks[i].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("unwrap"))
+            && matches_punct_run(&toks[i + 2..], &['(', ')'])
+        {
+            out.push(
+                ctx.finding(
+                    toks[i + 1].line,
+                    "panic-bare-unwrap",
+                    "bare `unwrap()` in library code: use `expect(\"<invariant>\")` \
+                 or return the error"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+/// `panic-bare-macro`: `panic!()`/`unreachable!()` without a message (and
+/// `todo!`/`unimplemented!` in any form) in library code. A panic with no
+/// invariant text is as undiagnosable as a bare unwrap; `todo!` is
+/// unfinished work shipping.
+fn panic_bare_macro(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        if !ctx.shipping_code(toks[i].line) || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        let is_macro = toks.get(i + 1).is_some_and(|t| t.is_punct('!'));
+        if !is_macro {
+            continue;
+        }
+        let placeholder = matches!(name, "todo" | "unimplemented");
+        let bare = matches!(name, "panic" | "unreachable")
+            && matches_punct_run(&toks[i + 2..], &['(', ')']);
+        if placeholder || bare {
+            out.push(ctx.finding(
+                toks[i].line,
+                "panic-bare-macro",
+                format!(
+                    "`{name}!` without an invariant message in library code: \
+                     state what was violated (or handle it)"
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- concurrency
+
+/// `atomics-ordering-comment`: every `Ordering::{Relaxed,…,SeqCst}` use
+/// must carry an adjacent `// ordering:` comment justifying the chosen
+/// strength — same line or the comment block directly above. Memory
+/// orderings are unreviewable without the author's argument.
+fn atomics_ordering_comment(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("Ordering")
+            || !matches_punct_run(&toks[i + 1..], &[':', ':'])
+            || !toks.get(i + 3).is_some_and(|t| {
+                t.kind == TokKind::Ident && ATOMIC_ORDERINGS.contains(&t.text.as_str())
+            })
+        {
+            continue;
+        }
+        let line = toks[i].line;
+        let justification = ctx.lexed.adjacent_comment_text(line).to_lowercase();
+        if !justification.contains("ordering:") {
+            out.push(ctx.finding(
+                line,
+                "atomics-ordering-comment",
+                format!(
+                    "`Ordering::{}` without an adjacent `// ordering:` justification \
+                     comment (same line or directly above)",
+                    toks[i + 3].text
+                ),
+            ));
+        }
+    }
+}
+
+/// `unsafe-needs-safety-comment`: any `unsafe` keyword needs an adjacent
+/// `// SAFETY:` comment. The workspace currently has zero unsafe blocks
+/// and crate roots forbid them; this rule covers the day someone lifts a
+/// forbid.
+fn unsafe_needs_safety_comment(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    for t in &ctx.lexed.tokens {
+        if t.is_ident("unsafe") && !ctx.lexed.adjacent_comment_text(t.line).contains("SAFETY:") {
+            out.push(
+                ctx.finding(
+                    t.line,
+                    "unsafe-needs-safety-comment",
+                    "`unsafe` without an adjacent `// SAFETY:` comment stating the \
+                 obligation being discharged"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+/// `crate-forbids-unsafe`: every crate root must declare
+/// `#![forbid(unsafe_code)]` — the workspace has no unsafe and forbidding
+/// it at the root turns "keep it that way" into a compile error instead
+/// of a review comment.
+fn crate_forbids_unsafe(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.is_crate_root {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    let has = (0..toks.len()).any(|i| {
+        toks[i].is_punct('#')
+            && matches_punct_run(&toks[i + 1..], &['!', '['])
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("forbid"))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 5).is_some_and(|t| t.is_ident("unsafe_code"))
+            && matches_punct_run(&toks[i + 6..], &[')', ']'])
+    });
+    if !has {
+        out.push(ctx.finding(
+            1,
+            "crate-forbids-unsafe",
+            "crate root does not declare `#![forbid(unsafe_code)]`".to_string(),
+        ));
+    }
+}
+
+// ----------------------------------------------------------------- api-misuse
+
+/// `api-meetinglog-to-vec`: no `.to_vec()` in the crates owning the COW
+/// `MeetingLog` and the ESST walk machinery. Their views exist precisely
+/// so million-entry logs are never materialised; a `to_vec()` on one is an
+/// O(run length) copy hiding in an O(1) API.
+fn api_to_vec(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.in_crate(NO_TO_VEC_CRATES) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        if !ctx.shipping_code(toks[i].line) {
+            continue;
+        }
+        if toks[i].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("to_vec"))
+            && matches_punct_run(&toks[i + 2..], &['(', ')'])
+        {
+            out.push(
+                ctx.finding(
+                    toks[i + 1].line,
+                    "api-meetinglog-to-vec",
+                    "`.to_vec()` in a COW-log crate: iterate the view or take \
+                 ownership with an `into_…` accessor instead of materialising"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+/// `api-lock-across-dispatch`: in `minimax.rs`, a `Mutex` guard bound by
+/// `let` must not still be in scope at a call to a `Job`-dispatching
+/// function (`run_job`/`split_job`/`explore_subtree`). A guard held across
+/// a subtree search serialises the stealing frontier (the PR 5 regression
+/// class). The heuristic is conservative: only bindings whose initialiser
+/// *ends* in `.lock()` (optionally `.expect(…)`/`.unwrap()`) are treated
+/// as guards, and an intervening `drop(guard)` clears them.
+fn api_lock_across_dispatch(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.rel_path != MINIMAX_PATH {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    // Live guards: (binding name, brace depth of the binding).
+    let mut guards: Vec<(String, i32)> = Vec::new();
+    while i < toks.len() {
+        match toks[i].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                guards.retain(|&(_, d)| d <= depth);
+            }
+            TokKind::Ident => {
+                let t = &toks[i];
+                if t.text == "let" {
+                    if let Some((names, end)) = guard_binding(toks, i) {
+                        guards.extend(names.into_iter().map(|n| (n, depth)));
+                        i = end;
+                        continue;
+                    }
+                } else if t.text == "drop" && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+                    if let Some(arg) = toks.get(i + 2) {
+                        guards.retain(|(n, _)| n != &arg.text);
+                    }
+                } else if DISPATCH_FNS.contains(&t.text.as_str())
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                    && !guards.is_empty()
+                {
+                    let (name, _) = &guards[0];
+                    out.push(ctx.finding(
+                        t.line,
+                        "api-lock-across-dispatch",
+                        format!(
+                            "`{}` called while the `Mutex` guard `{name}` is still \
+                             live: a lock held across a Job dispatch serialises the \
+                             stealing frontier — drop the guard first",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// If the `let` statement starting at `toks[i]` binds a `Mutex` guard
+/// (initialiser ends in `.lock()` / `.lock().expect(…)` / `.lock().unwrap()`
+/// right before `;`), returns the bound names and the index of the `;`.
+fn guard_binding(toks: &[Token], i: usize) -> Option<(Vec<String>, usize)> {
+    let mut names = Vec::new();
+    let mut j = i + 1;
+    // Pattern region: up to `=` (stop early at `;` — a `let … else` or
+    // bindingless form we don't model).
+    while j < toks.len() && !toks[j].is_punct('=') {
+        if toks[j].is_punct(';') {
+            return None;
+        }
+        // Stop collecting names once a type annotation starts.
+        if toks[j].is_punct(':') {
+            while j < toks.len() && !toks[j].is_punct('=') && !toks[j].is_punct(';') {
+                j += 1;
+            }
+            break;
+        }
+        if toks[j].kind == TokKind::Ident && toks[j].text != "mut" {
+            names.push(toks[j].text.clone());
+        }
+        j += 1;
+    }
+    if names.is_empty() {
+        return None;
+    }
+    // Initialiser region: scan to the `;` that closes the statement
+    // (tracking nesting so `;`s inside closures don't end it early).
+    let mut nest = 0i32;
+    let mut end = None;
+    let init_start = j;
+    while j < toks.len() {
+        match toks[j].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => nest += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => nest -= 1,
+            TokKind::Punct(';') if nest == 0 => {
+                end = Some(j);
+                break;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let end = end?;
+    let init = &toks[init_start..end];
+    if ends_in_lock_chain(init) {
+        Some((names, end))
+    } else {
+        None
+    }
+}
+
+/// Whether a token slice ends with `.lock()`, `.lock().expect(<lit>)` or
+/// `.lock().unwrap()`.
+fn ends_in_lock_chain(init: &[Token]) -> bool {
+    let n = init.len();
+    let ends_with_call = |k: usize, name: &str, args: usize| -> bool {
+        // `. name ( …args… )` occupying the last `3 + args` tokens.
+        let w = 4 + args;
+        if k < w {
+            return false;
+        }
+        init[k - w].is_punct('.')
+            && init[k - w + 1].is_ident(name)
+            && init[k - w + 2].is_punct('(')
+            && init[k - 1].is_punct(')')
+    };
+    if ends_with_call(n, "lock", 0) {
+        return true;
+    }
+    for (name, args) in [("expect", 1), ("unwrap", 0)] {
+        if ends_with_call(n, name, args) {
+            let rest = n - (4 + args);
+            if ends_with_call(rest, "lock", 0) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// True if `toks` starts with exactly the punctuation run `run`.
+fn matches_punct_run(toks: &[Token], run: &[char]) -> bool {
+    run.len() <= toks.len() && run.iter().zip(toks).all(|(&c, t)| t.is_punct(c))
+}

@@ -1,0 +1,27 @@
+// lint-fixture: as=crates/sim/src/minimax.rs
+//! Fixture: exactly one `api-lock-across-dispatch` finding — a deque
+//! guard still live at the `run_job` call. The second function shows the
+//! compliant shape (guard dropped first).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+pub fn worker_bad(q: &Mutex<VecDeque<u64>>) {
+    let mut guard = q.lock().expect("deque poisoned");
+    let job = guard.pop_back();
+    if let Some(job) = job {
+        run_job(job);
+    }
+}
+
+pub fn worker_good(q: &Mutex<VecDeque<u64>>) {
+    let job = {
+        let mut guard = q.lock().expect("deque poisoned");
+        guard.pop_back()
+    };
+    if let Some(job) = job {
+        run_job(job);
+    }
+}
+
+fn run_job(_job: u64) {}

@@ -1,0 +1,19 @@
+// lint-fixture: as=crates/sim/src/fixture.rs
+//! Fixture: exactly one `atomics-ordering-comment` finding — the first
+//! fetch_add has no justification; the second and third show the two
+//! accepted comment positions.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn undocumented(c: &AtomicUsize) -> usize {
+    c.fetch_add(1, Ordering::SeqCst)
+}
+
+pub fn documented_same_line(c: &AtomicUsize) -> usize {
+    c.fetch_add(1, Ordering::SeqCst) // ordering: test-only counter, no data published
+}
+
+pub fn documented_above(c: &AtomicUsize) -> usize {
+    // ordering: test-only counter, no data published
+    c.fetch_add(1, Ordering::SeqCst)
+}

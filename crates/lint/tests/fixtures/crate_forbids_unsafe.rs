@@ -1,0 +1,5 @@
+// lint-fixture: as=crates/sim/src/lib.rs
+//! Fixture: exactly one `crate-forbids-unsafe` finding — a crate root
+//! without `#![forbid(unsafe_code)]`.
+
+pub mod runtime {}

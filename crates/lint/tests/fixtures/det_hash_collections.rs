@@ -1,0 +1,7 @@
+// lint-fixture: as=crates/sim/src/fixture.rs
+//! Fixture: exactly one `det-hash-collections` finding — a std hash
+//! collection named in a fingerprint-feeding crate's library source.
+
+pub fn occupancy_size(m: &std::collections::HashMap<u64, u64>) -> usize {
+    m.len()
+}

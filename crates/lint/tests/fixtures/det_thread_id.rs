@@ -1,0 +1,7 @@
+// lint-fixture: as=crates/sim/src/fixture.rs
+//! Fixture: exactly one `det-thread-id` finding — thread-identity-derived
+//! logic outside the minimax worker loop.
+
+pub fn shard() -> std::thread::ThreadId {
+    std::thread::current().id()
+}

@@ -1,0 +1,8 @@
+// lint-fixture: as=crates/sim/src/fixture.rs
+//! Fixture: exactly one `det-wall-clock` finding — wall-clock time read
+//! inside simulator core. (A comment saying Instant must not fire.)
+
+pub fn elapsed_nanos() -> u64 {
+    let start = std::time::Instant::now();
+    u64::from(start.elapsed().subsec_nanos())
+}

@@ -1,0 +1,19 @@
+// lint-fixture: as=crates/protocols/src/fixture.rs
+//! Fixture: exactly one `panic-bare-macro` finding — an `unreachable!()`
+//! with no invariant message. The documented form right below it is fine.
+
+pub fn pick(flag: bool) -> u64 {
+    if flag {
+        1
+    } else {
+        unreachable!()
+    }
+}
+
+pub fn pick_documented(flag: bool) -> u64 {
+    if flag {
+        1
+    } else {
+        unreachable!("callers guarantee `flag` — see fixture docs")
+    }
+}

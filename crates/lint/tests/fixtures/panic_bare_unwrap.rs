@@ -1,0 +1,17 @@
+// lint-fixture: as=crates/graph/src/fixture.rs
+//! Fixture: exactly one `panic-bare-unwrap` finding — and proof the rule
+//! skips `#[cfg(test)]` modules and comments.
+
+pub fn first(xs: &[u64]) -> u64 {
+    // A doc mention of unwrap() must not fire; only the call below does.
+    *xs.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u64> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,12 @@
+// lint-fixture: as=crates/sim/src/fixture.rs
+//! Fixture: exactly one `unsafe-needs-safety-comment` finding — the first
+//! block has no SAFETY comment, the second does.
+
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: callers pass a pointer into a live, aligned buffer.
+    unsafe { *p }
+}

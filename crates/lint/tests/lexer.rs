@@ -1,0 +1,168 @@
+//! Token-level unit tests for the hand-rolled lexer: the four hard cases
+//! (raw strings, nested block comments, lifetimes vs char literals, `//`
+//! inside strings) plus the comment-adjacency machinery the rules lean on.
+
+use rv_lint::lexer::{lex, TokKind};
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .tokens
+        .into_iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text)
+        .collect()
+}
+
+#[test]
+fn line_comment_tokens_are_not_code() {
+    let l = lex("let x = 1; // HashMap is only mentioned here\nlet y = 2;");
+    assert!(!idents("// HashMap\n").contains(&"HashMap".to_string()));
+    assert_eq!(
+        l.comments.get(&1).map(String::as_str).unwrap_or(""),
+        "// HashMap is only mentioned here"
+    );
+    assert!(l.tokens.iter().all(|t| t.text != "HashMap"));
+}
+
+#[test]
+fn double_slash_inside_string_is_not_a_comment() {
+    let l = lex(r#"let url = "https://example.com"; let after = 1;"#);
+    // Everything after the string must still lex as code…
+    assert!(l.tokens.iter().any(|t| t.is_ident("after")));
+    // …and nothing was recorded as a comment.
+    assert!(l.comments.is_empty());
+}
+
+#[test]
+fn comment_markers_inside_strings_do_not_open_comments() {
+    let l = lex("let s = \"/* not a comment */ // neither\"; let tail = 2;");
+    assert!(l.comments.is_empty());
+    assert!(l.tokens.iter().any(|t| t.is_ident("tail")));
+}
+
+#[test]
+fn nested_block_comments_close_at_matching_depth() {
+    let src = "/* outer /* inner */ still comment */ let code = 1;";
+    let l = lex(src);
+    assert!(l.tokens.iter().any(|t| t.is_ident("code")));
+    assert!(!l.tokens.iter().any(|t| t.is_ident("outer")));
+    assert!(l.comments.get(&1).is_some_and(|c| c.contains("inner")));
+}
+
+#[test]
+fn multiline_block_comment_covers_every_line() {
+    let l = lex("/* a\nb\nc */\nlet x = 1;");
+    for line in 1..=3 {
+        assert!(l.comments.contains_key(&line), "line {line} uncovered");
+    }
+    assert_eq!(l.tokens.first().map(|t| t.line), Some(4));
+}
+
+#[test]
+fn raw_strings_with_hashes_swallow_quotes_and_idents() {
+    let src = r###"let s = r#"contains "quotes" and HashMap and // slashes"#; let t = 1;"###;
+    let l = lex(src);
+    assert!(!l.tokens.iter().any(|t| t.is_ident("HashMap")));
+    assert!(l.tokens.iter().any(|t| t.is_ident("t")));
+    assert!(l.comments.is_empty());
+}
+
+#[test]
+fn byte_and_raw_byte_literals_lex_as_literals() {
+    let l = lex(r##"let a = b"bytes"; let b2 = br#"raw bytes"#; let c = b'x'; let d = 1;"##);
+    assert!(l.tokens.iter().any(|t| t.is_ident("d")));
+    assert!(!l.tokens.iter().any(|t| t.is_ident("bytes")));
+}
+
+#[test]
+fn raw_identifier_is_not_a_raw_string() {
+    // `r#match` is a raw identifier, not the opening of r#"…"#.
+    let l = lex("let r#match = 1; let unwrap_tail = 2;");
+    assert!(l.tokens.iter().any(|t| t.is_ident("unwrap_tail")));
+}
+
+#[test]
+fn lifetimes_vs_char_literals() {
+    let l = lex("fn f<'a>(x: &'a str) -> char { 'a' }");
+    let lifetimes: Vec<_> = l
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .collect();
+    assert_eq!(lifetimes.len(), 2, "two uses of the lifetime 'a");
+    let chars = l
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Literal)
+        .count();
+    assert_eq!(chars, 1, "one char literal 'a'");
+}
+
+#[test]
+fn escaped_quote_char_literal() {
+    // '\'' then real code after — the escape must not desync the lexer.
+    let l = lex(r"let q = '\''; let after_quote = 1;");
+    assert!(l.tokens.iter().any(|t| t.is_ident("after_quote")));
+}
+
+#[test]
+fn static_lifetime_and_unicode_char() {
+    let l = lex("static S: &'static str = \"s\"; let c = '\\u{1F980}'; let z = 1;");
+    assert!(l
+        .tokens
+        .iter()
+        .any(|t| t.kind == TokKind::Lifetime && t.text == "static"));
+    assert!(l.tokens.iter().any(|t| t.is_ident("z")));
+}
+
+#[test]
+fn number_with_dot_vs_range() {
+    let l = lex("let a = 1.5; for i in 0..10 {}");
+    let nums: Vec<_> = l
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Num)
+        .map(|t| t.text.clone())
+        .collect();
+    assert_eq!(nums, vec!["1.5", "0", "10"]);
+}
+
+#[test]
+fn adjacent_comment_text_sees_same_line_and_block_above() {
+    let src = "\
+fn f(c: &C) {
+    // ordering: publish before retire
+    // (second comment line)
+    c.store(1); // trailing too
+}";
+    let l = lex(src);
+    let adj = l.adjacent_comment_text(4);
+    assert!(adj.contains("trailing too"));
+    assert!(adj.contains("ordering: publish before retire"));
+    assert!(adj.contains("second comment line"));
+}
+
+#[test]
+fn adjacent_comment_walk_stops_at_code_lines() {
+    let src = "\
+fn f(c: &C) {
+    // ordering: belongs to the line below only
+    c.store(1);
+    c.store(2);
+}";
+    let l = lex(src);
+    assert!(l.adjacent_comment_text(3).contains("ordering:"));
+    assert!(!l.adjacent_comment_text(4).contains("ordering:"));
+}
+
+#[test]
+fn token_lines_are_accurate_across_literals() {
+    let src = "let a = \"one\nstring\nspanning\";\nlet marker = 9;";
+    let l = lex(src);
+    let marker = l
+        .tokens
+        .iter()
+        .find(|t| t.is_ident("marker"))
+        .expect("marker ident is lexed");
+    assert_eq!(marker.line, 4);
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Algorithm **SGL** (Strong Global Learning) and its four applications —
 //! paper §4.
 //!

@@ -417,12 +417,12 @@ impl<'g, P: ExplorationProvider + Clone> Behavior for SglBehavior<'g, P> {
                             }
                             // Phase 1 done: derive E(n) and set up Phase 2.
                             let Some(Phase::Esst { machine, .. }) = self.phase.take() else {
-                                unreachable!()
+                                unreachable!("matched Phase::Esst on the line above")
                             };
                             self.e_bound = Some(machine.phase());
                             // Backtracking replays the recorded entry ports
                             // newest-first; `pop()` consumes from the back.
-                            let remaining = machine.walk_entries().to_vec();
+                            let remaining = machine.into_walk_entries();
                             self.phase = Some(Phase::Backtrack { remaining });
                         }
                         Phase::Backtrack { remaining } => {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The asynchronous adversary: an exact, discrete abstraction of the
 //! paper's continuous walk model (§1, "The model"), with pluggable
 //! adversary strategies and forced-meeting detection.

@@ -275,6 +275,11 @@ where
                                 );
                                 continue;
                             }
+                            // ordering: Acquire pairs with the AcqRel
+                            // counter updates in `run_job` — observing 0
+                            // here happens-after every split published its
+                            // children, so empty deques + 0 is proof of
+                            // global completion, not a torn read.
                             if pending.load(Ordering::Acquire) == 0 {
                                 break;
                             }
@@ -361,15 +366,24 @@ fn run_job<'g, B: Behavior>(
         if !children.is_empty() {
             // Publish the children before retiring the parent so
             // `pending` can't dip to zero while work still exists.
+            // ordering: AcqRel — the add must not sink below the deque
+            // push (Release side), and idle workers' Acquire loads must
+            // see it before concluding the frontier drained.
             ctx.pending.fetch_add(children.len(), Ordering::AcqRel);
             ctx.deque.push_children(children);
         }
+        // ordering: AcqRel — retiring the parent must stay ordered after
+        // the children's publication above; pairs with the termination
+        // load in the worker loop.
         ctx.pending.fetch_sub(1, Ordering::AcqRel);
     } else {
         // Search jobs enqueue nothing, so retire the job *before* the
         // subtree search: once the deques drain and every splitter has
         // retired, idle peers exit instead of busy-spinning for the
         // whole tail of the search.
+        // ordering: AcqRel — the retire must not hoist above the pop that
+        // claimed this job (the job left the deque happens-before its
+        // retirement), keeping the counter an upper bound on live work.
         ctx.pending.fetch_sub(1, Ordering::AcqRel);
         // Jobs are owned: re-entering costs a move, not a fork (the
         // first job builds the runtime the same way, via the consuming
@@ -629,6 +643,8 @@ mod tests {
         let res = exhaustive_worst_case(
             &g,
             || {
+                // ordering: SeqCst — test-only call counter; strongest
+                // ordering so the assertion below can't race the factory.
                 calls.fetch_add(1, Ordering::SeqCst);
                 vec![
                     ScriptBehavior::new(NodeId(0), [0, 0, 0, 0]),
@@ -640,6 +656,8 @@ mod tests {
         // 129 leaves: pinned against the seed's sequential odometer
         // enumeration (replayed via reset + factory per prefix).
         assert_eq!(res.schedules_explored, 129);
+        // ordering: SeqCst — see the matching fetch_add; the search has
+        // joined all workers by now, this is belt and braces.
         assert_eq!(calls.load(Ordering::SeqCst), 1);
     }
 

@@ -19,7 +19,7 @@
 
 use rv_arith::Big;
 use rv_explore::ExplorationProvider;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 /// Memoizing evaluator of exact trajectory lengths for a given exploration
@@ -48,7 +48,7 @@ pub struct Lengths<P> {
     /// and keeps the chain warm for all of them. Accesses are rare (only
     /// [`crate::TrajectoryCursor::push`] consults lengths; steady-state
     /// streaming never does), so the mutex is effectively uncontended.
-    memo: Arc<Mutex<HashMap<(Kind, u64), Big>>>,
+    memo: Arc<Mutex<BTreeMap<(Kind, u64), Big>>>,
 }
 
 impl<P: Clone> Clone for Lengths<P> {
@@ -63,7 +63,8 @@ impl<P: Clone> Clone for Lengths<P> {
     }
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+// `Ord` keys the shared BTreeMap memo (deterministic, unlike a hash map).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 enum Kind {
     Q,
     Yp,
@@ -79,7 +80,7 @@ impl<P: ExplorationProvider> Lengths<P> {
     pub fn new(provider: P) -> Self {
         Lengths {
             provider,
-            memo: Arc::new(Mutex::new(HashMap::new())),
+            memo: Arc::new(Mutex::new(BTreeMap::new())),
         }
     }
 
@@ -101,7 +102,7 @@ impl<P: ExplorationProvider> Lengths<P> {
     /// formula lives **only here** (or in the `_in` helpers below for the
     /// derived quantities); the public accessors are lock-then-delegate
     /// wrappers, so there is a single source of truth per combinator.
-    fn eval(&self, kind: Kind, k: u64, memo: &mut HashMap<(Kind, u64), Big>) -> Big {
+    fn eval(&self, kind: Kind, k: u64, memo: &mut BTreeMap<(Kind, u64), Big>) -> Big {
         if let Some(v) = memo.get(&(kind, k)) {
             return v.clone();
         }
@@ -131,27 +132,27 @@ impl<P: ExplorationProvider> Lengths<P> {
     }
 
     /// `|Y(k)| = 2 |Y′(k)|`, under the guard.
-    fn y_in(&self, k: u64, memo: &mut HashMap<(Kind, u64), Big>) -> Big {
+    fn y_in(&self, k: u64, memo: &mut BTreeMap<(Kind, u64), Big>) -> Big {
         self.eval(Kind::Yp, k, memo) * 2u64
     }
 
     /// `|A(k)| = 2 |A′(k)|`, under the guard.
-    fn a_in(&self, k: u64, memo: &mut HashMap<(Kind, u64), Big>) -> Big {
+    fn a_in(&self, k: u64, memo: &mut BTreeMap<(Kind, u64), Big>) -> Big {
         self.eval(Kind::Ap, k, memo) * 2u64
     }
 
     /// `b_reps(k) = 2 |A(4k)|`, under the guard.
-    fn b_reps_in(&self, k: u64, memo: &mut HashMap<(Kind, u64), Big>) -> Big {
+    fn b_reps_in(&self, k: u64, memo: &mut BTreeMap<(Kind, u64), Big>) -> Big {
         self.a_in(4 * k, memo) * 2u64
     }
 
     /// `k_reps(k) = 2 (|B(4k)| + |A(8k)|)`, under the guard.
-    fn k_reps_in(&self, k: u64, memo: &mut HashMap<(Kind, u64), Big>) -> Big {
+    fn k_reps_in(&self, k: u64, memo: &mut BTreeMap<(Kind, u64), Big>) -> Big {
         (self.eval(Kind::B, 4 * k, memo) + self.a_in(8 * k, memo)) * 2u64
     }
 
     /// `omega_reps(k) = (2k−1) |K(k)|`, under the guard.
-    fn omega_reps_in(&self, k: u64, memo: &mut HashMap<(Kind, u64), Big>) -> Big {
+    fn omega_reps_in(&self, k: u64, memo: &mut BTreeMap<(Kind, u64), Big>) -> Big {
         self.eval(Kind::K, k, memo) * (2 * k - 1)
     }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The trajectory algebra of *How to Meet Asynchronously at Polynomial
 //! Cost*, §3.1 (Definitions 3.1–3.8).
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # meet-asynch
 //!
 //! A complete reproduction of *How to Meet Asynchronously at Polynomial

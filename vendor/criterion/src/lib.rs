@@ -10,6 +10,8 @@
 //! baseline comparisons: the numbers are honest but rough, and the benches
 //! stay compilable and runnable offline.
 
+// Vendored bench harness: wall-clock sampling is its entire purpose.
+#![allow(clippy::disallowed_methods)]
 use std::fmt::Display;
 use std::time::Instant;
 
