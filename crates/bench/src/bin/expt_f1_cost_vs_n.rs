@@ -30,7 +30,7 @@ fn main() {
         let args: Vec<String> = std::env::args().collect();
         args.iter().position(|a| a == "--json").map(|i| {
             args.get(i + 1)
-                .unwrap_or_else(|| panic!("--json requires a path argument"))
+                .unwrap_or_else(|| rv_bench::fail("--json requires a path argument"))
                 .clone()
         })
     };
@@ -121,7 +121,8 @@ fn main() {
             out.push_str(&serde_json::to_string(s).expect("samples serialise"));
             out.push('\n');
         }
-        std::fs::write(&path, out).expect("write JSON samples");
+        rv_bench::write_atomic(&path, &out)
+            .unwrap_or_else(|e| rv_bench::fail(format!("cannot write {path}: {e}")));
         println!("\nwrote {} samples to {path}", samples.len());
     }
 

@@ -198,6 +198,9 @@ fn run_sgl(
         RunEnd::Diverged | RunEnd::Stalled => {
             unreachable!("plain run() never ends with a detector verdict")
         }
+        RunEnd::AllCrashed | RunEnd::SurvivorsParked => {
+            unreachable!("no fault plan is installed in this experiment")
+        }
     }
 
     // Quiesced: verify the postcondition; violations are genuine

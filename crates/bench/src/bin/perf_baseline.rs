@@ -65,7 +65,7 @@ fn main() {
     if let Some(i) = args.iter().position(|a| a == "--check") {
         let path = args
             .get(i + 1)
-            .unwrap_or_else(|| panic!("--check requires a path argument"));
+            .unwrap_or_else(|| rv_bench::fail("--check requires a path argument"));
         check(path);
         return;
     }
@@ -75,7 +75,7 @@ fn main() {
         .position(|a| a == "--out")
         .map(|i| {
             args.get(i + 1)
-                .unwrap_or_else(|| panic!("--out requires a path argument"))
+                .unwrap_or_else(|| rv_bench::fail("--out requires a path argument"))
                 .clone()
         })
         .unwrap_or_else(|| "BENCH_baseline.json".to_string());
@@ -92,7 +92,8 @@ fn main() {
     ];
 
     let json = serde_json::to_string(&records).expect("records serialise");
-    std::fs::write(&out_path, format!("{json}\n")).expect("write baseline JSON");
+    rv_bench::write_atomic(&out_path, &format!("{json}\n"))
+        .unwrap_or_else(|e| rv_bench::fail(format!("cannot write {out_path}: {e}")));
     println!("\nwrote {} scenarios to {out_path}", records.len());
 }
 
@@ -324,7 +325,7 @@ fn matrix_slice_scenario(trials: usize) -> Record {
 /// not.
 fn check(path: &str) {
     let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read baseline file {path}: {e}"));
+        .unwrap_or_else(|e| rv_bench::fail(format!("cannot read baseline file {path}: {e}")));
     let doc = serde_json::from_str(&text)
         .unwrap_or_else(|e| panic!("baseline file {path} is not valid JSON: {e}"));
     let records = doc

@@ -42,7 +42,9 @@
 //!
 //! ```text
 //! scenario_matrix [--smoke] [--trials N] [--out PATH] [--only SUBSTR]
+//!                 [--checkpoint DIR [--resume]]
 //! scenario_matrix --check PATH
+//! scenario_matrix --diff A B
 //! ```
 //!
 //! `--smoke` runs 1 trial per cell and caps protocol cells at a smaller
@@ -54,6 +56,23 @@
 //! verifies every line parses as a JSON object with the expected fields
 //! and that the file covers exactly the declared matrix — CI fails on any
 //! malformed or missing row.
+//!
+//! **Durable sweeps** (`docs/FAULTS.md`): `--checkpoint DIR` persists the
+//! sweep's progress after **every completed cell** — `DIR/rows.jsonl`
+//! (all finished rows, in the declared order) and `DIR/meta.json` (the
+//! sweep configuration), each written atomically (temp + rename in the
+//! same directory), so a SIGKILL at any instant leaves a complete,
+//! parseable checkpoint. `--resume` reloads that checkpoint, refuses a
+//! configuration mismatch, reuses the stored row *lines verbatim* for
+//! every cell already present, and runs only the missing cells — because
+//! rows are emitted in the declared [`cells`] order and cells are
+//! deterministic, the resumed table is byte-identical to an
+//! uninterrupted run. `--diff A B` compares two row files cell by cell
+//! ignoring only the wall-clock column (`median_ns_per_run`), the one
+//! legitimately nondeterministic field; any other difference exits
+//! nonzero. Stalled protocol cells additionally print the starvation
+//! census verdict (which agent's traversal minimum went flat, for how
+//! long) to stderr as a diagnostic.
 
 // Timing harness: wall-clock here is the product, not a determinism leak.
 #![allow(clippy::disallowed_methods)]
@@ -282,13 +301,33 @@ fn full_cutoff(n: usize, kind: &CellKind) -> u64 {
     }
 }
 
+/// The sweep configuration echoed into a checkpoint's `meta.json`:
+/// `--resume` refuses to splice rows measured under different settings
+/// into one table.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+struct CheckpointMeta {
+    smoke: bool,
+    trials: usize,
+    only: Option<String>,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if let Some(i) = args.iter().position(|a| a == "--check") {
         let path = args
             .get(i + 1)
-            .unwrap_or_else(|| panic!("--check requires a path argument"));
+            .unwrap_or_else(|| rv_bench::fail("--check requires a path argument"));
         check(path);
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--diff") {
+        let a = args
+            .get(i + 1)
+            .unwrap_or_else(|| rv_bench::fail("--diff requires two path arguments"));
+        let b = args
+            .get(i + 2)
+            .unwrap_or_else(|| rv_bench::fail("--diff requires two path arguments"));
+        diff(a, b);
         return;
     }
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -298,33 +337,75 @@ fn main() {
         .map(|i| {
             args.get(i + 1)
                 .and_then(|v| v.parse::<usize>().ok())
-                .unwrap_or_else(|| panic!("--trials requires a positive integer"))
+                .filter(|&t| t > 0)
+                .unwrap_or_else(|| rv_bench::fail("--trials requires a positive integer"))
         })
         .unwrap_or(if smoke { 1 } else { 5 });
-    assert!(trials > 0, "--trials must be positive");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .map(|i| {
             args.get(i + 1)
-                .unwrap_or_else(|| panic!("--out requires a path argument"))
+                .unwrap_or_else(|| rv_bench::fail("--out requires a path argument"))
                 .clone()
         })
         .unwrap_or_else(|| "MATRIX_baseline.jsonl".to_string());
     let only = args.iter().position(|a| a == "--only").map(|i| {
         args.get(i + 1)
-            .unwrap_or_else(|| panic!("--only requires a substring argument"))
+            .unwrap_or_else(|| rv_bench::fail("--only requires a substring argument"))
             .clone()
     });
+    let checkpoint = args.iter().position(|a| a == "--checkpoint").map(|i| {
+        std::path::PathBuf::from(
+            args.get(i + 1)
+                .unwrap_or_else(|| rv_bench::fail("--checkpoint requires a directory argument")),
+        )
+    });
+    let resume = args.iter().any(|a| a == "--resume");
+    if resume && checkpoint.is_none() {
+        rv_bench::fail("--resume requires --checkpoint DIR");
+    }
+
+    let meta = CheckpointMeta {
+        smoke,
+        trials,
+        only: only.clone(),
+    };
+    let stored = match (&checkpoint, resume) {
+        (Some(dir), true) => load_checkpoint(dir, &meta),
+        _ => std::collections::BTreeMap::new(),
+    };
+    if let Some(dir) = &checkpoint {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            rv_bench::fail(format!(
+                "cannot create checkpoint directory {}: {e}",
+                dir.display()
+            ))
+        });
+        let meta_json = serde_json::to_string(&meta).expect("meta serialises");
+        rv_bench::write_atomic(dir.join("meta.json"), &format!("{meta_json}\n"))
+            .unwrap_or_else(|e| rv_bench::fail(format!("cannot write checkpoint meta: {e}")));
+    }
 
     let mut lines = String::new();
     let mut rows = 0usize;
+    let mut reused = 0usize;
     for (family, fname, n, adversary, kind) in cells() {
         let scenario = scenario_id(fname, n, adversary, &kind);
         if let Some(filter) = &only {
             if !scenario.contains(filter.as_str()) {
                 continue;
             }
+        }
+        // A checkpointed row is reused as its stored *line*, verbatim —
+        // re-measuring would only perturb the timing column; everything
+        // else is deterministic and must come out identical anyway.
+        if let Some(line) = stored.get(&scenario) {
+            lines.push_str(line);
+            lines.push('\n');
+            rows += 1;
+            reused += 1;
+            continue;
         }
         let cutoff = if smoke && matches!(kind, CellKind::Sgl { .. }) {
             PROTOCOL_SMOKE_CUTOFF
@@ -336,9 +417,146 @@ fn main() {
         lines.push_str(&serde_json::to_string(&row).expect("rows serialise"));
         lines.push('\n');
         rows += 1;
+        if let Some(dir) = &checkpoint {
+            // Every completed cell makes the whole prefix durable: the
+            // atomic rewrite means a SIGKILL between cells (or mid-write)
+            // loses at most the cell in flight.
+            rv_bench::write_atomic(dir.join("rows.jsonl"), &lines).unwrap_or_else(|e| {
+                rv_bench::fail(format!("cannot checkpoint rows to {}: {e}", dir.display()))
+            });
+        }
     }
-    std::fs::write(&out_path, &lines).expect("write matrix JSON-lines");
-    println!("wrote {rows} rows ({trials} trials per cell) to {out_path}");
+    rv_bench::write_atomic(&out_path, &lines)
+        .unwrap_or_else(|e| rv_bench::fail(format!("cannot write {out_path}: {e}")));
+    let resumed = if resume {
+        format!(", {reused} reused from checkpoint")
+    } else {
+        String::new()
+    };
+    println!("wrote {rows} rows ({trials} trials per cell{resumed}) to {out_path}");
+}
+
+/// Loads a `--resume` checkpoint: verifies `meta.json` matches this
+/// invocation's configuration, then indexes the stored row lines by
+/// scenario id. A missing checkpoint is an empty one (the sweep simply
+/// starts over); a *mismatched* one is an error, because splicing rows
+/// measured under different settings would corrupt the table silently.
+fn load_checkpoint(
+    dir: &std::path::Path,
+    meta: &CheckpointMeta,
+) -> std::collections::BTreeMap<String, String> {
+    let meta_path = dir.join("meta.json");
+    match std::fs::read_to_string(&meta_path) {
+        Ok(text) => {
+            let v = serde_json::from_str(&text).unwrap_or_else(|e| {
+                rv_bench::fail(format!("{} is not valid JSON: {e}", meta_path.display()))
+            });
+            let found = CheckpointMeta {
+                smoke: v.get("smoke").and_then(|x| x.as_bool()).unwrap_or_else(|| {
+                    rv_bench::fail(format!("{} has no smoke flag", meta_path.display()))
+                }),
+                trials: v.get("trials").and_then(|x| x.as_u64()).unwrap_or_else(|| {
+                    rv_bench::fail(format!("{} has no trial count", meta_path.display()))
+                }) as usize,
+                only: v.get("only").filter(|x| !x.is_null()).map(|x| {
+                    x.as_str()
+                        .unwrap_or_else(|| {
+                            rv_bench::fail(format!(
+                                "{} only-filter must be a string",
+                                meta_path.display()
+                            ))
+                        })
+                        .to_string()
+                }),
+            };
+            if &found != meta {
+                rv_bench::fail(format!(
+                    "checkpoint {} was written by a different configuration \
+                     ({found:?}, this run is {meta:?}); refusing to splice",
+                    dir.display()
+                ));
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return std::collections::BTreeMap::new()
+        }
+        Err(e) => rv_bench::fail(format!("cannot read {}: {e}", meta_path.display())),
+    }
+    let rows_path = dir.join("rows.jsonl");
+    let text = match std::fs::read_to_string(&rows_path) {
+        Ok(text) => text,
+        // Meta landed but no row completed before the kill: resume runs
+        // the whole sweep.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Default::default(),
+        Err(e) => rv_bench::fail(format!("cannot read {}: {e}", rows_path.display())),
+    };
+    let mut stored = std::collections::BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let row = serde_json::from_str(line).unwrap_or_else(|e| {
+            rv_bench::fail(format!(
+                "{}:{} is not valid JSON: {e}",
+                rows_path.display(),
+                lineno + 1
+            ))
+        });
+        let scenario = row
+            .get("scenario")
+            .and_then(|s| s.as_str())
+            .unwrap_or_else(|| {
+                rv_bench::fail(format!(
+                    "{}:{} has no scenario id",
+                    rows_path.display(),
+                    lineno + 1
+                ))
+            })
+            .to_string();
+        if stored.insert(scenario.clone(), line.to_string()).is_some() {
+            rv_bench::fail(format!(
+                "{} stores duplicate rows for {scenario}",
+                rows_path.display()
+            ));
+        }
+    }
+    stored
+}
+
+/// `--diff A B`: compares two row files cell by cell, ignoring only the
+/// wall-clock column (`median_ns_per_run` is the last field of every
+/// row, so the comparison strips the rendered suffix). This is the
+/// chaos-recovery gate: a resumed sweep must reproduce the reference
+/// table exactly, timing aside.
+fn diff(a: &str, b: &str) {
+    let read = |p: &str| {
+        std::fs::read_to_string(p)
+            .unwrap_or_else(|e| rv_bench::fail(format!("cannot read {p}: {e}")))
+    };
+    let strip_timing = |line: &str| -> String {
+        match line.rfind(",\"median_ns_per_run\":") {
+            Some(i) => line[..i].to_string(),
+            None => line.to_string(),
+        }
+    };
+    let ta = read(a);
+    let tb = read(b);
+    let la: Vec<String> = ta.lines().map(strip_timing).collect();
+    let lb: Vec<String> = tb.lines().map(strip_timing).collect();
+    let mut differences = 0usize;
+    if la.len() != lb.len() {
+        eprintln!("{a} has {} rows, {b} has {}", la.len(), lb.len());
+        differences += 1;
+    }
+    for (i, (ra, rb)) in la.iter().zip(lb.iter()).enumerate() {
+        if ra != rb {
+            eprintln!("row {} differs:\n  {a}: {ra}\n  {b}: {rb}", i + 1);
+            differences += 1;
+        }
+    }
+    if differences > 0 {
+        rv_bench::fail(format!(
+            "{a} and {b} differ in {differences} place(s) beyond timing"
+        ));
+    }
+    println!("{a} and {b}: identical up to timing — {} rows", la.len());
 }
 
 /// Outcome of one cell run: the pieces of [`Row`] that depend on the run.
@@ -368,7 +586,7 @@ fn run_cell(
     };
     let mut outcome: Option<CellOutcome> = None;
     let mut samples = Vec::with_capacity(trials);
-    for _ in 0..trials {
+    for trial in 0..trials {
         let mut adv = adversary.build(ADVERSARY_SEED);
         let (elapsed, out) = match kind {
             CellKind::Rendezvous { variant, .. } => {
@@ -426,6 +644,20 @@ fn run_cell(
                 let start = Instant::now();
                 let out = rt.run_with_policy(adv.as_mut(), &mut policy);
                 let elapsed = start.elapsed();
+                // Stalled-cell diagnostic: name the starving agent, once
+                // per cell (the run is deterministic across trials).
+                if trial == 0 && out.end == RunEnd::Stalled {
+                    if let Some(report) = policy.starvation() {
+                        eprintln!(
+                            "note: {}: stalled — agent {} gained no traversals for {} actions \
+                             (flat minimum {})",
+                            scenario_id(family, n, adversary, kind),
+                            report.agent,
+                            report.silent_actions,
+                            report.traversals
+                        );
+                    }
+                }
                 let complete =
                     (out.end == RunEnd::AllParked).then(|| sgl_complete(&rt, &SGL_LABELS[..*k]));
                 (
@@ -480,7 +712,7 @@ fn sgl_complete(rt: &Runtime<SglBehavior<SeededUxs>>, labels: &[u64]) -> bool {
 /// declared matrix (no missing, duplicate, or foreign rows).
 fn check(path: &str) {
     let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read matrix file {path}: {e}"));
+        .unwrap_or_else(|e| rv_bench::fail(format!("cannot read matrix file {path}: {e}")));
     let mut expected: Vec<String> = Vec::new();
     for (_, fname, n, adversary, kind) in cells() {
         expected.push(scenario_id(fname, n, adversary, &kind));

@@ -1,0 +1,159 @@
+//! End-to-end crash-recovery gate for the durable sweep (`docs/FAULTS.md`):
+//! SIGKILL a checkpointed `scenario_matrix` slice mid-flight, resume it,
+//! and require the final table to match an uninterrupted reference run
+//! exactly (timing column aside). Runs the real binary — the same code
+//! path CI's chaos smoke exercises — via `CARGO_BIN_EXE_scenario_matrix`.
+
+// Chaos harness: polling and killing a child process is inherently
+// wall-clock; the sweep under test stays deterministic.
+#![allow(clippy::disallowed_methods)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_scenario_matrix");
+
+fn tmp_root(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("rv_ckpt_{}_{tag}", std::process::id()))
+}
+
+fn run(args: &[&str], cwd: &Path) -> std::process::ExitStatus {
+    Command::new(BIN)
+        .args(args)
+        .current_dir(cwd)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("scenario_matrix spawns")
+}
+
+#[test]
+fn sigkilled_sweep_resumes_to_the_identical_table() {
+    let dir = tmp_root("chaos");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // The uninterrupted reference table.
+    assert!(
+        run(&["--smoke", "--only", "ring8", "--out", "ref.jsonl"], &dir).success(),
+        "reference sweep failed"
+    );
+
+    // The victim: same slice, checkpointed — killed as soon as a few
+    // rows are durable.
+    let mut child = Command::new(BIN)
+        .args([
+            "--smoke",
+            "--only",
+            "ring8",
+            "--checkpoint",
+            "ckpt",
+            "--out",
+            "victim.jsonl",
+        ])
+        .current_dir(&dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("victim sweep spawns");
+    let rows = dir.join("ckpt/rows.jsonl");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let durable = std::fs::read_to_string(&rows)
+            .map(|t| t.lines().count())
+            .unwrap_or(0);
+        if durable >= 3 {
+            break;
+        }
+        // A fast machine may finish the slice before we land the kill —
+        // then the resume below is a pure replay, which must also work.
+        if child.try_wait().expect("try_wait").is_some() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "sweep made no checkpoint progress within the deadline"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().ok(); // SIGKILL; racing a normal exit is fine
+    child.wait().expect("victim reaped");
+
+    // Resume from the (possibly truncated) checkpoint.
+    assert!(
+        run(
+            &[
+                "--smoke",
+                "--only",
+                "ring8",
+                "--checkpoint",
+                "ckpt",
+                "--resume",
+                "--out",
+                "resumed.jsonl",
+            ],
+            &dir
+        )
+        .success(),
+        "resume run failed"
+    );
+
+    // The recovered table must be identical to the reference, timing
+    // aside — the binary's own --diff is the arbiter.
+    assert!(
+        run(&["--diff", "ref.jsonl", "resumed.jsonl"], &dir).success(),
+        "resumed table differs from the uninterrupted reference"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_refuses_a_checkpoint_from_a_different_configuration() {
+    let dir = tmp_root("mismatch");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let slice = "ring8/round-robin/paper"; // one cell: fast and sufficient
+    assert!(
+        run(
+            &[
+                "--smoke",
+                "--only",
+                slice,
+                "--checkpoint",
+                "ckpt",
+                "--out",
+                "a.jsonl"
+            ],
+            &dir
+        )
+        .success(),
+        "checkpointed run failed"
+    );
+
+    // Same checkpoint, different trial count: splicing rows measured
+    // under different settings must be refused, not silently mixed.
+    let status = run(
+        &[
+            "--smoke",
+            "--only",
+            slice,
+            "--trials",
+            "2",
+            "--checkpoint",
+            "ckpt",
+            "--resume",
+            "--out",
+            "b.jsonl",
+        ],
+        &dir,
+    );
+    assert!(
+        !status.success(),
+        "resume must refuse a configuration mismatch"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

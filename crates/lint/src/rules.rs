@@ -6,7 +6,7 @@
 //! | pack | rule ids |
 //! |---|---|
 //! | determinism | `det-hash-collections`, `det-wall-clock`, `det-thread-id` |
-//! | panic-safety | `panic-bare-unwrap`, `panic-bare-macro` |
+//! | panic-safety | `panic-bare-unwrap`, `panic-bare-macro`, `panic-catch-unwind-recovery` |
 //! | concurrency | `atomics-ordering-comment`, `unsafe-needs-safety-comment`, `crate-forbids-unsafe` |
 //! | api-misuse | `api-meetinglog-to-vec`, `api-lock-across-dispatch` |
 //!
@@ -89,6 +89,7 @@ pub fn run_all(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     det_thread_id(ctx, out);
     panic_bare_unwrap(ctx, out);
     panic_bare_macro(ctx, out);
+    panic_catch_unwind_recovery(ctx, out);
     atomics_ordering_comment(ctx, out);
     unsafe_needs_safety_comment(ctx, out);
     crate_forbids_unsafe(ctx, out);
@@ -104,6 +105,7 @@ pub const ALL_RULES: &[&str] = &[
     "det-thread-id",
     "panic-bare-unwrap",
     "panic-bare-macro",
+    "panic-catch-unwind-recovery",
     "atomics-ordering-comment",
     "unsafe-needs-safety-comment",
     "crate-forbids-unsafe",
@@ -253,6 +255,36 @@ fn panic_bare_macro(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
                      state what was violated (or handle it)"
                 ),
             ));
+        }
+    }
+}
+
+/// `panic-catch-unwind-recovery`: every `catch_unwind` boundary must
+/// carry an adjacent `// recovery:` comment (same line or the block
+/// directly above) stating what happens to the in-flight state — what is
+/// discarded, what is restored, and where the payload goes if recovery
+/// gives up. A panic boundary without that argument is how half-merged
+/// results and wedged termination counters ship. No test exemption:
+/// a test that swallows panics undocumented misleads just as much.
+fn panic_catch_unwind_recovery(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    for t in &ctx.lexed.tokens {
+        if t.is_ident("catch_unwind")
+            && !ctx
+                .lexed
+                .adjacent_comment_text(t.line)
+                .to_lowercase()
+                .contains("recovery:")
+        {
+            out.push(
+                ctx.finding(
+                    t.line,
+                    "panic-catch-unwind-recovery",
+                    "`catch_unwind` without an adjacent `// recovery:` comment stating \
+                 how partial state is discarded/restored and where a terminal \
+                 panic propagates"
+                        .to_string(),
+                ),
+            );
         }
     }
 }

@@ -1,0 +1,17 @@
+// lint-fixture: as=crates/sim/src/fixture.rs
+//! Fixture: exactly one `panic-catch-unwind-recovery` finding — the first
+//! boundary has no recovery argument; the second and third show the two
+//! accepted comment positions.
+
+pub fn undocumented(f: impl Fn() + std::panic::UnwindSafe) -> bool {
+    std::panic::catch_unwind(f).is_ok()
+}
+
+pub fn documented_same_line(f: impl Fn() + std::panic::UnwindSafe) -> bool {
+    std::panic::catch_unwind(f).is_ok() // recovery: stateless probe, nothing to restore
+}
+
+pub fn documented_above(f: impl Fn() + std::panic::UnwindSafe) -> bool {
+    // recovery: stateless probe, nothing to restore; the payload is dropped
+    std::panic::catch_unwind(f).is_ok()
+}

@@ -50,6 +50,15 @@ fn panic_bare_macro_fixture() {
 }
 
 #[test]
+fn panic_catch_unwind_recovery_fixture() {
+    assert_fixture_triggers(
+        "panic_catch_unwind_recovery.rs",
+        "panic-catch-unwind-recovery",
+        1,
+    );
+}
+
+#[test]
 fn atomics_ordering_comment_fixture() {
     assert_fixture_triggers("atomics_ordering_comment.rs", "atomics-ordering-comment", 1);
 }

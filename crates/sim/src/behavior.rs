@@ -226,6 +226,13 @@ impl ScriptBehavior {
             ports: ports.into_iter().map(PortId).collect(),
         }
     }
+
+    /// The unplayed tail of the script, in play order — together with
+    /// [`Behavior::start_node`] this is the complete mid-run state, which
+    /// is what the serde wire layer persists (see `rv_sim::wire`).
+    pub fn remaining_ports(&self) -> impl Iterator<Item = PortId> + '_ {
+        self.ports.iter().copied()
+    }
 }
 
 impl Behavior for ScriptBehavior {

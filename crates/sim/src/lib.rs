@@ -79,17 +79,20 @@
 
 pub mod adversary;
 mod behavior;
+pub mod fault;
 mod meeting;
 pub mod minimax;
 mod runtime;
 pub mod stop;
+pub mod wire;
 
 pub use behavior::{Behavior, NaiveBehavior, RvBehavior, ScriptBehavior, SpecBehavior};
+pub use fault::{CrashFault, FaultClock, FaultPlan, FaultProfile, OutageFault};
 pub use meeting::{AgentMeetings, Meeting, MeetingLog, MeetingPlace};
 pub use runtime::{
     ActionKind, Choice, ChoiceInfo, Place, RunConfig, RunEnd, RunOutcome, Runtime, RuntimeSnapshot,
 };
 pub use stop::{
     and_then, AdaptiveThreshold, BehaviorProgress, DivergenceDetector, EarlyQuiescence,
-    FixedCutoff, Progress, StopPolicy,
+    FixedCutoff, Progress, StarvationCensus, StarvationReport, StopPolicy,
 };

@@ -57,8 +57,44 @@ use crate::behavior::Behavior;
 use crate::runtime::{ChoiceInfo, RunConfig, Runtime, RuntimeSnapshot};
 use rv_graph::Graph;
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Bounded re-dispatch: a job whose execution panics is retried at most
+/// this many times (attempts total) before the panic is propagated as
+/// terminal. Transient failures (the fault-injection harness, an OS-level
+/// hiccup) are absorbed; a deterministic bug still surfaces after the
+/// retries burn through.
+const MAX_JOB_RETRIES: usize = 3;
+
+/// Deterministic worker-panic injection for the robustness tests: job
+/// execution attempt `(seq, attempt)` panics iff a pure hash of
+/// `(seed, seq, attempt)` lands under `per_1024` — no clocks, no RNG
+/// state, so a plan names the same set of doomed attempts on every
+/// machine. With `attempts < MAX_JOB_RETRIES` every job eventually
+/// succeeds and the search result must be bit-identical to an uninjected
+/// run; with `attempts >= MAX_JOB_RETRIES` some job fails terminally and
+/// the search propagates the panic.
+#[derive(Clone, Copy, Debug)]
+pub struct PanicPlan {
+    /// Seed of the pure fire-decision hash.
+    pub seed: u64,
+    /// Fire probability numerator per attempt, out of 1024 (1024 = every
+    /// attempt fires).
+    pub per_1024: u32,
+    /// Attempts `0..attempts` of a doomed job fire; later retries run
+    /// clean. Keep below `MAX_JOB_RETRIES` (3) for a survivable plan.
+    pub attempts: u32,
+}
+
+impl PanicPlan {
+    /// Whether execution attempt `attempt` of job `seq` is doomed.
+    fn fires(&self, seq: u64, attempt: usize) -> bool {
+        (attempt as u32) < self.attempts
+            && crate::fault::mix(self.seed, seq, attempt as u64) % 1024 < self.per_1024 as u64
+    }
+}
 
 /// Result of an exhaustive search.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -192,6 +228,47 @@ where
     B: Behavior + Send,
     F: FnOnce() -> Vec<B>,
 {
+    worst_case_hardened(g, make_behaviors, max_actions, workers, None)
+}
+
+/// [`exhaustive_worst_case`] under deterministic worker-panic injection
+/// (the robustness harness): doomed execution attempts named by `plan`
+/// panic inside the worker's job boundary and are re-dispatched by the
+/// bounded-retry protocol. With a survivable plan (`plan.attempts <
+/// MAX_JOB_RETRIES`) the result is bit-identical to the uninjected
+/// search; an unsurvivable plan propagates the panic after the doomed
+/// job's retries are exhausted — the pending-counter termination
+/// protocol stays consistent either way (no wedged peers).
+///
+/// Injection rides the parallel job machinery, so `workers <= 1` runs
+/// the plain sequential enumeration with no injection points.
+pub fn worst_case_with_panic_injection<B, F>(
+    g: &Graph,
+    make_behaviors: F,
+    max_actions: usize,
+    workers: usize,
+    plan: PanicPlan,
+) -> WorstCase
+where
+    B: Behavior + Send,
+    F: FnOnce() -> Vec<B>,
+{
+    worst_case_hardened(g, make_behaviors, max_actions, workers, Some(plan))
+}
+
+/// The search body behind every public entry point: optional panic
+/// injection, per-worker stealing deques, panic-bounded job execution.
+fn worst_case_hardened<B, F>(
+    g: &Graph,
+    make_behaviors: F,
+    max_actions: usize,
+    workers: usize,
+    panics: Option<PanicPlan>,
+) -> WorstCase
+where
+    B: Behavior + Send,
+    F: FnOnce() -> Vec<B>,
+{
     let mut result = WorstCase::empty();
     let mut rt = Runtime::new(g, make_behaviors(), RunConfig::rendezvous());
     let mut choices: Vec<ChoiceInfo> = Vec::new();
@@ -229,9 +306,16 @@ where
     let deques: Vec<WorkerDeque<B>> = (0..workers).map(|_| WorkerDeque::new()).collect();
     deques[0].0.lock().expect("deque poisoned").push_back(root);
     let pending = AtomicUsize::new(1);
+    // Job sequence numbers feed the panic injector's fire decision. The
+    // pop→seq mapping is racy (whichever worker pops first draws the next
+    // number), which is fine: the *result* is injection-independent — a
+    // doomed attempt is retried against the same frozen snapshot, so
+    // which jobs get doomed never shows in the aggregates.
+    let seq = AtomicUsize::new(0);
     let branches: Vec<WorstCase> = std::thread::scope(|scope| {
         let deques = &deques;
         let pending = &pending;
+        let seq = &seq;
         let handles: Vec<_> = (0..workers)
             .map(|id| {
                 scope.spawn(move || {
@@ -263,6 +347,8 @@ where
                                         g,
                                         deque: &deques[id],
                                         pending,
+                                        seq,
+                                        panics,
                                         max_actions,
                                     },
                                     job,
@@ -293,6 +379,8 @@ where
                                 g,
                                 deque: &deques[id],
                                 pending,
+                                seq,
+                                panics,
                                 max_actions,
                             },
                             job,
@@ -324,6 +412,8 @@ struct RunCtx<'a, 'g, B> {
     g: &'g Graph,
     deque: &'a WorkerDeque<B>,
     pending: &'a AtomicUsize,
+    seq: &'a AtomicUsize,
+    panics: Option<PanicPlan>,
     max_actions: usize,
 }
 
@@ -331,6 +421,16 @@ struct RunCtx<'a, 'g, B> {
 /// in place, maintaining the pending-counter protocol (children published
 /// before the parent retires; search jobs retire before the search so
 /// idle peers don't spin through the tail).
+///
+/// Execution is **panic-bounded**: each attempt repositions the worker's
+/// runtime from the job's frozen snapshot (a borrow — the snapshot
+/// outlives every retry), scores into a scratch accumulator, and only a
+/// *successful* attempt merges the scratch and publishes split children,
+/// so a panicking attempt leaves no partial aggregates and no phantom
+/// jobs behind. After [`MAX_JOB_RETRIES`] failed attempts the panic is
+/// terminal: the job is retired from the pending counter *first* (so
+/// idle peers drain and exit instead of wedging on a count that can
+/// never reach zero) and then propagated to the join.
 // `inline(never)`: letting this body (split + search dispatch) inline into
 // the worker closure perturbs `explore_subtree`'s codegen enough to cost the
 // *single-core* sequential path ~8% on minimax/ring4 (measured, interleaved
@@ -347,22 +447,111 @@ fn run_job<'g, B: Behavior>(
     children: &mut Vec<Job<B>>,
     local: &mut WorstCase,
 ) {
-    if should_split(job.depth, backlog, OVERSUBSCRIBE) {
-        // Position at the job's state: the first job builds this worker's
-        // runtime (one fork, via the borrowing constructor — the snapshot
-        // is re-entered per sibling during the split).
-        let rt = match rt.as_mut() {
-            Some(rt) => {
-                rt.restore(&job.snap);
-                rt
+    let split = should_split(job.depth, backlog, OVERSUBSCRIBE);
+    // ordering: Relaxed — the sequence number only feeds the injector's
+    // fire hash; no memory is published through it.
+    let job_seq = ctx.seq.fetch_add(1, Ordering::Relaxed) as u64;
+    if !split {
+        // Search jobs enqueue nothing, so retire the job *before* the
+        // subtree search: once the deques drain and every splitter has
+        // retired, idle peers exit instead of busy-spinning for the
+        // whole tail of the search.
+        // ordering: AcqRel — the retire must not hoist above the pop that
+        // claimed this job (the job left the deque happens-before its
+        // retirement), keeping the counter an upper bound on live work.
+        ctx.pending.fetch_sub(1, Ordering::AcqRel);
+    }
+    let mut attempt = 0usize;
+    loop {
+        // recovery: a panicking attempt is retried against the same
+        // frozen snapshot — `scratch`/`children` from the doomed attempt
+        // are discarded (no partial merge), the worker's runtime is
+        // repositioned by a fresh `restore`, and after MAX_JOB_RETRIES
+        // the panic propagates with the job already retired (see below).
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            if let Some(plan) = ctx.panics {
+                if plan.fires(job_seq, attempt) {
+                    // `resume_unwind`, not `panic!`: an *expected* doomed
+                    // attempt must not trip the global panic hook (no
+                    // stderr spam, no aborting hooks) — it is a payload
+                    // for the boundary below, not a programming error.
+                    std::panic::resume_unwind(Box::new(format!(
+                        "injected worker panic: job {job_seq} attempt {attempt}"
+                    )));
+                }
             }
-            None => rt.insert(Runtime::from_snapshot(
-                ctx.g,
-                &job.snap,
-                RunConfig::rendezvous(),
-            )),
-        };
-        split_job(rt, job, ctx.max_actions, choices, meetings, children, local);
+            // Position at the job's state by borrow — retries need the
+            // snapshot intact, so nothing consumes it until the job is
+            // done. The first job builds this worker's runtime.
+            let rt = match rt.as_mut() {
+                Some(rt) => {
+                    rt.restore(&job.snap);
+                    rt
+                }
+                None => rt.insert(Runtime::from_snapshot(
+                    ctx.g,
+                    &job.snap,
+                    RunConfig::rendezvous(),
+                )),
+            };
+            let mut scratch = WorstCase::empty();
+            if split {
+                split_job(
+                    rt,
+                    &job.snap,
+                    job.depth,
+                    ctx.max_actions,
+                    choices,
+                    meetings,
+                    children,
+                    &mut scratch,
+                );
+            } else {
+                explore_subtree(
+                    rt,
+                    job.depth,
+                    ctx.max_actions,
+                    choices,
+                    meetings,
+                    &mut scratch,
+                );
+            }
+            scratch
+        }));
+        match outcome {
+            Ok(scratch) => {
+                local.merge(scratch);
+                break;
+            }
+            Err(payload) => {
+                // The doomed attempt may have half-filled the children
+                // buffer before panicking; drop its jobs — the retry
+                // re-splits from the snapshot and regenerates them all.
+                children.clear();
+                attempt += 1;
+                if attempt >= MAX_JOB_RETRIES {
+                    if split {
+                        // Terminal failure on a split job: retire it so
+                        // the pending counter still reaches zero and the
+                        // surviving workers drain and exit — the panic
+                        // then surfaces at the scope join instead of
+                        // deadlocking the pool.
+                        // ordering: AcqRel — same pairing as the success
+                        // path's retire below.
+                        ctx.pending.fetch_sub(1, Ordering::AcqRel);
+                    }
+                    std::panic::resume_unwind(payload);
+                }
+                // Clockless backoff before the re-dispatch: repeated
+                // failures step aside for progressively longer (yield
+                // loops, not sleeps — determinism contract bans clocks).
+                for _ in 0..attempt * 16 {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+    if split {
         if !children.is_empty() {
             // Publish the children before retiring the parent so
             // `pending` can't dip to zero while work still exists.
@@ -376,30 +565,6 @@ fn run_job<'g, B: Behavior>(
         // the children's publication above; pairs with the termination
         // load in the worker loop.
         ctx.pending.fetch_sub(1, Ordering::AcqRel);
-    } else {
-        // Search jobs enqueue nothing, so retire the job *before* the
-        // subtree search: once the deques drain and every splitter has
-        // retired, idle peers exit instead of busy-spinning for the
-        // whole tail of the search.
-        // ordering: AcqRel — the retire must not hoist above the pop that
-        // claimed this job (the job left the deque happens-before its
-        // retirement), keeping the counter an upper bound on live work.
-        ctx.pending.fetch_sub(1, Ordering::AcqRel);
-        // Jobs are owned: re-entering costs a move, not a fork (the
-        // first job builds the runtime the same way, via the consuming
-        // constructor).
-        let rt = match rt.as_mut() {
-            Some(rt) => {
-                rt.restore_owned(job.snap);
-                rt
-            }
-            None => rt.insert(Runtime::from_snapshot_owned(
-                ctx.g,
-                job.snap,
-                RunConfig::rendezvous(),
-            )),
-        };
-        explore_subtree(rt, job.depth, ctx.max_actions, choices, meetings, local);
     }
 }
 
@@ -416,20 +581,22 @@ fn should_split(depth: usize, backlog: usize, target: usize) -> bool {
 /// restore the job's snapshot — or build the runtime from it): applies
 /// each legal choice and pushes every meeting-free child as a new job
 /// onto `out`. Leaves (depth cap, all parked, or a forced meeting) are
-/// scored into `result` right here. The job is consumed: the final
-/// sibling takes its snapshot by move — no behavior fork, mirroring
-/// `explore_subtree`'s frame re-entry. On exit `rt` is at an arbitrary
-/// state.
+/// scored into `result` right here. The snapshot is **borrowed** — the
+/// panic boundary in [`run_job`] keeps it alive so a doomed attempt can
+/// re-split from the same frozen state (the pre-hardening version moved
+/// it into the final sibling's restore; one behavior fork per split is
+/// the price of retryability).
+#[allow(clippy::too_many_arguments)]
 fn split_job<B: Behavior>(
     rt: &mut Runtime<B>,
-    job: Job<B>,
+    snap: &RuntimeSnapshot<B>,
+    depth: usize,
     max_actions: usize,
     choices: &mut Vec<ChoiceInfo>,
     meetings: &mut Vec<crate::Meeting>,
     out: &mut Vec<Job<B>>,
     result: &mut WorstCase,
 ) {
-    let Job { snap, depth } = job;
     if depth >= max_actions {
         result.record_avoidance();
         return;
@@ -441,15 +608,9 @@ fn split_job<B: Behavior>(
         result.record_avoidance();
         return;
     }
-    let mut snap = Some(snap);
     for i in 0..width {
         if i > 0 {
-            if i + 1 == width {
-                let snap = snap.take().expect("moved only on the final sibling");
-                rt.restore_owned(snap);
-            } else {
-                rt.restore(snap.as_ref().expect("moved only on the final sibling"));
-            }
+            rt.restore(snap);
             rt.legal_choices_into(choices);
         }
         meetings.clear();
@@ -737,6 +898,83 @@ mod tests {
                 workers, n, script_len, offset, horizon
             );
         }
+    }
+
+    #[test]
+    fn watchdog_injected_panics_mid_search_yield_identical_results() {
+        // The crash-recovery watchdog: a survivable panic plan dooms a
+        // large fraction of job attempts (including splits mid-steal
+        // traffic) at several seeds; the bounded re-dispatch must absorb
+        // every one and the aggregate WorstCase must be bit-identical to
+        // the sequential reference.
+        let g = generators::ring(6);
+        let make = || {
+            vec![
+                ScriptBehavior::new(NodeId(0), [0, 0, 0, 0, 0]),
+                ScriptBehavior::new(NodeId(2), [0, 0, 0, 0, 0]),
+                ScriptBehavior::new(NodeId(4), [0, 0, 0, 0, 0]),
+            ]
+        };
+        let reference = worst_case_with_workers(&g, make, 9, 1);
+        assert!(reference.schedules_explored > 1000);
+        for seed in 0..4u64 {
+            let plan = PanicPlan {
+                seed,
+                per_1024: 512, // every other attempt is doomed
+                attempts: (MAX_JOB_RETRIES - 1) as u32,
+            };
+            for workers in [2, 4, 8] {
+                assert_eq!(
+                    worst_case_with_panic_injection(&g, make, 9, workers, plan),
+                    reference,
+                    "seed {seed}, workers {workers}: injected panics changed the result"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn survivable_injection_matches_on_the_pinned_instance() {
+        // Same contract on the pinned ring(4)/depth-8 instance (129
+        // leaves) — the golden minimax workload under fire.
+        let g = generators::ring(4);
+        let make = || {
+            vec![
+                ScriptBehavior::new(NodeId(0), [0, 0, 0, 0]),
+                ScriptBehavior::new(NodeId(2), [0, 0, 0, 0]),
+            ]
+        };
+        let plan = PanicPlan {
+            seed: 9,
+            per_1024: 700,
+            attempts: (MAX_JOB_RETRIES - 1) as u32,
+        };
+        let res = worst_case_with_panic_injection(&g, make, 8, 4, plan);
+        assert_eq!(res, worst_case_with_workers(&g, make, 8, 1));
+        assert_eq!(res.schedules_explored, 129);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn unsurvivable_injection_propagates_without_wedging() {
+        // Every attempt of every job is doomed: after MAX_JOB_RETRIES the
+        // panic must *propagate* (this test's should_panic) rather than
+        // wedge the pool — the doomed job retires itself from the pending
+        // counter first, so peers drain and the scope join surfaces the
+        // payload instead of hanging the test forever.
+        let g = generators::ring(4);
+        let make = || {
+            vec![
+                ScriptBehavior::new(NodeId(0), [0, 0, 0, 0]),
+                ScriptBehavior::new(NodeId(2), [0, 0, 0, 0]),
+            ]
+        };
+        let plan = PanicPlan {
+            seed: 1,
+            per_1024: 1024,
+            attempts: MAX_JOB_RETRIES as u32,
+        };
+        let _ = worst_case_with_panic_injection(&g, make, 8, 4, plan);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! thumb).
 
 use crate::behavior::Behavior;
+use crate::fault::{FaultClock, FaultPlan};
 use crate::meeting::{Meeting, MeetingLog, MeetingPlace};
 use rv_graph::{EdgeId, Graph, NodeId, PortId};
 
@@ -88,6 +89,13 @@ pub enum RunEnd {
     /// metric went silent for longer than the policy's patience window
     /// (see [`crate::stop::AdaptiveThreshold`]).
     Stalled,
+    /// Every agent has crash-stopped (see [`crate::fault`]); nothing can
+    /// ever act again. Only reachable with a fault plan installed.
+    AllCrashed,
+    /// Crash faults felled some agents and every survivor is parked —
+    /// quiescence among survivors, the fault-mode sibling of `AllParked`.
+    /// Only reachable with a fault plan installed.
+    SurvivorsParked,
 }
 
 /// Result of a run.
@@ -148,17 +156,20 @@ impl RunConfig {
 }
 
 #[derive(Debug)]
-struct Slot<B> {
-    behavior: B,
-    place: Place,
+pub(crate) struct Slot<B> {
+    pub(crate) behavior: B,
+    pub(crate) place: Place,
     /// Dense edge index of the occupied edge; valid iff `place` is
     /// `Inside { .. }` (kept beside `place` so occupancy lookups skip the
     /// port scan an `EdgeId` → index conversion would need).
-    inside_index: usize,
+    pub(crate) inside_index: usize,
     /// Committed next traversal when at a node (`None` = parked).
-    pending: Option<(PortId, NodeId)>,
-    awake: bool,
-    traversals: u64,
+    pub(crate) pending: Option<(PortId, NodeId)>,
+    pub(crate) awake: bool,
+    /// Crash-stop fault flag (see [`crate::fault`]): the agent never acts
+    /// again, but its body still forces meetings where it lies.
+    pub(crate) crashed: bool,
+    pub(crate) traversals: u64,
 }
 
 impl<B: Behavior> Slot<B> {
@@ -171,6 +182,7 @@ impl<B: Behavior> Slot<B> {
             inside_index: self.inside_index,
             pending: self.pending,
             awake: self.awake,
+            crashed: self.crashed,
             traversals: self.traversals,
         }
     }
@@ -179,11 +191,11 @@ impl<B: Behavior> Slot<B> {
 /// Per-edge occupancy: FIFO queues of agents inside, one per direction.
 /// Direction is identified by the departure node.
 #[derive(Clone, Debug, Default)]
-struct EdgeOcc {
+pub(crate) struct EdgeOcc {
     /// Agents that entered from `edge.a`, in entry order (front = eldest).
-    from_a: Vec<usize>,
+    pub(crate) from_a: Vec<usize>,
     /// Agents that entered from `edge.b`, in entry order.
-    from_b: Vec<usize>,
+    pub(crate) from_b: Vec<usize>,
 }
 
 impl EdgeOcc {
@@ -213,11 +225,11 @@ impl EdgeOcc {
 /// minimax search ships frontier snapshots to worker threads this way.
 #[derive(Debug)]
 pub struct RuntimeSnapshot<B> {
-    slots: Vec<Slot<B>>,
-    edges: Vec<EdgeOcc>,
-    meetings: MeetingLog,
-    actions: u64,
-    total_traversals: u64,
+    pub(crate) slots: Vec<Slot<B>>,
+    pub(crate) edges: Vec<EdgeOcc>,
+    pub(crate) meetings: MeetingLog,
+    pub(crate) actions: u64,
+    pub(crate) total_traversals: u64,
 }
 
 impl<B: Behavior> RuntimeSnapshot<B> {
@@ -261,6 +273,12 @@ pub struct Runtime<'g, B> {
     /// Reusable legal-choice buffer for [`Runtime::step`] (transient, not
     /// part of the frozen state — snapshots never carry it).
     choice_scratch: Vec<ChoiceInfo>,
+    /// Fault-injection cursor (see [`crate::fault`]); `None` = no plan
+    /// installed, which keeps every fault branch a single `Option` check.
+    /// Like [`RunConfig`], the plan is run *configuration*: snapshots do
+    /// not carry it, and [`Runtime::restore`] keeps the current plan (the
+    /// clock rewinds itself when the action counter moves backwards).
+    faults: Option<FaultClock>,
 }
 
 impl<'g, B: Behavior> Runtime<'g, B> {
@@ -282,6 +300,7 @@ impl<'g, B: Behavior> Runtime<'g, B> {
             config,
             scratch: Vec::new(),
             choice_scratch: Vec::new(),
+            faults: None,
         };
         rt.install(behaviors);
         rt
@@ -407,6 +426,7 @@ impl<'g, B: Behavior> Runtime<'g, B> {
             config,
             scratch: Vec::new(),
             choice_scratch: Vec::new(),
+            faults: None,
         }
     }
 
@@ -435,6 +455,7 @@ impl<'g, B: Behavior> Runtime<'g, B> {
             config,
             scratch: Vec::new(),
             choice_scratch: Vec::new(),
+            faults: None,
         }
     }
 
@@ -456,6 +477,7 @@ impl<'g, B: Behavior> Runtime<'g, B> {
                 inside_index: usize::MAX,
                 pending: None,
                 awake: false,
+                crashed: false,
                 traversals: 0,
             }));
     }
@@ -495,6 +517,53 @@ impl<'g, B: Behavior> Runtime<'g, B> {
         &self.meetings
     }
 
+    /// Installs a fault plan (see [`crate::fault`]); replaces any current
+    /// plan and rewinds its clock. The empty plan is provably free — the
+    /// golden suites pin that installing `FaultPlan::empty()` leaves every
+    /// run bit-identical.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(FaultClock::new(plan));
+    }
+
+    /// Removes the fault plan (fault branches go back to one `Option`
+    /// check that never takes the slow path).
+    pub fn clear_fault_plan(&mut self) {
+        self.faults = None;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|c| c.plan())
+    }
+
+    /// `true` if agent `i` has crash-stopped (see [`crate::fault`]).
+    pub fn crashed(&self, i: usize) -> bool {
+        self.slots[i].crashed
+    }
+
+    /// Marks crashes whose time has come and expires outage windows —
+    /// called by [`Runtime::step`] before enumerating choices, so fault
+    /// effects land at deterministic action counts.
+    fn apply_due_faults(&mut self) {
+        let Some(mut clock) = self.faults.take() else {
+            return;
+        };
+        let slots = &mut self.slots;
+        clock.advance(self.actions, |agent| {
+            if let Some(slot) = slots.get_mut(agent) {
+                slot.crashed = true;
+            }
+        });
+        self.faults = Some(clock);
+    }
+
+    /// `true` if dense edge `index` is inside an outage window right now.
+    fn edge_is_down(&self, index: usize) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.edge_down(index, self.actions))
+    }
+
     /// All currently legal choices with meeting annotations.
     ///
     /// Allocates a fresh vector; the run loop and search use
@@ -510,6 +579,9 @@ impl<'g, B: Behavior> Runtime<'g, B> {
     pub fn legal_choices_into(&self, out: &mut Vec<ChoiceInfo>) {
         out.clear();
         for (i, slot) in self.slots.iter().enumerate() {
+            if slot.crashed {
+                continue; // crash-stop: the agent never acts again
+            }
             if !slot.awake {
                 out.push(ChoiceInfo {
                     choice: Choice {
@@ -524,6 +596,9 @@ impl<'g, B: Behavior> Runtime<'g, B> {
                 Place::AtNode(v) => {
                     if let Some((port, _to)) = slot.pending {
                         let index = self.g.edge_index_at(v, port);
+                        if self.edge_is_down(index) {
+                            continue; // outage: entry blocked until release
+                        }
                         let causes_meeting = self.start_would_meet(index, v);
                         out.push(ChoiceInfo {
                             choice: Choice {
@@ -693,7 +768,7 @@ impl<'g, B: Behavior> Runtime<'g, B> {
                 );
                 if !present.is_empty() {
                     for &j in &present {
-                        if !self.slots[j].awake {
+                        if !self.slots[j].awake && !self.slots[j].crashed {
                             self.slots[j].awake = true;
                             self.fetch_pending(j);
                         }
@@ -739,6 +814,12 @@ impl<'g, B: Behavior> Runtime<'g, B> {
             .map(|&j| self.slots[j].behavior.info())
             .collect();
         for (idx, &j) in agents.iter().enumerate() {
+            // Crash-stop body semantics (see `crate::fault`): a crashed
+            // participant's info stays readable by the live agents, but it
+            // receives no delivery and never re-commits.
+            if self.slots[j].crashed {
+                continue;
+            }
             let peers: Vec<B::Info> = infos
                 .iter()
                 .enumerate()
@@ -762,7 +843,15 @@ impl<'g, B: Behavior> Runtime<'g, B> {
             at_cost: self.total_traversals,
             at_action: self.actions,
         };
-        self.meetings.push(m.clone());
+        // Log-loss fault: the meeting *happened* (participants were served
+        // above, the caller still sees it) but its durable append is lost.
+        let lost = self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.log_lost(self.actions));
+        if !lost {
+            self.meetings.push(m.clone());
+        }
         m
     }
 
@@ -799,11 +888,27 @@ impl<'g, B: Behavior> Runtime<'g, B> {
         if self.total_traversals >= self.config.max_total_traversals {
             return Some(RunEnd::Cutoff);
         }
+        self.apply_due_faults();
         let mut choices = std::mem::take(&mut self.choice_scratch);
         self.legal_choices_into(&mut choices);
-        if choices.is_empty() {
-            self.choice_scratch = choices;
-            return Some(RunEnd::AllParked);
+        while choices.is_empty() {
+            // A choiceless state is terminal unless an edge outage is the
+            // only thing pinning a live agent — then the adversary's sole
+            // move is to wait, so the action clock jumps to the earliest
+            // release (each jump is strictly forward past at least one
+            // live window, so this loop terminates). Never-hang contract:
+            // with no blocking outage the state is classified, not spun.
+            match self.earliest_blocked_release() {
+                Some(release) => {
+                    self.actions = release;
+                    self.apply_due_faults();
+                    self.legal_choices_into(&mut choices);
+                }
+                None => {
+                    self.choice_scratch = choices;
+                    return Some(self.classify_quiescence());
+                }
+            }
         }
         let choice = adversary.choose(&choices, self.actions);
         debug_assert!(
@@ -833,6 +938,39 @@ impl<'g, B: Behavior> Runtime<'g, B> {
         self.outcome(end)
     }
 
+    /// Earliest action at which an outage currently blocking a live
+    /// agent's committed `Start` releases — `None` when no live agent is
+    /// outage-blocked (then a choiceless state is genuinely terminal).
+    fn earliest_blocked_release(&self) -> Option<u64> {
+        let clock = self.faults.as_ref()?;
+        let mut earliest: Option<u64> = None;
+        for slot in &self.slots {
+            if slot.crashed || !slot.awake {
+                continue;
+            }
+            if let (Place::AtNode(v), Some((port, _))) = (slot.place, slot.pending) {
+                let index = self.g.edge_index_at(v, port);
+                if let Some(r) = clock.edge_release(index, self.actions) {
+                    earliest = Some(earliest.map_or(r, |e| e.min(r)));
+                }
+            }
+        }
+        earliest
+    }
+
+    /// Names a choiceless state: `AllParked` clean, the fault-aware
+    /// variants when crash-stop faults are in the picture.
+    fn classify_quiescence(&self) -> RunEnd {
+        let crashed = self.slots.iter().filter(|s| s.crashed).count();
+        if crashed == 0 {
+            RunEnd::AllParked
+        } else if crashed == self.slots.len() {
+            RunEnd::AllCrashed
+        } else {
+            RunEnd::SurvivorsParked
+        }
+    }
+
     /// Assembles the current state into a [`RunOutcome`] ending with `end`.
     fn outcome(&self, end: RunEnd) -> RunOutcome {
         RunOutcome {
@@ -851,12 +989,27 @@ impl<'g, B: Behavior> Runtime<'g, B> {
         let mut parked = 0usize;
         let mut asleep = 0usize;
         let mut moving = 0usize;
+        let mut crashed = 0usize;
         let mut done_agents = 0usize;
         let mut metric_sum = 0u64;
         let mut metric_max = 0u64;
         let mut min_tr = u64::MAX;
         let mut max_tr = 0u64;
-        for slot in &self.slots {
+        let mut min_agent = 0usize;
+        for (i, slot) in self.slots.iter().enumerate() {
+            let bp = slot.behavior.progress();
+            metric_sum += bp.metric;
+            metric_max = metric_max.max(bp.metric);
+            if bp.done {
+                done_agents += 1;
+            }
+            // Crashed agents leave the liveness census and the traversal
+            // extremes: a dead agent is trivially "starved", and counting
+            // it would blind the starvation signal for the survivors.
+            if slot.crashed {
+                crashed += 1;
+                continue;
+            }
             if !slot.awake {
                 asleep += 1;
             } else {
@@ -869,13 +1022,10 @@ impl<'g, B: Behavior> Runtime<'g, B> {
                     Place::Inside { .. } => moving += 1,
                 }
             }
-            let bp = slot.behavior.progress();
-            metric_sum += bp.metric;
-            metric_max = metric_max.max(bp.metric);
-            if bp.done {
-                done_agents += 1;
+            if slot.traversals < min_tr {
+                min_tr = slot.traversals;
+                min_agent = i;
             }
-            min_tr = min_tr.min(slot.traversals);
             max_tr = max_tr.max(slot.traversals);
         }
         let last = self.meetings.last();
@@ -889,9 +1039,11 @@ impl<'g, B: Behavior> Runtime<'g, B> {
             parked,
             asleep,
             moving,
+            crashed,
             done_agents,
-            min_agent_traversals: if self.slots.is_empty() { 0 } else { min_tr },
+            min_agent_traversals: if min_tr == u64::MAX { 0 } else { min_tr },
             max_agent_traversals: max_tr,
+            min_agent,
             metric_sum,
             metric_max,
         }
@@ -913,6 +1065,21 @@ impl<'g, B: Behavior> Runtime<'g, B> {
         adversary: &mut dyn crate::adversary::Adversary,
         policy: &mut dyn crate::stop::StopPolicy,
     ) -> RunOutcome {
+        self.run_with_policy_observed(adversary, policy, |_| {})
+    }
+
+    /// [`Runtime::run_with_policy`] with a read-only observer invoked at
+    /// every cadence point the policy declines to stop at — the hook the
+    /// durable-sweep checkpointer uses to persist in-flight state without
+    /// perturbing the run (the observer takes `&Self`, so it *cannot*
+    /// perturb it; a no-op observer is bit-identical to
+    /// [`Runtime::run_with_policy`] by construction).
+    pub fn run_with_policy_observed(
+        &mut self,
+        adversary: &mut dyn crate::adversary::Adversary,
+        policy: &mut dyn crate::stop::StopPolicy,
+        mut observer: impl FnMut(&Self),
+    ) -> RunOutcome {
         let cadence = policy.cadence().max(1);
         let mut next_check = self.actions;
         let mut new_meetings: Vec<Meeting> = Vec::new();
@@ -928,6 +1095,7 @@ impl<'g, B: Behavior> Runtime<'g, B> {
                 if let Some(end) = policy.check(&self.progress()) {
                     break end;
                 }
+                observer(self);
                 next_check = self.actions + cadence;
             }
             if let Some(end) = self.step(adversary, &mut new_meetings) {

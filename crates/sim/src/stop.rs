@@ -73,12 +73,20 @@ pub struct Progress {
     pub asleep: usize,
     /// Census: agents strictly inside an edge.
     pub moving: usize,
+    /// Census: agents felled by crash-stop faults (see [`crate::fault`]);
+    /// always 0 without a fault plan. Crashed agents leave the other
+    /// buckets and the traversal extremes below.
+    pub crashed: usize,
     /// Agents whose behavior reports `done` (see [`BehaviorProgress`]).
     pub done_agents: usize,
-    /// Fewest completed traversals over the agents (starvation signal).
+    /// Fewest completed traversals over the live agents (starvation
+    /// signal; see [`StarvationCensus`]).
     pub min_agent_traversals: u64,
-    /// Most completed traversals over the agents.
+    /// Most completed traversals over the live agents.
     pub max_agent_traversals: u64,
+    /// Index of the least-served live agent (first argmin of the
+    /// traversal counts) — names the starving agent in diagnostics.
+    pub min_agent: usize,
     /// Sum over agents of [`BehaviorProgress::metric`].
     pub metric_sum: u64,
     /// Max over agents of [`BehaviorProgress::metric`].
@@ -214,6 +222,7 @@ pub struct AdaptiveThreshold {
     action_at_advance: u64,
     last_sum: u64,
     primed: bool,
+    census: StarvationCensus,
 }
 
 impl AdaptiveThreshold {
@@ -225,7 +234,15 @@ impl AdaptiveThreshold {
             action_at_advance: 0,
             last_sum: 0,
             primed: false,
+            census: StarvationCensus::default(),
         }
+    }
+
+    /// The starvation verdict accumulated over the records this policy
+    /// saw — the diagnostic to print beside a `Stalled` end ("agent X
+    /// silent for N actions"). `None` before the first check.
+    pub fn starvation(&self) -> Option<StarvationReport> {
+        self.census.report()
     }
 }
 
@@ -238,6 +255,7 @@ impl Default for AdaptiveThreshold {
 
 impl StopPolicy for AdaptiveThreshold {
     fn check(&mut self, p: &Progress) -> Option<RunEnd> {
+        self.census.observe(p);
         // `!=` rather than `>`, and a backwards-clock check: reuse across
         // runs or a `Runtime::restore` can move both the metric and the
         // action counter backwards, and the window must restart rather
@@ -255,6 +273,61 @@ impl StopPolicy for AdaptiveThreshold {
     }
 }
 
+/// The starvation census — the ROADMAP's "nearly free" structural signal:
+/// [`Progress`] already carries the per-agent traversal extremes, so
+/// tracking how long the *minimum* has been flat names the least-served
+/// agent and how long the scheduler has silenced it ("agent X silent for
+/// N actions"). Feed it every [`Progress`] record a policy sees (it is
+/// embedded in [`AdaptiveThreshold`], whose `Stalled` verdicts it
+/// annotates); read the verdict with [`StarvationCensus::report`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StarvationCensus {
+    last_min: u64,
+    action_at_advance: u64,
+    last_actions: u64,
+    agent: usize,
+    primed: bool,
+}
+
+/// A starvation verdict: the least-served agent and how long the minimum
+/// traversal count has been flat. See [`StarvationCensus`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StarvationReport {
+    /// Index of the least-served live agent at the last observation.
+    pub agent: usize,
+    /// Actions since the minimum traversal count last advanced.
+    pub silent_actions: u64,
+    /// The flat minimum traversal count itself.
+    pub traversals: u64,
+}
+
+impl StarvationCensus {
+    /// Folds one progress record into the census. Backwards counter moves
+    /// (policy reuse, snapshot restores) re-prime the window, same as the
+    /// detectors.
+    pub fn observe(&mut self, p: &Progress) {
+        if !self.primed
+            || p.min_agent_traversals != self.last_min
+            || p.actions < self.action_at_advance
+        {
+            self.primed = true;
+            self.last_min = p.min_agent_traversals;
+            self.action_at_advance = p.actions;
+        }
+        self.last_actions = p.actions;
+        self.agent = p.min_agent;
+    }
+
+    /// The current verdict (`None` before the first observation).
+    pub fn report(&self) -> Option<StarvationReport> {
+        self.primed.then_some(StarvationReport {
+            agent: self.agent,
+            silent_actions: self.last_actions - self.action_at_advance,
+            traversals: self.last_min,
+        })
+    }
+}
+
 /// Census-based quiescence check: ends the run `AllParked` as soon as
 /// every agent is awake, at a node, and parked — the same condition the
 /// run loop detects by enumerating legal choices and finding none, read
@@ -267,7 +340,18 @@ pub struct EarlyQuiescence;
 
 impl StopPolicy for EarlyQuiescence {
     fn check(&mut self, p: &Progress) -> Option<RunEnd> {
-        (p.asleep == 0 && p.moving == 0 && p.parked == p.agents).then_some(RunEnd::AllParked)
+        if p.asleep != 0 || p.moving != 0 || p.parked + p.crashed != p.agents {
+            return None;
+        }
+        // Mirror the run loop's own classification of a choiceless state
+        // (fault-free runs keep getting plain `AllParked`).
+        Some(if p.crashed == p.agents {
+            RunEnd::AllCrashed
+        } else if p.crashed > 0 {
+            RunEnd::SurvivorsParked
+        } else {
+            RunEnd::AllParked
+        })
     }
 }
 
@@ -312,9 +396,11 @@ mod tests {
             parked: 0,
             asleep: 0,
             moving: 1,
+            crashed: 0,
             done_agents: 0,
             min_agent_traversals: 0,
             max_agent_traversals: cost,
+            min_agent: 0,
             metric_sum,
             metric_max,
         }
@@ -389,6 +475,57 @@ mod tests {
         p.asleep = 1;
         p.parked = 1;
         assert_eq!(q.check(&p), None, "asleep agents can still be woken");
+    }
+
+    #[test]
+    fn starvation_census_tracks_the_flat_minimum() {
+        let mut c = StarvationCensus::default();
+        assert_eq!(c.report(), None, "unprimed census has no verdict");
+        let mut p = progress(100, 0, 0, 0);
+        p.min_agent_traversals = 4;
+        p.min_agent = 1;
+        c.observe(&p);
+        assert_eq!(
+            c.report(),
+            Some(StarvationReport {
+                agent: 1,
+                silent_actions: 0,
+                traversals: 4
+            })
+        );
+        // The minimum stays flat while the clock runs: silence grows.
+        p.actions = 900;
+        c.observe(&p);
+        assert_eq!(c.report().unwrap().silent_actions, 800);
+        // The minimum advances: the window restarts.
+        p.actions = 1_000;
+        p.min_agent_traversals = 5;
+        c.observe(&p);
+        assert_eq!(c.report().unwrap().silent_actions, 0);
+        // A backwards clock (snapshot restore / policy reuse) re-primes
+        // instead of underflowing.
+        p.actions = 40;
+        c.observe(&p);
+        assert_eq!(c.report().unwrap().silent_actions, 0);
+        p.actions = 120;
+        c.observe(&p);
+        assert_eq!(c.report().unwrap().silent_actions, 80);
+    }
+
+    #[test]
+    fn adaptive_threshold_exposes_its_census() {
+        let mut a = AdaptiveThreshold::new(1_000, 2);
+        assert_eq!(a.starvation(), None, "no checks yet");
+        let mut p = progress(10, 0, 1, 1);
+        p.min_agent_traversals = 2;
+        p.min_agent = 1;
+        a.check(&p);
+        p.actions = 250;
+        a.check(&p);
+        let report = a.starvation().expect("census primed by check()");
+        assert_eq!(report.agent, 1);
+        assert_eq!(report.silent_actions, 240);
+        assert_eq!(report.traversals, 2);
     }
 
     #[test]

@@ -78,6 +78,23 @@ pub mod rngs {
         state: u64,
     }
 
+    impl StdRng {
+        /// The raw generator state — lets callers persist a stream
+        /// mid-flight and resume it bit-identically with
+        /// [`StdRng::from_state`]. (Upstream rand exposes the same via
+        /// `SeedableRng::from_seed` over the full state; the SplitMix64
+        /// stand-in's state is a single word.)
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+
+        /// Rebuilds a generator mid-stream from a state saved by
+        /// [`StdRng::state`].
+        pub fn from_state(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             StdRng { state: seed }
