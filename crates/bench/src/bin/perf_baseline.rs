@@ -1,12 +1,15 @@
 //! **perf_baseline** — the committed performance trajectory of the
 //! simulator hot path.
 //!
-//! Times seven fixed scenarios that together cover every layer the
+//! Times twelve fixed scenarios that together cover every layer the
 //! experiments exercise — end-to-end rendezvous runs under two adversaries,
-//! raw trajectory-cursor streaming, the exhaustive minimax search, a
-//! protocol-mode SGL run with search-style snapshot checkpoints, and the
-//! detector-on divergent matrix slice (the 18 rendezvous cells the
-//! divergence detector retires early) — with warmup and repeated trials,
+//! raw trajectory-cursor streaming, the memoized symmetry-quotiented
+//! minimax search (shallow reference depths, the depth-14 headline the
+//! plain enumeration cannot reach, and a worker-count scaling sweep at
+//! 1/2/4/8), a protocol-mode SGL run with search-style snapshot
+//! checkpoints, and the detector-on divergent matrix slice (the 18
+//! rendezvous cells the divergence detector retires early) — with warmup
+//! and repeated trials,
 //! and writes the median ns/op per scenario as JSON (default
 //! `BENCH_baseline.json`, the repo-root perf baseline future PRs are
 //! compared against).
@@ -27,18 +30,23 @@ use rv_core::Label;
 use rv_explore::SeededUxs;
 use rv_graph::{GraphFamily, NodeId};
 use rv_sim::adversary::AdversaryKind;
-use rv_sim::{RunConfig, RunEnd, Runtime, RvBehavior};
+use rv_sim::{search_worst_case, RunConfig, RunEnd, Runtime, RvBehavior, SearchOptions};
 use rv_trajectory::{Spec, TrajectoryCursor};
 use serde::Serialize;
 use std::time::Instant;
 
 /// The scenarios a baseline file must cover, in reporting order.
-pub const SCENARIOS: [&str; 7] = [
+pub const SCENARIOS: [&str; 12] = [
     "f1_rendezvous/ring12/greedy-avoid",
     "f1_rendezvous/ring12/lazy-second",
     "cursor_stream/gnp16/B8",
     "minimax/path3/depth10",
     "minimax/ring4/depth8",
+    "minimax/ring4/depth14",
+    "minimax_scaling/w1",
+    "minimax_scaling/w2",
+    "minimax_scaling/w4",
+    "minimax_scaling/w8",
     "sgl/ring8/k3",
     "matrix_slice/diverge18",
 ];
@@ -81,15 +89,17 @@ fn main() {
         .unwrap_or_else(|| "BENCH_baseline.json".to_string());
     let trials = if quick { 3 } else { 15 };
 
-    let records = vec![
+    let mut records = vec![
         rendezvous_scenario(AdversaryKind::GreedyAvoid, SCENARIOS[0], trials),
         rendezvous_scenario(AdversaryKind::LazySecond, SCENARIOS[1], trials),
         cursor_scenario(trials),
         minimax_scenario(trials),
         minimax_ring_scenario(trials),
-        sgl_protocol_scenario(trials),
-        matrix_slice_scenario(trials),
+        minimax_deep_scenario(trials),
     ];
+    records.extend(minimax_scaling_scenarios(trials));
+    records.push(sgl_protocol_scenario(trials));
+    records.push(matrix_slice_scenario(trials));
 
     let json = serde_json::to_string(&records).expect("records serialise");
     rv_bench::write_atomic(&out_path, &format!("{json}\n"))
@@ -166,48 +176,102 @@ fn cursor_scenario(trials: usize) -> Record {
     })
 }
 
-/// Exhaustive worst-case search (the F5c calibration reference) on path(3)
-/// with real RV agents, horizon 10 actions.
+/// The two-agent behavior set every minimax scenario searches over:
+/// labels (1, 2) starting at opposite ends of the graph.
+fn minimax_agents<'g>(g: &'g rv_graph::Graph, uxs: SeededUxs) -> Vec<RvBehavior<'g, SeededUxs>> {
+    vec![
+        RvBehavior::new(g, uxs, NodeId(0), Label::new(1).unwrap()),
+        RvBehavior::new(g, uxs, NodeId(2), Label::new(2).unwrap()),
+    ]
+}
+
+/// Memoized worst-case search (the F5c calibration reference) on path(3)
+/// with real RV agents, horizon 10 actions, quotienting fingerprints by
+/// the path's reflection group. The golden leaf count (724, see
+/// `crates/sim/tests/memo_equivalence.rs`) is asserted so the baseline
+/// can never silently time a semantically different search.
 fn minimax_scenario(trials: usize) -> Record {
     let uxs = SeededUxs::quadratic();
     let g = rv_graph::generators::path(3);
+    let autos = GraphFamily::Path.automorphisms(&g);
+    let opts = SearchOptions {
+        automorphisms: Some(&autos),
+        ..SearchOptions::default()
+    };
     measure(SCENARIOS[3], "search", trials, 1, 1, || {
-        let res = rv_sim::minimax::exhaustive_worst_case(
-            &g,
-            || {
-                vec![
-                    RvBehavior::new(&g, uxs, NodeId(0), Label::new(1).unwrap()),
-                    RvBehavior::new(&g, uxs, NodeId(2), Label::new(2).unwrap()),
-                ]
-            },
-            10,
-        );
-        assert!(res.schedules_explored > 0);
-        std::hint::black_box(res.schedules_explored);
+        let report = search_worst_case(&g, || minimax_agents(&g, uxs), 10, &opts);
+        assert_eq!(report.worst.schedules_explored, 724, "golden leaf count");
+        std::hint::black_box(report.worst.schedules_explored);
     })
 }
 
-/// Exhaustive worst-case search on ring(4), horizon 8 — a wider schedule
+/// Memoized worst-case search on ring(4), horizon 8 — a wider schedule
 /// tree than `path3` (both agents stay mobile on a cycle), so the search's
-/// depth-≥2 frontier split carries real work on every branch. Added in
-/// PR 3 to track the deep-split path of the replay-free minimax.
+/// depth-≥2 frontier split carries real work on every branch, quotiented
+/// by the ring's full dihedral group. Golden leaf count 196.
 fn minimax_ring_scenario(trials: usize) -> Record {
     let uxs = SeededUxs::quadratic();
     let g = rv_graph::generators::ring(4);
+    let autos = GraphFamily::Ring.automorphisms(&g);
+    let opts = SearchOptions {
+        automorphisms: Some(&autos),
+        ..SearchOptions::default()
+    };
     measure(SCENARIOS[4], "search", trials, 1, 1, || {
-        let res = rv_sim::minimax::exhaustive_worst_case(
-            &g,
-            || {
-                vec![
-                    RvBehavior::new(&g, uxs, NodeId(0), Label::new(1).unwrap()),
-                    RvBehavior::new(&g, uxs, NodeId(2), Label::new(2).unwrap()),
-                ]
-            },
-            8,
-        );
-        assert!(res.schedules_explored > 0);
-        std::hint::black_box(res.schedules_explored);
+        let report = search_worst_case(&g, || minimax_agents(&g, uxs), 8, &opts);
+        assert_eq!(report.worst.schedules_explored, 196, "golden leaf count");
+        std::hint::black_box(report.worst.schedules_explored);
     })
+}
+
+/// Memoized search on ring(4) to horizon 14 — the depth plain enumeration
+/// does not reach in interactive time (the unmemoized tree is hundreds of
+/// times the depth-8 one; the transposition table collapses it to
+/// milliseconds). Tracks the headline *capability* the table buys, not
+/// just the speedup on trees the old search could already finish.
+fn minimax_deep_scenario(trials: usize) -> Record {
+    let uxs = SeededUxs::quadratic();
+    let g = rv_graph::generators::ring(4);
+    let autos = GraphFamily::Ring.automorphisms(&g);
+    let opts = SearchOptions {
+        automorphisms: Some(&autos),
+        ..SearchOptions::default()
+    };
+    measure(SCENARIOS[5], "search", trials, 1, 1, || {
+        let report = search_worst_case(&g, || minimax_agents(&g, uxs), 14, &opts);
+        assert!(report.worst.schedules_explored > 0);
+        std::hint::black_box(report.worst.schedules_explored);
+    })
+}
+
+/// The multi-core scaling sweep: the same memoized ring(4)/depth-12
+/// search at fixed worker counts 1, 2, 4 and 8, each reported as its own
+/// scenario so the baseline records an actual scaling curve instead of
+/// one auto-sized number. On a single-core host the curve is flat to
+/// slightly worse — oversubscribed workers add steal and shard-lock
+/// traffic without adding cores — and the baseline records that honestly;
+/// the bit-identity contract (golden leaf count 2836 at every width) is
+/// asserted inside the timed body.
+fn minimax_scaling_scenarios(trials: usize) -> Vec<Record> {
+    let uxs = SeededUxs::quadratic();
+    let g = rv_graph::generators::ring(4);
+    let autos = GraphFamily::Ring.automorphisms(&g);
+    [1usize, 2, 4, 8]
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let opts = SearchOptions {
+                workers: Some(w),
+                automorphisms: Some(&autos),
+                ..SearchOptions::default()
+            };
+            measure(SCENARIOS[6 + i], "search", trials, 1, 1, || {
+                let report = search_worst_case(&g, || minimax_agents(&g, uxs), 12, &opts);
+                assert_eq!(report.worst.schedules_explored, 2836, "golden leaf count");
+                std::hint::black_box(report.worst.schedules_explored);
+            })
+        })
+        .collect()
 }
 
 /// Protocol-mode SGL gossip on ring(8) with k = 3 agents under the fair
@@ -225,7 +289,7 @@ fn sgl_protocol_scenario(trials: usize) -> Record {
     let uxs = SeededUxs::quadratic();
     let g = GraphFamily::Ring.generate(8, 5);
     let labels: [u64; 3] = [6, 9, 14];
-    measure(SCENARIOS[5], "run", trials, 5, 1, || {
+    measure(SCENARIOS[10], "run", trials, 5, 1, || {
         let agents: Vec<_> = labels
             .iter()
             .enumerate()
@@ -296,7 +360,7 @@ fn matrix_slice_scenario(trials: usize) -> Record {
         .iter()
         .map(|&(fam, n, _)| fam.generate(n, 5))
         .collect();
-    measure(SCENARIOS[6], "run", trials, 2, 18, || {
+    measure(SCENARIOS[11], "run", trials, 2, 18, || {
         for (i, &(_, _, kind)) in slice.iter().enumerate() {
             let g = &graphs[i];
             let agents = vec![

@@ -181,23 +181,35 @@ const PROTOCOL_SMOKE_CUTOFF: u64 = 40_000;
 const LABELS: (u64, u64) = (6, 9);
 /// SGL labels by agent index (protocol cells take the first k).
 const SGL_LABELS: [u64; 4] = [6, 9, 14, 21];
+/// Minimax cells: `(family, stem, order, horizon)` — the memoized
+/// symmetry-quotiented worst-case searches (the `perf_baseline` minimax
+/// scenarios plus the depth-14 headline). Small instances only: each cell
+/// enumerates a full schedule DAG.
+const MINIMAX_CELLS: [(GraphFamily, &str, usize, usize); 5] = [
+    (GraphFamily::Path, "path", 3, 10),
+    (GraphFamily::Path, "path", 3, 12),
+    (GraphFamily::Ring, "ring", 4, 8),
+    (GraphFamily::Ring, "ring", 4, 12),
+    (GraphFamily::Ring, "ring", 4, 14),
+];
 
 /// Number of cells in the declared matrix.
 pub fn cell_count() -> usize {
     let rendezvous = FAMILIES.len() * SIZES.len() * ADVERSARIES.len() * variants().len();
     let protocol = FAMILIES.len() * PROTOCOL_SIZES.len() * ADVERSARIES.len() * TEAM_SIZES.len();
     let large = LARGE_PROTOCOL_SIZES.len() * LARGE_ADVERSARIES.len() * LARGE_TEAM_SIZES.len();
-    rendezvous + protocol + large
+    rendezvous + protocol + large + MINIMAX_CELLS.len()
 }
 
 /// One measured cell, serialised as a JSON-lines row.
 #[derive(Clone, Debug, Serialize)]
 struct Row {
     /// Cell id, `family<n>/adversary/variant` (variant is `sgl-k<k>` for
-    /// protocol cells).
+    /// protocol cells, `memo-d<depth>` for minimax cells, whose adversary
+    /// axis reads `worst-case`).
     scenario: String,
-    /// `"rendezvous"` (stop at first meeting) or `"protocol"` (run to
-    /// quiescence).
+    /// `"rendezvous"` (stop at first meeting), `"protocol"` (run to
+    /// quiescence), or `"minimax"` (memoized worst-case search).
     mode: String,
     /// Graph family name.
     family: String,
@@ -209,20 +221,24 @@ struct Row {
     variant: String,
     /// Number of agents in the cell (2, or the SGL team size).
     agents: usize,
-    /// Stop policy the cell ran under (`divergence` or `adaptive`; the
-    /// cutoff backstop is always armed).
+    /// Stop policy the cell ran under (`divergence`, `adaptive`, or
+    /// `exhaustive` for minimax cells; the cutoff backstop is always
+    /// armed outside minimax).
     policy: String,
     /// How the run ended (`Meeting`, `AllParked`, `Cutoff`, `Diverged`,
-    /// or `Stalled`).
+    /// `Stalled`, or `Searched` for minimax cells).
     end: String,
     /// Meeting cost (total traversals at the first forced meeting);
-    /// `null` for any non-`Meeting` end.
+    /// for minimax rows, the worst-case meeting cost over all schedules.
+    /// `null` for any other non-`Meeting` end.
     cost: Option<u64>,
     /// Total completed traversals when the run ended — where a `Cutoff`
     /// row stopped (exactly `cutoff`), where a detector row was retired,
-    /// or the cost to quiescence for `AllParked` rows.
+    /// or the cost to quiescence for `AllParked` rows. Minimax rows
+    /// record the schedules (leaves) the search explored instead.
     traversals: u64,
-    /// The traversal budget backstop this cell ran under.
+    /// The traversal budget backstop this cell ran under; for minimax
+    /// rows, the action horizon the search enumerates to.
     cutoff: u64,
     /// Adversary actions executed.
     actions: u64,
@@ -233,7 +249,15 @@ struct Row {
     complete: Option<bool>,
     /// Timed trials.
     trials: usize,
-    /// Median wall time per run, nanoseconds.
+    /// Transposition-table hits of the memoized search; `null` off the
+    /// minimax rows. Sequential (one-worker) counts, so the column is
+    /// deterministic and survives the `--diff` chaos gate.
+    tt_hits: Option<u64>,
+    /// Transposition-table entries published by the memoized search;
+    /// `null` off the minimax rows.
+    tt_entries: Option<u64>,
+    /// Median wall time per run, nanoseconds. Kept the last field: the
+    /// `--diff` gate strips the rendered suffix from here on.
     median_ns_per_run: f64,
 }
 
@@ -246,6 +270,12 @@ enum CellKind {
     },
     Sgl {
         k: usize,
+    },
+    /// Memoized worst-case search to an action horizon (no adversary
+    /// axis: the search quantifies over all of them).
+    Minimax {
+        depth: usize,
+        family: GraphFamily,
     },
 }
 
@@ -281,6 +311,17 @@ fn cells() -> Vec<(GraphFamily, &'static str, usize, AdversaryKind, CellKind)> {
             }
         }
     }
+    for (family, fname, n, depth) in MINIMAX_CELLS {
+        // The adversary slot is unused by minimax cells (the search
+        // quantifies over every adversary); RoundRobin is a placeholder.
+        out.push((
+            family,
+            fname,
+            n,
+            AdversaryKind::RoundRobin,
+            CellKind::Minimax { depth, family },
+        ));
+    }
     out
 }
 
@@ -289,15 +330,18 @@ fn scenario_id(fname: &str, n: usize, adversary: AdversaryKind, kind: &CellKind)
     match kind {
         CellKind::Rendezvous { vname, .. } => format!("{fname}{n}/{adversary}/{vname}"),
         CellKind::Sgl { k } => format!("{fname}{n}/{adversary}/sgl-k{k}"),
+        CellKind::Minimax { depth, .. } => format!("{fname}{n}/worst-case/memo-d{depth}"),
     }
 }
 
-/// The traversal budget backstop of a cell (full mode).
+/// The traversal budget backstop of a cell (full mode). Minimax cells
+/// have no traversal cutoff; their budget is the action horizon.
 fn full_cutoff(n: usize, kind: &CellKind) -> u64 {
     match kind {
         CellKind::Rendezvous { .. } => CUTOFF,
         CellKind::Sgl { .. } if n > 8 => LARGE_PROTOCOL_CUTOFF,
         CellKind::Sgl { .. } => PROTOCOL_CUTOFF,
+        CellKind::Minimax { depth, .. } => *depth as u64,
     }
 }
 
@@ -412,7 +456,15 @@ fn main() {
         } else {
             full_cutoff(n, &kind)
         };
-        let g = family.generate(n, GRAPH_SEED);
+        let g = match &kind {
+            // Minimax cells use the raw generators: `generate` floors the
+            // order at 4, and the path(3) reference instance sits below it.
+            CellKind::Minimax { family, .. } => match family {
+                GraphFamily::Path => rv_graph::generators::path(n),
+                _ => rv_graph::generators::ring(n),
+            },
+            _ => family.generate(n, GRAPH_SEED),
+        };
         let row = run_cell(&g, fname, n, adversary, &kind, trials, cutoff);
         lines.push_str(&serde_json::to_string(&row).expect("rows serialise"));
         lines.push('\n');
@@ -561,11 +613,13 @@ fn diff(a: &str, b: &str) {
 
 /// Outcome of one cell run: the pieces of [`Row`] that depend on the run.
 struct CellOutcome {
-    end: RunEnd,
+    end: String,
     cost: Option<u64>,
     traversals: u64,
     actions: u64,
     complete: Option<bool>,
+    /// `(tt_hits, tt_entries)` of a minimax cell's memoized search.
+    tt: Option<(u64, u64)>,
 }
 
 /// Runs one cell `trials` times under its stop policy; reports the
@@ -583,6 +637,7 @@ fn run_cell(
     let (mode, agents, policy_name) = match kind {
         CellKind::Rendezvous { .. } => ("rendezvous", 2, "divergence"),
         CellKind::Sgl { k } => ("protocol", *k, "adaptive"),
+        CellKind::Minimax { .. } => ("minimax", 2, "exhaustive"),
     };
     let mut outcome: Option<CellOutcome> = None;
     let mut samples = Vec::with_capacity(trials);
@@ -615,11 +670,12 @@ fn run_cell(
                 (
                     elapsed,
                     CellOutcome {
-                        end: out.end,
+                        end: format!("{:?}", out.end),
                         cost: (out.end == RunEnd::Meeting).then_some(out.total_traversals),
                         traversals: out.total_traversals,
                         actions: out.actions,
                         complete: None,
+                        tt: None,
                     },
                 )
             }
@@ -663,11 +719,49 @@ fn run_cell(
                 (
                     elapsed,
                     CellOutcome {
-                        end: out.end,
+                        end: format!("{:?}", out.end),
                         cost: None,
                         traversals: out.total_traversals,
                         actions: out.actions,
                         complete,
+                        tt: None,
+                    },
+                )
+            }
+            CellKind::Minimax { depth, family } => {
+                let autos = family.automorphisms(g);
+                let opts = rv_sim::SearchOptions {
+                    // One worker: the search result is worker-count-
+                    // independent, but the table statistics are only
+                    // deterministic sequentially — and the `--diff`
+                    // chaos gate compares every non-timing column.
+                    workers: Some(1),
+                    memo: true,
+                    automorphisms: Some(&autos),
+                };
+                let start = Instant::now();
+                let report = rv_sim::search_worst_case(
+                    g,
+                    || {
+                        vec![
+                            RvBehavior::new(g, uxs, NodeId(0), Label::new(1).unwrap()),
+                            RvBehavior::new(g, uxs, NodeId(2), Label::new(2).unwrap()),
+                        ]
+                    },
+                    *depth,
+                    &opts,
+                );
+                let elapsed = start.elapsed();
+                let stats = report.memo.expect("memoized search reports table stats");
+                (
+                    elapsed,
+                    CellOutcome {
+                        end: "Searched".to_string(),
+                        cost: report.worst.max_meeting_cost,
+                        traversals: report.worst.schedules_explored,
+                        actions: *depth as u64,
+                        complete: None,
+                        tt: Some((stats.hits, stats.entries)),
                     },
                 )
             }
@@ -682,20 +776,28 @@ fn run_cell(
         mode: mode.to_string(),
         family: family.to_string(),
         n,
-        adversary: adversary.to_string(),
+        adversary: match kind {
+            // The search quantifies over every adversary; the axis value
+            // names the quantifier, not a strategy.
+            CellKind::Minimax { .. } => "worst-case".to_string(),
+            _ => adversary.to_string(),
+        },
         variant: match kind {
             CellKind::Rendezvous { vname, .. } => vname.to_string(),
             CellKind::Sgl { k } => format!("sgl-k{k}"),
+            CellKind::Minimax { depth, .. } => format!("memo-d{depth}"),
         },
         agents,
         policy: policy_name.to_string(),
-        end: format!("{:?}", out.end),
+        end: out.end,
         cost: out.cost,
         traversals: out.traversals,
         cutoff,
         actions: out.actions,
         complete: out.complete,
         trials,
+        tt_hits: out.tt.map(|t| t.0),
+        tt_entries: out.tt.map(|t| t.1),
         median_ns_per_run: samples[samples.len() / 2],
     }
 }
@@ -719,6 +821,7 @@ fn check(path: &str) {
     }
     let mut seen: Vec<String> = Vec::new();
     let mut protocol_rows = 0usize;
+    let mut minimax_rows = 0usize;
     for (lineno, line) in text.lines().enumerate() {
         let row = serde_json::from_str(line)
             .unwrap_or_else(|e| panic!("{path}:{} is not valid JSON: {e}", lineno + 1));
@@ -746,12 +849,15 @@ fn check(path: &str) {
             .as_str()
             .unwrap_or_else(|| panic!("{path}:{} mode must be a string", lineno + 1));
         assert!(
-            ["rendezvous", "protocol"].contains(&mode),
+            ["rendezvous", "protocol", "minimax"].contains(&mode),
             "{path}:{} unknown mode {mode:?}",
             lineno + 1
         );
         if mode == "protocol" {
             protocol_rows += 1;
+        }
+        if mode == "minimax" {
+            minimax_rows += 1;
         }
         let policy = field("policy");
         let policy = policy
@@ -759,10 +865,10 @@ fn check(path: &str) {
             .unwrap_or_else(|| panic!("{path}:{} policy must be a string", lineno + 1));
         assert_eq!(
             policy,
-            if mode == "protocol" {
-                "adaptive"
-            } else {
-                "divergence"
+            match mode {
+                "protocol" => "adaptive",
+                "minimax" => "exhaustive",
+                _ => "divergence",
             },
             "{path}:{} wrong policy for mode {mode}",
             lineno + 1
@@ -772,8 +878,24 @@ fn check(path: &str) {
             .as_str()
             .unwrap_or_else(|| panic!("{path}:{} end must be a string", lineno + 1));
         assert!(
-            ["Meeting", "AllParked", "Cutoff", "Diverged", "Stalled"].contains(&end),
+            [
+                "Meeting",
+                "AllParked",
+                "Cutoff",
+                "Diverged",
+                "Stalled",
+                "Searched"
+            ]
+            .contains(&end),
             "{path}:{} unknown end {end:?}",
+            lineno + 1
+        );
+        // A minimax cell always finishes its enumeration — and only a
+        // minimax cell can report `Searched`.
+        assert_eq!(
+            mode == "minimax",
+            end == "Searched",
+            "{path}:{} end Searched rides exactly on minimax rows",
             lineno + 1
         );
         assert!(
@@ -805,8 +927,11 @@ fn check(path: &str) {
         let traversals = field("traversals")
             .as_u64()
             .unwrap_or_else(|| panic!("{path}:{} traversals must be a count", lineno + 1));
+        // Minimax rows repurpose the column for explored schedules and
+        // the cutoff for the action horizon, so the budget relation only
+        // binds the run-based modes.
         assert!(
-            traversals <= cutoff,
+            mode == "minimax" || traversals <= cutoff,
             "{path}:{} ran past its cutoff",
             lineno + 1
         );
@@ -834,10 +959,28 @@ fn check(path: &str) {
         );
         assert_eq!(
             cost.is_null(),
-            end != "Meeting",
-            "{path}:{} cost must be present iff the run met",
+            end != "Meeting" && mode != "minimax",
+            "{path}:{} cost must be present iff the run met (or the search \
+             found a forced worst-case meeting)",
             lineno + 1
         );
+        // Table statistics ride exactly on the minimax rows.
+        for key in ["tt_hits", "tt_entries"] {
+            let v = field(key);
+            if mode == "minimax" {
+                assert!(
+                    v.as_u64().is_some(),
+                    "{path}:{} {key} must be a count on minimax rows",
+                    lineno + 1
+                );
+            } else {
+                assert!(
+                    v.is_null(),
+                    "{path}:{} {key} must be null off the minimax rows",
+                    lineno + 1
+                );
+            }
+        }
         // The completeness check rides exactly on quiesced protocol rows
         // — and must pass there (a quiesced-but-incomplete run is a
         // protocol bug, not a budget artifact).
@@ -866,8 +1009,9 @@ fn check(path: &str) {
         expected.len()
     );
     println!(
-        "{path}: OK — {} rows ({} protocol), all cells covered",
+        "{path}: OK — {} rows ({} protocol, {} minimax), all cells covered",
         seen.len(),
-        protocol_rows
+        protocol_rows,
+        minimax_rows
     );
 }

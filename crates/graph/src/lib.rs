@@ -27,6 +27,7 @@
 //! assert_eq!(g.degree(arrival.node), 2);
 //! ```
 
+mod automorphism;
 mod builder;
 mod edgeset;
 pub mod generators;
@@ -35,6 +36,7 @@ mod names;
 pub mod properties;
 mod validate;
 
+pub use automorphism::{Automorphisms, MAX_GROUP};
 pub use builder::{BuildError, GraphBuilder};
 pub use edgeset::EdgeSet;
 pub use graph::{Arrival, EdgeId, Graph, NodeId, PortId};

@@ -8,7 +8,7 @@
 //! | determinism | `det-hash-collections`, `det-wall-clock`, `det-thread-id` |
 //! | panic-safety | `panic-bare-unwrap`, `panic-bare-macro`, `panic-catch-unwind-recovery` |
 //! | concurrency | `atomics-ordering-comment`, `unsafe-needs-safety-comment`, `crate-forbids-unsafe` |
-//! | api-misuse | `api-meetinglog-to-vec`, `api-lock-across-dispatch` |
+//! | api-misuse | `api-meetinglog-to-vec`, `api-lock-across-dispatch`, `api-memo-reserve-publish` |
 //!
 //! See `docs/LINTS.md` for the rationale and an example per rule.
 
@@ -30,7 +30,11 @@ pub const NO_TO_VEC_CRATES: &[&str] = &["sim", "protocols", "explore"];
 /// functions in it that dispatch a stealing-frontier `Job` (no `Mutex`
 /// guard may be live across a call to one of these).
 pub const MINIMAX_PATH: &str = "crates/sim/src/minimax.rs";
-const DISPATCH_FNS: &[&str] = &["run_job", "split_job", "explore_subtree"];
+const DISPATCH_FNS: &[&str] = &["run_job", "split_job", "explore_subtree", "explore_memo"];
+
+/// Crates owning the transposition table: every `.publish(…)`/`.release(…)`
+/// call there must document which reservation it settles.
+pub const MEMO_TABLE_CRATES: &[&str] = &["sim"];
 
 const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
 
@@ -95,6 +99,7 @@ pub fn run_all(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     crate_forbids_unsafe(ctx, out);
     api_to_vec(ctx, out);
     api_lock_across_dispatch(ctx, out);
+    api_memo_reserve_publish(ctx, out);
 }
 
 /// Every rule id this engine can emit (used by `--list-rules` and the
@@ -111,6 +116,7 @@ pub const ALL_RULES: &[&str] = &[
     "crate-forbids-unsafe",
     "api-meetinglog-to-vec",
     "api-lock-across-dispatch",
+    "api-memo-reserve-publish",
 ];
 
 // ---------------------------------------------------------------- determinism
@@ -401,8 +407,9 @@ fn api_to_vec(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
 }
 
 /// `api-lock-across-dispatch`: in `minimax.rs`, a `Mutex` guard bound by
-/// `let` must not still be in scope at a call to a `Job`-dispatching
-/// function (`run_job`/`split_job`/`explore_subtree`). A guard held across
+/// `let` must not still be in scope at a call to a `Job`-dispatching or
+/// subtree-exploring function
+/// (`run_job`/`split_job`/`explore_subtree`/`explore_memo`). A guard held across
 /// a subtree search serialises the stealing frontier (the PR 5 regression
 /// class). The heuristic is conservative: only bindings whose initialiser
 /// *ends* in `.lock()` (optionally `.expect(…)`/`.unwrap()`) are treated
@@ -455,6 +462,49 @@ fn api_lock_across_dispatch(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
             _ => {}
         }
         i += 1;
+    }
+}
+
+/// `api-memo-reserve-publish`: in the crate owning the transposition
+/// table, every `.publish(…)` / `.release(…)` call must carry an adjacent
+/// `// publish:` comment (same line or the block directly above) naming
+/// the reservation it completes or abandons. The reserve/publish protocol
+/// is what keeps workers from duplicating a reserved subtree and what the
+/// panic-recovery journal unwinds; an unannotated settle site is where a
+/// leaked or double-completed reservation hides. No test exemption — the
+/// protocol examples in `memo.rs` tests document themselves the same way.
+fn api_memo_reserve_publish(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.in_crate(MEMO_TABLE_CRATES) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        if !toks[i].is_punct('.') {
+            continue;
+        }
+        let is_settle = toks
+            .get(i + 1)
+            .is_some_and(|t| t.is_ident("publish") || t.is_ident("release"));
+        if !is_settle || !toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        let name = &toks[i + 1];
+        if !ctx
+            .lexed
+            .adjacent_comment_text(name.line)
+            .to_lowercase()
+            .contains("publish:")
+        {
+            out.push(ctx.finding(
+                name.line,
+                "api-memo-reserve-publish",
+                format!(
+                    "`.{}(…)` without an adjacent `// publish:` comment naming \
+                     the table reservation this call completes or abandons",
+                    name.text
+                ),
+            ));
+        }
     }
 }
 

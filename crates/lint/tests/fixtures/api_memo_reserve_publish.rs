@@ -1,0 +1,24 @@
+// lint-fixture: as=crates/sim/src/fixture.rs
+//! Fixture: exactly one `api-memo-reserve-publish` finding — the first
+//! `publish` has no protocol comment; the rest show the two accepted
+//! comment positions, for both `publish` and `release`.
+
+pub struct Table;
+
+impl Table {
+    pub fn publish(&self, _key: u64, _value: u64) {}
+    pub fn release(&self, _key: u64) {}
+}
+
+pub fn undocumented(t: &Table) {
+    t.publish(1, 2)
+}
+
+pub fn documented_same_line(t: &Table) {
+    t.publish(1, 2) // publish: completes the reservation taken by the caller
+}
+
+pub fn documented_above(t: &Table) {
+    // publish: abandoned — this path never computed a value to store
+    t.release(1)
+}

@@ -87,6 +87,11 @@ fn api_lock_across_dispatch_fixture() {
     assert_fixture_triggers("api_lock_across_dispatch.rs", "api-lock-across-dispatch", 1);
 }
 
+#[test]
+fn api_memo_reserve_publish_fixture() {
+    assert_fixture_triggers("api_memo_reserve_publish.rs", "api-memo-reserve-publish", 1);
+}
+
 // ------------------------------------------------------ scoping behaviour
 
 /// Scans inline source by writing it to a temp file (unique per test).

@@ -64,6 +64,36 @@ pub trait Behavior {
     fn progress(&self) -> crate::stop::BehaviorProgress {
         crate::stop::BehaviorProgress::default()
     }
+
+    /// Appends up to `limit` exit ports this agent would commit to next —
+    /// the ports the following `limit` calls to [`Behavior::next_port`]
+    /// would return — **without consuming them**, and returns `true`.
+    /// Appending fewer than `limit` ports means the agent parks after the
+    /// ones appended.
+    ///
+    /// Returning `false` (the default) declares the look-ahead unsupported;
+    /// the minimax transposition table (see `crate::memo`) is disabled for
+    /// any search containing such an agent, since its future cannot be
+    /// folded into a state fingerprint. Implementations must only return
+    /// `true` when the preview is exact: the ports appended here, in order,
+    /// are precisely what `next_port` will produce as long as no meeting is
+    /// delivered in between (meetings may redirect an agent, but the
+    /// minimax search treats meetings as leaves, so the preview is never
+    /// consulted across one).
+    fn future_ports(&self, _out: &mut Vec<PortId>, _limit: usize) -> bool {
+        false
+    }
+
+    /// Performs any one-time lazy setup the first [`Behavior::next_port`]
+    /// would do — materialising schedule state, evaluating repetition
+    /// counts — **without consuming a port**. Forks taken after warming
+    /// inherit the materialised state, so a search that snapshots one root
+    /// and restores it across thousands of branches (see `crate::minimax`)
+    /// pays the setup once instead of once per branch. Must commute with
+    /// the port stream: `warm(); next_port()` and `next_port()` alone must
+    /// return identical ports with identical subsequent behavior. The
+    /// default does nothing.
+    fn warm(&mut self) {}
 }
 
 /// Algorithm RV-asynch-poly as a schedulable behavior: streams the infinite
@@ -157,6 +187,29 @@ impl<'g, P: ExplorationProvider + Clone> Behavior for RvBehavior<'g, P> {
             done: false,
         }
     }
+
+    /// Exact look-ahead by draining a fork: the RV schedule is oblivious
+    /// to meetings, so the fork's port stream *is* the future.
+    fn future_ports(&self, out: &mut Vec<PortId>, limit: usize) -> bool {
+        let mut fork = self.clone();
+        for _ in 0..limit {
+            match fork.next_port() {
+                Some(p) => out.push(p),
+                None => break,
+            }
+        }
+        true
+    }
+
+    /// Primes the cursor to its next traversal: the first spec push and its
+    /// frame expansion (repetition-count evaluation, walker construction)
+    /// happen now, so forks answer their first `next_port` in O(1).
+    fn warm(&mut self) {
+        while !self.cursor.prime() {
+            let spec = self.algorithm.next_spec(); // the RV schedule never ends
+            self.cursor.push(spec);
+        }
+    }
 }
 
 /// The naive exponential baseline as a behavior: `X(n)` repeated
@@ -208,6 +261,30 @@ impl<'g, P: ExplorationProvider + Clone> Behavior for NaiveBehavior<'g, P> {
     fn fork(&self) -> Self {
         self.clone()
     }
+
+    /// Exact look-ahead by draining a fork; the naive schedule ignores
+    /// meetings, so the preview is exact up to the terminal park.
+    fn future_ports(&self, out: &mut Vec<PortId>, limit: usize) -> bool {
+        let mut fork = self.clone();
+        for _ in 0..limit {
+            match fork.next_port() {
+                Some(p) => out.push(p),
+                None => break,
+            }
+        }
+        true
+    }
+
+    /// Primes the cursor to its next traversal (or leaves it idle if the
+    /// finite naive schedule has already parked).
+    fn warm(&mut self) {
+        while !self.cursor.prime() {
+            match self.algorithm.next_spec() {
+                Some(spec) => self.cursor.push(spec),
+                None => return, // parked forever
+            }
+        }
+    }
 }
 
 /// A behavior that follows a fixed list of exit ports then parks — the
@@ -252,6 +329,12 @@ impl Behavior for ScriptBehavior {
 
     fn fork(&self) -> Self {
         self.clone()
+    }
+
+    /// The unplayed script tail, verbatim — no fork needed.
+    fn future_ports(&self, out: &mut Vec<PortId>, limit: usize) -> bool {
+        out.extend(self.remaining_ports().take(limit));
+        true
     }
 }
 
@@ -322,6 +405,19 @@ impl<'g, P: ExplorationProvider + Clone> Behavior for SpecBehavior<'g, P> {
     fn fork(&self) -> Self {
         self.clone()
     }
+
+    /// Exact look-ahead by draining a fork; spec playback never consults
+    /// meetings.
+    fn future_ports(&self, out: &mut Vec<PortId>, limit: usize) -> bool {
+        let mut fork = self.clone();
+        for _ in 0..limit {
+            match fork.next_port() {
+                Some(p) => out.push(p),
+                None => break,
+            }
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -369,6 +465,31 @@ mod tests {
         assert_eq!(b.next_port(), Some(PortId(1)));
         assert_eq!(b.next_port(), Some(PortId(0)));
         assert_eq!(b.next_port(), None);
+    }
+
+    #[test]
+    fn future_ports_previews_without_consuming() {
+        let g = generators::ring(4);
+        let mut b = RvBehavior::new(&g, SeededUxs::default(), NodeId(0), Label::new(3).unwrap());
+        for _ in 0..57 {
+            b.next_port().unwrap();
+        }
+        let mut preview = Vec::new();
+        assert!(b.future_ports(&mut preview, 40));
+        assert_eq!(preview.len(), 40, "RV schedules never park");
+        for (i, &p) in preview.iter().enumerate() {
+            assert_eq!(b.next_port(), Some(p), "preview diverged at step {i}");
+        }
+    }
+
+    #[test]
+    fn future_ports_reports_early_park() {
+        let s = ScriptBehavior::new(NodeId(0), [0, 1]);
+        let mut preview = Vec::new();
+        assert!(s.future_ports(&mut preview, 10));
+        assert_eq!(preview, vec![PortId(0), PortId(1)]);
+        // The preview consumed nothing.
+        assert_eq!(s.remaining_ports().count(), 2);
     }
 
     #[test]

@@ -81,6 +81,7 @@ pub mod adversary;
 mod behavior;
 pub mod fault;
 mod meeting;
+mod memo;
 pub mod minimax;
 mod runtime;
 pub mod stop;
@@ -89,6 +90,8 @@ pub mod wire;
 pub use behavior::{Behavior, NaiveBehavior, RvBehavior, ScriptBehavior, SpecBehavior};
 pub use fault::{CrashFault, FaultClock, FaultPlan, FaultProfile, OutageFault};
 pub use meeting::{AgentMeetings, Meeting, MeetingLog, MeetingPlace};
+pub use memo::MemoStats;
+pub use minimax::{search_worst_case, SearchOptions, SearchReport};
 pub use runtime::{
     ActionKind, Choice, ChoiceInfo, Place, RunConfig, RunEnd, RunOutcome, Runtime, RuntimeSnapshot,
 };

@@ -52,10 +52,32 @@
 //! count, steal order, steal size, or where the racy split-vs-search
 //! decision lands (splitting a subtree and searching it produce the same
 //! leaves; the aggregates are commutative).
+//!
+//! # Transposition table over canonical fingerprints
+//!
+//! The schedule tree is really a DAG — distinct prefixes reach identical
+//! states — and on symmetric families whole subtrees are automorphism
+//! images of each other. By default ([`SearchOptions::memo`]) the search
+//! consults a sharded transposition table keyed by the canonical state
+//! fingerprint of `crate::memo`: a hit substitutes the memoized subtree
+//! value (kept bit-identical to enumeration, including the leaf count), a
+//! miss reserves the slot so two workers never both search the same
+//! subtree, and a `Busy` verdict (another worker owns the slot) searches
+//! without publishing so nobody ever blocks. Memoized values are stored
+//! relative to the subtree root's traversal total, which is what lets one
+//! entry serve every equivalent state wherever it appears in the tree.
+//! Jobs retried across the panic boundary release their reservations
+//! first (`// recovery:` below), so a retry never sees its own half-done
+//! work. Behaviors that cannot preview their future
+//! ([`Behavior::future_ports`]) silently degrade the search to the plain
+//! enumeration. Quotienting by a real symmetry group is opt-in via
+//! [`SearchOptions::automorphisms`] — pass
+//! `GraphFamily::automorphisms(&g)` to fold automorphic states together.
 
 use crate::behavior::Behavior;
+use crate::memo::{Fingerprinter, FutureTable, MemoKey, MemoStats, MemoTable, MemoValue, Probe};
 use crate::runtime::{ChoiceInfo, RunConfig, Runtime, RuntimeSnapshot};
-use rv_graph::Graph;
+use rv_graph::{Automorphisms, Graph};
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -135,6 +157,86 @@ impl WorstCase {
         self.some_schedule_avoids |= other.some_schedule_avoids;
         self.schedules_explored += other.schedules_explored;
     }
+
+    /// Folds a root-relative memoized subtree value in; `base` is the
+    /// total traversal count at the subtree root. `max`/`sum`/`or` all
+    /// commute with the constant offset, so this reconstructs exactly the
+    /// aggregates plain enumeration of that subtree would have produced.
+    fn absorb_value(&mut self, v: MemoValue, base: u64) {
+        if let Some(d) = v.max_delta {
+            let cost = base + d;
+            self.max_meeting_cost = Some(self.max_meeting_cost.map_or(cost, |m| m.max(cost)));
+        }
+        self.some_schedule_avoids |= v.avoids;
+        self.schedules_explored += v.leaves;
+    }
+}
+
+/// Knobs for [`search_worst_case`]. `Default` is the production
+/// configuration: auto-sized worker pool, transposition table on, identity
+/// symmetry group.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchOptions<'a> {
+    /// Worker-pool size; `None` sizes to [`std::thread::available_parallelism`].
+    pub workers: Option<usize>,
+    /// Consult the transposition table (`false` forces plain enumeration —
+    /// the reference the memoized search is tested bit-identical against).
+    pub memo: bool,
+    /// Symmetry group to quotient fingerprints by; `None` means identity
+    /// only (always sound). Pass the graph's verified group from
+    /// [`rv_graph::GraphFamily::automorphisms`] for symmetric families.
+    pub automorphisms: Option<&'a Automorphisms>,
+}
+
+impl Default for SearchOptions<'_> {
+    fn default() -> Self {
+        SearchOptions {
+            workers: None,
+            memo: true,
+            automorphisms: None,
+        }
+    }
+}
+
+/// A search result plus table instrumentation.
+#[derive(Clone, Debug)]
+pub struct SearchReport {
+    /// The worst case — bit-identical for every [`SearchOptions`]
+    /// configuration.
+    pub worst: WorstCase,
+    /// Transposition-table statistics (`None` when the table was off).
+    /// Deterministic at one worker; probe/hit counts vary with the steal
+    /// interleaving at higher worker counts.
+    pub memo: Option<MemoStats>,
+}
+
+/// [`exhaustive_worst_case`] with explicit control over workers, the
+/// transposition table, and the symmetry quotient, reporting table
+/// statistics alongside the (configuration-independent) result.
+pub fn search_worst_case<B, F>(
+    g: &Graph,
+    make_behaviors: F,
+    max_actions: usize,
+    opts: &SearchOptions<'_>,
+) -> SearchReport
+where
+    B: Behavior + Send,
+    F: FnOnce() -> Vec<B>,
+{
+    let workers = opts.workers.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    worst_case_hardened(
+        g,
+        make_behaviors,
+        max_actions,
+        workers,
+        None,
+        opts.memo,
+        opts.automorphisms,
+    )
 }
 
 /// An unexplored subtree: the frozen runtime state at its root and the
@@ -159,42 +261,83 @@ const OVERSUBSCRIBE: usize = 4;
 /// owner operations are uncontended in steady state, steals are rare and
 /// O(half the deque), and the workspace bans external lock-free-deque
 /// dependencies — the protocol (not the primitive) carries the scaling.
-struct WorkerDeque<B>(Mutex<VecDeque<Job<B>>>);
+///
+/// `hint` is an advisory copy of the queue length, refreshed under the
+/// lock after every mutation, so thieves can scan the pool **without
+/// locking**: a victim whose hint reads zero is skipped lock-free, and a
+/// failed stealing round therefore takes at most one victim lock (the one
+/// whose stale hint promised work) instead of one per victim. The hint is
+/// never load-bearing for correctness — termination rides the pending
+/// counter, and a stale read merely costs one extra yield-and-retry.
+struct WorkerDeque<B> {
+    queue: Mutex<VecDeque<Job<B>>>,
+    hint: AtomicUsize,
+}
 
 impl<B: Behavior> WorkerDeque<B> {
     fn new() -> Self {
-        WorkerDeque(Mutex::new(VecDeque::new()))
+        WorkerDeque {
+            queue: Mutex::new(VecDeque::new()),
+            hint: AtomicUsize::new(0),
+        }
+    }
+
+    /// Enqueues the root job (frontier seeding, before any worker runs).
+    fn seed(&self, job: Job<B>) {
+        let mut q = self.queue.lock().expect("deque poisoned");
+        q.push_back(job);
+        // ordering: Relaxed — advisory length mirror; see the type docs.
+        self.hint.store(q.len(), Ordering::Relaxed);
     }
 
     /// Owner pop from the hot end, plus the backlog left behind (the
     /// split heuristic's undersubscription signal).
     fn pop_hot(&self) -> (Option<Job<B>>, usize) {
-        let mut q = self.0.lock().expect("deque poisoned");
+        let mut q = self.queue.lock().expect("deque poisoned");
         let job = q.pop_back();
+        // ordering: Relaxed — advisory length mirror; see the type docs.
+        self.hint.store(q.len(), Ordering::Relaxed);
         (job, q.len())
     }
 
     /// Owner push of freshly split children onto the hot end.
     fn push_children(&self, children: &mut Vec<Job<B>>) {
-        let mut q = self.0.lock().expect("deque poisoned");
+        let mut q = self.queue.lock().expect("deque poisoned");
         q.extend(children.drain(..));
+        // ordering: Relaxed — advisory length mirror; see the type docs.
+        self.hint.store(q.len(), Ordering::Relaxed);
     }
 }
 
 /// Steals **half of a victim's deque from the cold end** into `out`
 /// (order preserved: oldest first). Victims are scanned round-robin
-/// starting after the thief; returns `false` if every other deque was
-/// empty. Jobs only move — the pending counter is untouched.
+/// starting after the thief **by length hint, without locking**; only a
+/// victim whose hint promises work gets its lock taken, so a failed round
+/// costs at most one lock acquisition (down from one per victim).
+/// Returns `false` if no victim yielded work. Jobs only move — the
+/// pending counter is untouched.
 fn steal_half<B: Behavior>(deques: &[WorkerDeque<B>], thief: usize, out: &mut Vec<Job<B>>) -> bool {
     let n = deques.len();
     for offset in 1..n {
         let victim = &deques[(thief + offset) % n];
-        let mut q = victim.0.lock().expect("deque poisoned");
-        if q.is_empty() {
+        // ordering: Relaxed — advisory; a stale zero skips a victim that
+        // just gained work (the retry loop comes back), a stale non-zero
+        // costs the one lock this round is allowed.
+        if victim.hint.load(Ordering::Relaxed) == 0 {
             continue;
+        }
+        let mut q = victim.queue.lock().expect("deque poisoned");
+        if q.is_empty() {
+            // Stale hint: repair it and give up — the single permitted
+            // lock of this round is spent.
+            // ordering: Relaxed — advisory length mirror.
+            victim.hint.store(0, Ordering::Relaxed);
+            return false;
         }
         let take = q.len().div_ceil(2);
         out.extend(q.drain(..take));
+        // ordering: Relaxed — advisory length mirror.
+        victim.hint.store(q.len(), Ordering::Relaxed);
         return true;
     }
     false
@@ -209,15 +352,13 @@ where
     B: Behavior + Send,
     F: FnOnce() -> Vec<B>,
 {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    worst_case_with_workers(g, make_behaviors, max_actions, workers)
+    search_worst_case(g, make_behaviors, max_actions, &SearchOptions::default()).worst
 }
 
 /// [`exhaustive_worst_case`] with an explicit worker-pool size, so tests
 /// can force the multi-threaded frontier path regardless of the machine's
 /// core count. Results are worker-count-independent.
+#[cfg(test)]
 fn worst_case_with_workers<B, F>(
     g: &Graph,
     make_behaviors: F,
@@ -228,7 +369,7 @@ where
     B: Behavior + Send,
     F: FnOnce() -> Vec<B>,
 {
-    worst_case_hardened(g, make_behaviors, max_actions, workers, None)
+    worst_case_hardened(g, make_behaviors, max_actions, workers, None, true, None).worst
 }
 
 /// [`exhaustive_worst_case`] under deterministic worker-panic injection
@@ -253,31 +394,96 @@ where
     B: Behavior + Send,
     F: FnOnce() -> Vec<B>,
 {
-    worst_case_hardened(g, make_behaviors, max_actions, workers, Some(plan))
+    // The table stays on under injection: the retry boundary's
+    // reservation-release discipline is exactly what the robustness tests
+    // must exercise.
+    worst_case_hardened(
+        g,
+        make_behaviors,
+        max_actions,
+        workers,
+        Some(plan),
+        true,
+        None,
+    )
+    .worst
 }
 
 /// The search body behind every public entry point: optional panic
-/// injection, per-worker stealing deques, panic-bounded job execution.
+/// injection, optional transposition table, per-worker stealing deques,
+/// panic-bounded job execution.
+#[allow(clippy::too_many_arguments)]
 fn worst_case_hardened<B, F>(
     g: &Graph,
     make_behaviors: F,
     max_actions: usize,
     workers: usize,
     panics: Option<PanicPlan>,
-) -> WorstCase
+    memo: bool,
+    automorphisms: Option<&Automorphisms>,
+) -> SearchReport
 where
     B: Behavior + Send,
     F: FnOnce() -> Vec<B>,
 {
+    let identity_group;
+    let autos = match automorphisms {
+        Some(a) => a,
+        None => {
+            identity_group = Automorphisms::identity(g.order());
+            &identity_group
+        }
+    };
+    let table = if memo { Some(MemoTable::new()) } else { None };
     let mut result = WorstCase::empty();
     let mut rt = Runtime::new(g, make_behaviors(), RunConfig::rendezvous());
+    // Materialise each behavior's lazy first-move state before the root
+    // snapshot: every branch of the search restores a fork of this state,
+    // so cold-start work done here is paid once instead of once per
+    // branch. Commutes with the port stream (see `Behavior::warm`).
+    rt.warm_behaviors();
     let mut choices: Vec<ChoiceInfo> = Vec::new();
     let mut meetings = Vec::new();
+    // Behaviors are deterministic and meetings are terminal, so every
+    // agent's arrival sequence is fixed for the whole search: resolve it
+    // once here and share it read-only with every worker (no per-job
+    // behavior forks on the fingerprint path).
+    let futures = if table.is_some() {
+        let f = FutureTable::resolve(&rt, max_actions);
+        f.is_supported().then_some(f)
+    } else {
+        None
+    };
 
     if workers <= 1 {
         // Single worker: splitting only buys parallelism, so don't —
         // search the whole tree depth-first from the root (this is the
         // sequential enumeration the parallel results are tested against).
+        if let (Some(table), Some(futures)) = (&table, &futures) {
+            let mut fpr = Fingerprinter::new();
+            let t_root = rt.total_traversals();
+            let mut pool: Vec<Vec<ChoiceInfo>> = Vec::new();
+            let mut journal: Vec<MemoKey> = Vec::new();
+            let v = explore_memo(
+                &mut rt,
+                0,
+                max_actions,
+                table,
+                autos,
+                futures,
+                &mut fpr,
+                &mut journal,
+                &mut pool,
+                0,
+                &mut meetings,
+            );
+            debug_assert!(journal.is_empty(), "every reservation was published");
+            result.absorb_value(v, t_root);
+            return SearchReport {
+                worst: result,
+                memo: Some(table.stats()),
+            };
+        }
         explore_subtree(
             &mut rt,
             0,
@@ -286,7 +492,10 @@ where
             &mut meetings,
             &mut result,
         );
-        return result;
+        return SearchReport {
+            worst: result,
+            memo: table.as_ref().map(|t| t.stats()),
+        };
     }
 
     let root = Job {
@@ -304,7 +513,7 @@ where
     // — an empty sweep alone proves nothing while a peer might still
     // split (or hold stolen jobs mid-transfer).
     let deques: Vec<WorkerDeque<B>> = (0..workers).map(|_| WorkerDeque::new()).collect();
-    deques[0].0.lock().expect("deque poisoned").push_back(root);
+    deques[0].seed(root);
     let pending = AtomicUsize::new(1);
     // Job sequence numbers feed the panic injector's fire decision. The
     // pop→seq mapping is racy (whichever worker pops first draws the next
@@ -316,14 +525,12 @@ where
         let deques = &deques;
         let pending = &pending;
         let seq = &seq;
+        let table = table.as_ref();
+        let futures = futures.as_ref();
         let handles: Vec<_> = (0..workers)
             .map(|id| {
                 scope.spawn(move || {
-                    let mut local = WorstCase::empty();
-                    let mut rt: Option<Runtime<B>> = None;
-                    let mut choices: Vec<ChoiceInfo> = Vec::new();
-                    let mut meetings = Vec::new();
-                    let mut children: Vec<Job<B>> = Vec::new();
+                    let mut s: WorkerScratch<B> = WorkerScratch::new();
                     let mut loot: Vec<Job<B>> = Vec::new();
                     loop {
                         // Own deque first (hot end — depth-first locality).
@@ -336,11 +543,7 @@ where
                                 let job = loot.pop().expect("steal yields at least one job");
                                 let backlog = loot.len();
                                 if !loot.is_empty() {
-                                    deques[id]
-                                        .0
-                                        .lock()
-                                        .expect("deque poisoned")
-                                        .extend(loot.drain(..));
+                                    deques[id].push_children(&mut loot);
                                 }
                                 run_job(
                                     RunCtx {
@@ -350,14 +553,13 @@ where
                                         seq,
                                         panics,
                                         max_actions,
+                                        table,
+                                        autos,
+                                        futures,
                                     },
                                     job,
                                     backlog,
-                                    &mut rt,
-                                    &mut choices,
-                                    &mut meetings,
-                                    &mut children,
-                                    &mut local,
+                                    &mut s,
                                 );
                                 continue;
                             }
@@ -382,17 +584,16 @@ where
                                 seq,
                                 panics,
                                 max_actions,
+                                table,
+                                autos,
+                                futures,
                             },
                             job,
                             backlog,
-                            &mut rt,
-                            &mut choices,
-                            &mut meetings,
-                            &mut children,
-                            &mut local,
+                            &mut s,
                         );
                     }
-                    local
+                    s.local
                 })
             })
             .collect();
@@ -404,7 +605,10 @@ where
     for b in branches {
         result.merge(b);
     }
-    result
+    SearchReport {
+        worst: result,
+        memo: table.as_ref().map(|t| t.stats()),
+    }
 }
 
 /// Shared references a worker needs to run one job.
@@ -415,6 +619,44 @@ struct RunCtx<'a, 'g, B> {
     seq: &'a AtomicUsize,
     panics: Option<PanicPlan>,
     max_actions: usize,
+    /// The shared transposition table (`None` = memoization off).
+    table: Option<&'a MemoTable>,
+    /// The symmetry group fingerprints are canonicalized under.
+    autos: &'a Automorphisms,
+    /// The search-global future table (`None` = fingerprints unavailable).
+    futures: Option<&'a FutureTable>,
+}
+
+/// One worker's private state, reused across all its jobs: its runtime,
+/// its scratch buffers, its result accumulator, and its memoization gear
+/// (fingerprinter, per-level choice-buffer pool, reservation journal).
+struct WorkerScratch<'g, B: Behavior> {
+    rt: Option<Runtime<'g, B>>,
+    choices: Vec<ChoiceInfo>,
+    meetings: Vec<crate::Meeting>,
+    children: Vec<Job<B>>,
+    local: WorstCase,
+    fpr: Fingerprinter,
+    pool: Vec<Vec<ChoiceInfo>>,
+    /// Keys this worker has reserved but not yet published, innermost
+    /// last — drained (released) when a job attempt panics so the retry
+    /// never observes its own reservations as `Busy`.
+    journal: Vec<MemoKey>,
+}
+
+impl<B: Behavior> WorkerScratch<'_, B> {
+    fn new() -> Self {
+        WorkerScratch {
+            rt: None,
+            choices: Vec::new(),
+            meetings: Vec::new(),
+            children: Vec::new(),
+            local: WorstCase::empty(),
+            fpr: Fingerprinter::new(),
+            pool: Vec::new(),
+            journal: Vec::new(),
+        }
+    }
 }
 
 /// Runs one popped job: splits it into the owner's deque or searches it
@@ -435,17 +677,12 @@ struct RunCtx<'a, 'g, B> {
 // the worker closure perturbs `explore_subtree`'s codegen enough to cost the
 // *single-core* sequential path ~8% on minimax/ring4 (measured, interleaved
 // A/B) — and the per-job call overhead is noise next to a subtree search.
-#[allow(clippy::too_many_arguments)]
 #[inline(never)]
 fn run_job<'g, B: Behavior>(
     ctx: RunCtx<'_, 'g, B>,
     job: Job<B>,
     backlog: usize,
-    rt: &mut Option<Runtime<'g, B>>,
-    choices: &mut Vec<ChoiceInfo>,
-    meetings: &mut Vec<crate::Meeting>,
-    children: &mut Vec<Job<B>>,
-    local: &mut WorstCase,
+    s: &mut WorkerScratch<'g, B>,
 ) {
     let split = should_split(job.depth, backlog, OVERSUBSCRIBE);
     // ordering: Relaxed — the sequence number only feeds the injector's
@@ -465,9 +702,12 @@ fn run_job<'g, B: Behavior>(
     loop {
         // recovery: a panicking attempt is retried against the same
         // frozen snapshot — `scratch`/`children` from the doomed attempt
-        // are discarded (no partial merge), the worker's runtime is
-        // repositioned by a fresh `restore`, and after MAX_JOB_RETRIES
-        // the panic propagates with the job already retired (see below).
+        // are discarded (no partial merge), the reservation journal is
+        // drained and released (so the retry re-reserves fresh slots
+        // instead of seeing its own half-done entries as Busy), the
+        // worker's runtime is repositioned by a fresh `restore`, and after
+        // MAX_JOB_RETRIES the panic propagates with the job already
+        // retired (see below).
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
             if let Some(plan) = ctx.panics {
                 if plan.fires(job_seq, attempt) {
@@ -483,17 +723,21 @@ fn run_job<'g, B: Behavior>(
             // Position at the job's state by borrow — retries need the
             // snapshot intact, so nothing consumes it until the job is
             // done. The first job builds this worker's runtime.
-            let rt = match rt.as_mut() {
+            let rt = match s.rt.as_mut() {
                 Some(rt) => {
                     rt.restore(&job.snap);
                     rt
                 }
-                None => rt.insert(Runtime::from_snapshot(
+                None => s.rt.insert(Runtime::from_snapshot(
                     ctx.g,
                     &job.snap,
                     RunConfig::rendezvous(),
                 )),
             };
+            // Memoization needs both the table and the search-global
+            // future table (resolved once at the root; see
+            // `worst_case_hardened`) — no per-job anchoring.
+            let memo_on = ctx.table.is_some() && ctx.futures.is_some();
             let mut scratch = WorstCase::empty();
             if split {
                 split_job(
@@ -501,18 +745,44 @@ fn run_job<'g, B: Behavior>(
                     &job.snap,
                     job.depth,
                     ctx.max_actions,
-                    choices,
-                    meetings,
-                    children,
+                    &mut s.choices,
+                    &mut s.meetings,
+                    if memo_on {
+                        ctx.table
+                            .zip(ctx.futures)
+                            .map(|(t, f)| (t, ctx.autos, f, &mut s.fpr))
+                    } else {
+                        None
+                    },
+                    &mut s.children,
                     &mut scratch,
                 );
+            } else if memo_on {
+                let table = ctx.table.expect("memo_on implies a table");
+                let futures = ctx.futures.expect("memo_on implies futures");
+                let t_root = rt.total_traversals();
+                let v = explore_memo(
+                    rt,
+                    job.depth,
+                    ctx.max_actions,
+                    table,
+                    ctx.autos,
+                    futures,
+                    &mut s.fpr,
+                    &mut s.journal,
+                    &mut s.pool,
+                    0,
+                    &mut s.meetings,
+                );
+                debug_assert!(s.journal.is_empty(), "every reservation was published");
+                scratch.absorb_value(v, t_root);
             } else {
                 explore_subtree(
                     rt,
                     job.depth,
                     ctx.max_actions,
-                    choices,
-                    meetings,
+                    &mut s.choices,
+                    &mut s.meetings,
                     &mut scratch,
                 );
             }
@@ -520,14 +790,24 @@ fn run_job<'g, B: Behavior>(
         }));
         match outcome {
             Ok(scratch) => {
-                local.merge(scratch);
+                s.local.merge(scratch);
                 break;
             }
             Err(payload) => {
                 // The doomed attempt may have half-filled the children
                 // buffer before panicking; drop its jobs — the retry
                 // re-splits from the snapshot and regenerates them all.
-                children.clear();
+                s.children.clear();
+                // Release every reservation the doomed attempt still
+                // owns: the slots revert to vacant, so this job's retry
+                // (or any peer) reserves and searches them afresh.
+                if let Some(table) = ctx.table {
+                    for key in s.journal.drain(..) {
+                        // publish: abandoned — the panic boundary releases
+                        // in place of the publish the attempt never made.
+                        table.release(key);
+                    }
+                }
                 attempt += 1;
                 if attempt >= MAX_JOB_RETRIES {
                     if split {
@@ -552,14 +832,14 @@ fn run_job<'g, B: Behavior>(
         }
     }
     if split {
-        if !children.is_empty() {
+        if !s.children.is_empty() {
             // Publish the children before retiring the parent so
             // `pending` can't dip to zero while work still exists.
             // ordering: AcqRel — the add must not sink below the deque
             // push (Release side), and idle workers' Acquire loads must
             // see it before concluding the frontier drained.
-            ctx.pending.fetch_add(children.len(), Ordering::AcqRel);
-            ctx.deque.push_children(children);
+            ctx.pending.fetch_add(s.children.len(), Ordering::AcqRel);
+            ctx.deque.push_children(&mut s.children);
         }
         // ordering: AcqRel — retiring the parent must stay ordered after
         // the children's publication above; pairs with the termination
@@ -586,6 +866,13 @@ fn should_split(depth: usize, backlog: usize, target: usize) -> bool {
 /// re-split from the same frozen state (the pre-hardening version moved
 /// it into the final sibling's restore; one behavior fork per split is
 /// the price of retryability).
+///
+/// With `memo` present, each meeting-free child is probed **read-only**
+/// against the transposition table before being enqueued: a hit scores
+/// the memoized value here and skips the job entirely (this is how
+/// stolen duplicates of already-searched subtrees collapse). Split jobs
+/// never reserve — a job that fans out and retires owes no publish, so
+/// the panic boundary has nothing to unwind for them.
 #[allow(clippy::too_many_arguments)]
 fn split_job<B: Behavior>(
     rt: &mut Runtime<B>,
@@ -594,6 +881,7 @@ fn split_job<B: Behavior>(
     max_actions: usize,
     choices: &mut Vec<ChoiceInfo>,
     meetings: &mut Vec<crate::Meeting>,
+    mut memo: Option<(&MemoTable, &Automorphisms, &FutureTable, &mut Fingerprinter)>,
     out: &mut Vec<Job<B>>,
     result: &mut WorstCase,
 ) {
@@ -615,15 +903,149 @@ fn split_job<B: Behavior>(
         }
         meetings.clear();
         rt.apply_into(choices[i].choice, meetings);
-        if meetings.is_empty() {
-            out.push(Job {
-                snap: rt.snapshot(),
-                depth: depth + 1,
-            });
-        } else {
+        if !meetings.is_empty() {
             result.record_meeting(rt.total_traversals());
+            continue;
+        }
+        if let Some((table, autos, futures, fpr)) = memo.as_mut() {
+            let residual = max_actions - (depth + 1);
+            if residual >= MEMO_MIN_RESIDUAL {
+                if let Some(fp) = fpr.fingerprint(rt, residual, autos, futures) {
+                    if let Some(v) = table.probe((fp, residual as u32)) {
+                        result.absorb_value(v, rt.total_traversals());
+                        continue;
+                    }
+                }
+            }
+        }
+        out.push(Job {
+            snap: rt.snapshot(),
+            depth: depth + 1,
+        });
+    }
+}
+
+/// Below this residual depth the table is not consulted: the subtree is
+/// cheaper to enumerate than the canonical fingerprint is to compute.
+const MEMO_MIN_RESIDUAL: usize = 2;
+
+/// Depth-first memoized search of the subtree whose root state `rt` is
+/// **already positioned at**, returning the subtree's value *relative to
+/// its own root* (see [`MemoValue`]). The recursion depth is bounded by
+/// `max_actions` (tiny by this module's charter), and each level owns a
+/// pooled choice buffer (`pool[level]`) so restored siblings skip
+/// re-enumeration — the list of legal choices at a node is a pure
+/// function of its state, which the restore reproduced.
+///
+/// At every node with residual depth ≥ [`MEMO_MIN_RESIDUAL`] the table is
+/// consulted via the reserve→publish protocol: `Hit` returns the stored
+/// value, `Reserve` records the key in `journal` (the panic boundary's
+/// release list), searches, then publishes and pops the key; `Busy`
+/// searches without publishing. Reservation keys always publish/release
+/// LIFO, innermost first.
+#[allow(clippy::too_many_arguments)]
+fn explore_memo<B: Behavior>(
+    rt: &mut Runtime<'_, B>,
+    depth: usize,
+    max_actions: usize,
+    table: &MemoTable,
+    autos: &Automorphisms,
+    futures: &FutureTable,
+    fpr: &mut Fingerprinter,
+    journal: &mut Vec<MemoKey>,
+    pool: &mut Vec<Vec<ChoiceInfo>>,
+    level: usize,
+    meetings: &mut Vec<crate::Meeting>,
+) -> MemoValue {
+    if depth >= max_actions {
+        return MemoValue::avoid_leaf();
+    }
+    let residual = max_actions - depth;
+    let mut reserved: Option<MemoKey> = None;
+    if residual >= MEMO_MIN_RESIDUAL {
+        if let Some(fp) = fpr.fingerprint(rt, residual, autos, futures) {
+            let key = (fp, residual as u32);
+            match table.probe_or_reserve(key) {
+                Probe::Hit(v) => return v,
+                Probe::Reserve => {
+                    journal.push(key);
+                    reserved = Some(key);
+                }
+                Probe::Busy => {}
+            }
         }
     }
+    if pool.len() <= level {
+        pool.push(Vec::new());
+    }
+    let mut choices = std::mem::take(&mut pool[level]);
+    rt.legal_choices_into(&mut choices);
+    let value = if choices.is_empty() {
+        // All parked counts as an avoiding schedule.
+        MemoValue::avoid_leaf()
+    } else {
+        // Undo discipline: every descent is bracketed by
+        // [`Runtime::apply_undoable`]/[`Runtime::undo`], so this function
+        // returns with `rt` exactly as it entered — no snapshots, no
+        // whole-runtime forks, and a `Start` descent saves nothing but a
+        // few `Copy` fields. The bracket requires meeting-free applies:
+        // children annotated `causes_meeting` are terminal (record the
+        // foreseen delta directly, never enter them), and `Wake` — the one
+        // unannotated kind — is split by [`Runtime::wake_would_meet`] into
+        // a traversal-free meeting leaf or a real descent.
+        let t_node = rt.total_traversals();
+        let horizon = depth + 1 == max_actions;
+        let mut acc = MemoValue::empty();
+        for info in choices.iter() {
+            if info.causes_meeting {
+                let delta = matches!(info.choice.kind, crate::ActionKind::Finish) as u64;
+                acc.record_meeting_delta(delta);
+                continue;
+            }
+            if matches!(info.choice.kind, crate::ActionKind::Wake)
+                && rt.wake_would_meet(info.choice.agent)
+            {
+                // Waking at an occupied node meets on the spot — no
+                // traversal completes, so the delta is zero.
+                acc.record_meeting_delta(0);
+                continue;
+            }
+            if horizon {
+                // The child sits at the depth cap and every meeting case
+                // is handled above: a guaranteed meeting-free leaf,
+                // counted without touching the runtime.
+                acc.absorb(MemoValue::avoid_leaf(), 0);
+                continue;
+            }
+            let token = rt.apply_undoable(info.choice, meetings);
+            let t_child = rt.total_traversals();
+            let child = explore_memo(
+                rt,
+                depth + 1,
+                max_actions,
+                table,
+                autos,
+                futures,
+                fpr,
+                journal,
+                pool,
+                level + 1,
+                meetings,
+            );
+            acc.absorb(child, t_child - t_node);
+            rt.undo(token);
+        }
+        acc
+    };
+    pool[level] = choices;
+    if let Some(key) = reserved {
+        // publish: completes the reservation this node took on entry; the
+        // key comes off the journal only after the value is in the table.
+        table.publish(key, value);
+        let popped = journal.pop();
+        debug_assert_eq!(popped, Some(key), "reservations publish LIFO");
+    }
+    value
 }
 
 /// A node of the depth-first descent: its frozen state (absent when the

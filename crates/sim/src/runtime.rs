@@ -188,6 +188,35 @@ impl<B: Behavior> Slot<B> {
     }
 }
 
+/// Token returned by [`Runtime::apply_undoable`]: the exact slice of
+/// runtime state a meeting-free apply can mutate, keyed by action kind.
+/// [`Runtime::undo`] consumes it to rewind the apply in O(1) — the
+/// memoized minimax search pairs apply/undo around every descent instead
+/// of forking whole runtimes (see `crate::minimax::explore_memo`).
+#[derive(Debug)]
+pub(crate) enum ApplyUndo<B> {
+    /// A `Start` never touches the behavior: restore the `Copy` fields and
+    /// pop the queue tail (locatable from the post-apply slot).
+    Start {
+        agent: usize,
+        place: Place,
+        pending: Option<(PortId, NodeId)>,
+    },
+    /// A `Finish` advances the behavior (arrival re-commit): the slot is
+    /// forked whole, and the queue removal position is recorded so the
+    /// agent reinserts exactly where it sat.
+    Finish {
+        slot: Slot<B>,
+        agent: usize,
+        index: usize,
+        from_a: bool,
+        my_pos: usize,
+    },
+    /// A `Wake` commits the first move: slot forked whole; nothing else
+    /// moves.
+    Wake { slot: Slot<B>, agent: usize },
+}
+
 /// Per-edge occupancy: FIFO queues of agents inside, one per direction.
 /// Direction is identified by the departure node.
 #[derive(Clone, Debug, Default)]
@@ -502,6 +531,40 @@ impl<'g, B: Behavior> Runtime<'g, B> {
         &self.slots[i].behavior
     }
 
+    /// Warms every behavior (see [`Behavior::warm`]): one-time lazy setup —
+    /// first spec materialisation, repetition-count evaluation — happens
+    /// now instead of inside the first `Start` applied to each agent.
+    /// Snapshots taken afterwards carry the warm state into every restore,
+    /// so branchy searches (see [`crate::minimax`]) pay it once rather than
+    /// once per branch. Port streams are unchanged; only instrumentation
+    /// that observes *when* lazy setup runs (e.g. schedule-phase progress
+    /// before an agent's first move) can tell the difference.
+    pub fn warm_behaviors(&mut self) {
+        for slot in &mut self.slots {
+            slot.behavior.warm();
+        }
+    }
+
+    /// The full agent-slot table, for the canonical-fingerprint renderer
+    /// (see `crate::memo`): fingerprinting needs every scheduler-visible
+    /// component of an agent's state — place, committed move, flags,
+    /// traversal count — in one read.
+    pub(crate) fn slots_for_memo(&self) -> &[Slot<B>] {
+        &self.slots
+    }
+
+    /// The dense edge-occupancy table (indexed by [`Graph::edge_index_at`]),
+    /// for the canonical-fingerprint renderer: queue membership and order
+    /// are part of the state a transposition-table key must capture.
+    pub(crate) fn edge_occupancy(&self) -> &[EdgeOcc] {
+        &self.edges
+    }
+
+    /// The graph this runtime schedules over.
+    pub(crate) fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
     /// Number of agents.
     pub fn agent_count(&self) -> usize {
         self.slots.len()
@@ -787,6 +850,148 @@ impl<'g, B: Behavior> Runtime<'g, B> {
                 if self.slots[i].pending.is_none() {
                     self.fetch_pending(i);
                 }
+            }
+        }
+    }
+
+    /// `true` iff applying [`ActionKind::Wake`] to agent `i` right now
+    /// would declare a meeting — the exact predicate of the `Wake` arm of
+    /// [`Runtime::apply_into`] (another *awake* agent standing at the
+    /// sleeper's node; a co-located sleeper does not meet). `Wake` is the
+    /// only action kind whose meetings are not annotated by
+    /// [`Runtime::legal_choices_into`], so this check is what lets the
+    /// memoized search route every child through the undoable-apply path.
+    pub(crate) fn wake_would_meet(&self, i: usize) -> bool {
+        let here = match self.slots[i].place {
+            Place::AtNode(v) => v,
+            Place::Inside { .. } => unreachable!("asleep agents are at nodes"),
+        };
+        self.slots
+            .iter()
+            .enumerate()
+            .any(|(j, s)| j != i && s.awake && s.place == Place::AtNode(here))
+    }
+
+    /// Applies a choice that is known to be meeting-free (`causes_meeting`
+    /// annotation false; for `Wake`, [`Runtime::wake_would_meet`] false)
+    /// and returns a token that [`Runtime::undo`] uses to rewind it
+    /// exactly. The depth-first memoized search pairs these around every
+    /// descent instead of snapshotting whole runtimes: a meeting-free
+    /// apply mutates only the acting agent's slot, one edge queue, and the
+    /// action/traversal counters, so saving that slice is O(1) in the
+    /// number of agents and edges — and a `Start` never touches its
+    /// behavior at all, so its token is a couple of `Copy` fields.
+    ///
+    /// `out` receives the apply's meetings exactly as
+    /// [`Runtime::apply_into`] would (not cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the choice is not currently legal, or if applying it
+    /// declares a meeting after all — that would mean the caller's
+    /// meeting-free evidence was wrong and the token cannot cover the
+    /// mutation (peer behaviors were notified).
+    pub(crate) fn apply_undoable(
+        &mut self,
+        choice: Choice,
+        out: &mut Vec<Meeting>,
+    ) -> ApplyUndo<B> {
+        debug_assert!(
+            self.faults.is_none(),
+            "undoable applies assume no fault plan is installed"
+        );
+        let i = choice.agent;
+        let token = match choice.kind {
+            // `Start` only moves the agent into an edge: `pending` is
+            // taken, `place`/`inside_index` change, the queue gains a tail
+            // entry. The behavior is untouched (it committed at arrival).
+            ActionKind::Start => ApplyUndo::Start {
+                agent: i,
+                place: self.slots[i].place,
+                pending: self.slots[i].pending,
+            },
+            // `Finish` re-commits the behavior on arrival (`fetch_pending`)
+            // — fork the whole slot. The queue removal happens at the
+            // agent's current position, recorded here so undo can reinsert
+            // in place.
+            ActionKind::Finish => {
+                let (edge, from) = match self.slots[i].place {
+                    Place::Inside { edge, from, .. } => (edge, from),
+                    _ => panic!("Finish on an agent not inside an edge"),
+                };
+                let index = self.slots[i].inside_index;
+                let from_a = edge.a == from;
+                let my_pos = self.edges[index]
+                    .queue(from_a)
+                    .iter()
+                    .position(|&a| a == i)
+                    .expect("agent must be queued");
+                ApplyUndo::Finish {
+                    slot: self.slots[i].fork(),
+                    agent: i,
+                    index,
+                    from_a,
+                    my_pos,
+                }
+            }
+            // `Wake` flips the flag and commits the first move — behavior
+            // mutates, fork the slot.
+            ActionKind::Wake => ApplyUndo::Wake {
+                slot: self.slots[i].fork(),
+                agent: i,
+            },
+        };
+        let before = out.len();
+        self.apply_into(choice, out);
+        assert_eq!(
+            out.len(),
+            before,
+            "apply_undoable on a choice that declared a meeting"
+        );
+        token
+    }
+
+    /// Rewinds one [`Runtime::apply_undoable`] call. The runtime must be
+    /// in exactly the state that apply left it in (the memoized search
+    /// guarantees this: every descendant's own applies were undone before
+    /// this one).
+    pub(crate) fn undo(&mut self, token: ApplyUndo<B>) {
+        self.actions -= 1;
+        match token {
+            ApplyUndo::Start {
+                agent,
+                place,
+                pending,
+            } => {
+                // The applied `Start` left the agent inside the edge it
+                // entered; pop it back off that queue's tail.
+                let (index, from_a) = match self.slots[agent].place {
+                    Place::Inside { edge, from, .. } => {
+                        (self.slots[agent].inside_index, edge.a == from)
+                    }
+                    _ => unreachable!("undo of a Start finds the agent inside an edge"),
+                };
+                let q = self.edges[index].queue_mut(from_a);
+                debug_assert_eq!(q.last(), Some(&agent), "Start pushed the queue tail");
+                q.pop();
+                let slot = &mut self.slots[agent];
+                slot.place = place;
+                slot.inside_index = usize::MAX;
+                slot.pending = pending;
+            }
+            ApplyUndo::Finish {
+                slot,
+                agent,
+                index,
+                from_a,
+                my_pos,
+            } => {
+                self.total_traversals -= 1;
+                self.edges[index].queue_mut(from_a).insert(my_pos, agent);
+                self.slots[agent] = slot;
+            }
+            ApplyUndo::Wake { slot, agent } => {
+                self.slots[agent] = slot;
             }
         }
     }

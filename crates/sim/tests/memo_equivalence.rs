@@ -1,0 +1,184 @@
+//! Golden memo-equivalence suite for the transposition-table search.
+//!
+//! The minimax contract is that [`rv_sim::search_worst_case`] returns a
+//! **bit-identical** [`WorstCase`] — including the exact explored-leaf
+//! count — for every configuration: memo on or off, identity or full
+//! automorphism group, and any worker count. The constants below were
+//! captured from the plain sequential enumeration (memo off, one worker);
+//! every other configuration must reproduce them exactly.
+//!
+//! To re-capture after an *intentional* semantic change, run
+//! `cargo test -p rv_sim --test memo_equivalence -- --ignored --nocapture`
+//! and paste the printed table over `GOLDEN`.
+
+use rv_core::Label;
+use rv_explore::SeededUxs;
+use rv_graph::{generators, Automorphisms, Graph, GraphFamily, NodeId};
+use rv_sim::{search_worst_case, RvBehavior, SearchOptions};
+
+/// The worker counts every case is replayed at. The machine may expose
+/// fewer cores; the pool still spawns this many workers, which is exactly
+/// the oversubscribed interleaving the bit-identity claim must survive.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Case {
+    name: &'static str,
+    family: GraphFamily,
+    n: usize,
+    depth: usize,
+}
+
+const CASES: [Case; 5] = [
+    Case {
+        name: "path3/d6",
+        family: GraphFamily::Path,
+        n: 3,
+        depth: 6,
+    },
+    Case {
+        name: "path3/d10",
+        family: GraphFamily::Path,
+        n: 3,
+        depth: 10,
+    },
+    Case {
+        name: "path3/d12",
+        family: GraphFamily::Path,
+        n: 3,
+        depth: 12,
+    },
+    Case {
+        name: "ring4/d8",
+        family: GraphFamily::Ring,
+        n: 4,
+        depth: 8,
+    },
+    Case {
+        name: "ring4/d12",
+        family: GraphFamily::Ring,
+        n: 4,
+        depth: 12,
+    },
+];
+
+/// `(max_meeting_cost, some_schedule_avoids, schedules_explored)` captured
+/// from the sequential unmemoized enumeration, one row per [`CASES`] entry.
+const GOLDEN: [(Option<u64>, bool, u64); 5] = [
+    (Some(2), true, 64),
+    (Some(4), true, 724),
+    (Some(4), true, 2236),
+    (Some(2), true, 196),
+    (Some(2), true, 2836),
+];
+
+fn graph_for(case: &Case) -> Graph {
+    match case.family {
+        GraphFamily::Path => generators::path(case.n),
+        GraphFamily::Ring => generators::ring(case.n),
+        _ => unreachable!("suite covers path and ring"),
+    }
+}
+
+fn behaviors<'g>(g: &'g Graph, uxs: SeededUxs) -> Vec<RvBehavior<'g, SeededUxs>> {
+    vec![
+        RvBehavior::new(g, uxs, NodeId(0), Label::new(1).unwrap()),
+        RvBehavior::new(g, uxs, NodeId(2), Label::new(2).unwrap()),
+    ]
+}
+
+#[test]
+fn memoized_search_is_bit_identical_to_golden_enumeration() {
+    let uxs = SeededUxs::quadratic();
+    for (case, golden) in CASES.iter().zip(GOLDEN) {
+        let g = graph_for(case);
+        let autos = case.family.automorphisms(&g);
+        // (memo, quotient group) configurations; every one must agree.
+        let configs: [(bool, Option<&Automorphisms>); 3] =
+            [(false, None), (true, None), (true, Some(&autos))];
+        for (memo, automorphisms) in configs {
+            for workers in WORKER_COUNTS {
+                let report = search_worst_case(
+                    &g,
+                    || behaviors(&g, uxs),
+                    case.depth,
+                    &SearchOptions {
+                        workers: Some(workers),
+                        memo,
+                        automorphisms,
+                    },
+                );
+                let got = (
+                    report.worst.max_meeting_cost,
+                    report.worst.some_schedule_avoids,
+                    report.worst.schedules_explored,
+                );
+                assert_eq!(
+                    got,
+                    golden,
+                    "{}: memo={memo} autos={} workers={workers} diverged from golden",
+                    case.name,
+                    automorphisms.is_some(),
+                );
+                assert_eq!(
+                    report.memo.is_some(),
+                    memo,
+                    "{}: table stats must be reported iff the table was on",
+                    case.name
+                );
+            }
+        }
+    }
+}
+
+/// Sequential memoized stats are deterministic: same probes/hits/entries
+/// on every run (the parallel counts legitimately vary with stealing).
+#[test]
+fn sequential_memo_stats_are_deterministic() {
+    let uxs = SeededUxs::quadratic();
+    let case = &CASES[3]; // ring4/d8
+    let g = graph_for(case);
+    let autos = case.family.automorphisms(&g);
+    let run = || {
+        search_worst_case(
+            &g,
+            || behaviors(&g, uxs),
+            case.depth,
+            &SearchOptions {
+                workers: Some(1),
+                memo: true,
+                automorphisms: Some(&autos),
+            },
+        )
+        .memo
+        .expect("memo on")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!((a.probes, a.hits, a.entries), (b.probes, b.hits, b.entries));
+    assert!(a.hits > 0, "the ring collapses states; hits must occur");
+}
+
+/// Prints the golden table for re-capture (see module docs).
+#[test]
+#[ignore = "re-capture helper, run with --ignored --nocapture"]
+fn capture_golden() {
+    let uxs = SeededUxs::quadratic();
+    for case in &CASES {
+        let g = graph_for(case);
+        let worst = search_worst_case(
+            &g,
+            || behaviors(&g, uxs),
+            case.depth,
+            &SearchOptions {
+                workers: Some(1),
+                memo: false,
+                automorphisms: None,
+            },
+        )
+        .worst;
+        println!(
+            "    ({:?}, {}, {}), // {}",
+            worst.max_meeting_cost, worst.some_schedule_avoids, worst.schedules_explored, case.name
+        );
+    }
+}

@@ -19,6 +19,7 @@ use crate::spec::Spec;
 use rv_arith::RepCount;
 use rv_explore::{r_trajectory, ConcreteTrajectory, ExplorationProvider, RWalker};
 use rv_graph::{Graph, NodeId, PortId};
+use std::sync::Arc;
 
 /// One executed edge traversal.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,10 +66,14 @@ pub(crate) enum Task<P> {
     /// `Y(1)…Y(k)` ascending (Z) or descending (Z̄; `Y` is a palindrome too).
     YChain { k: u64, i: u64, descending: bool },
     /// Forward sweep `Y′`/`A′`: insert `inner` at every node of `R(k, v)`.
+    /// The materialised spine is immutable once computed and snapshot forks
+    /// (see the struct docs) clone the frame stack freely, so it is shared
+    /// behind an `Arc`: a fork bumps a refcount instead of copying three
+    /// vectors.
     SweepFwd {
         k: u64,
         inner: Inner,
-        r: Option<ConcreteTrajectory>,
+        r: Option<Arc<ConcreteTrajectory>>,
         idx: usize,
         inner_pushed: bool,
     },
@@ -77,7 +82,7 @@ pub(crate) enum Task<P> {
         k: u64,
         inner: Inner,
         start: NodeId,
-        r: Option<ConcreteTrajectory>,
+        r: Option<Arc<ConcreteTrajectory>>,
         idx: usize,
         inner_pushed: bool,
     },
@@ -130,6 +135,10 @@ pub struct TrajectoryCursor<'g, P> {
     cur: NodeId,
     entry: Option<PortId>,
     steps: u64,
+    /// Exit port already decided by [`TrajectoryCursor::prime`] but not yet
+    /// executed. Invariant: `Some` only while the yielding task is still on
+    /// top of the stack.
+    pending: Option<PortId>,
 }
 
 impl<'g, P: ExplorationProvider + Clone> TrajectoryCursor<'g, P> {
@@ -148,6 +157,7 @@ impl<'g, P: ExplorationProvider + Clone> TrajectoryCursor<'g, P> {
             cur: start,
             entry: None,
             steps: 0,
+            pending: None,
         }
     }
 
@@ -177,7 +187,18 @@ impl<'g, P: ExplorationProvider + Clone> TrajectoryCursor<'g, P> {
     }
 
     /// Schedules `spec` to play next (LIFO relative to other pushes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a primed traversal is pending (see
+    /// [`TrajectoryCursor::prime`]): the pending port belongs to the task
+    /// currently on top, and a LIFO push would reorder the stream around it.
+    /// Consume the pending traversal first.
     pub fn push(&mut self, spec: Spec) {
+        assert!(
+            self.pending.is_none(),
+            "cannot push a spec while a primed traversal is pending"
+        );
         let task = self.task_for(spec);
         self.stack.push(task);
     }
@@ -234,9 +255,33 @@ impl<'g, P: ExplorationProvider + Clone> TrajectoryCursor<'g, P> {
 
     /// Executes and returns the next traversal, or `None` if idle.
     pub fn next_traversal(&mut self) -> Option<Traversal> {
+        let port = match self.pending.take() {
+            Some(p) => p,
+            None => self.advance_to_yield()?,
+        };
+        Some(self.execute(port))
+    }
+
+    /// Advances the frame stack to the next exit port **without executing
+    /// the traversal**, and returns `true` if one is ready. A primed cursor
+    /// answers its next [`TrajectoryCursor::next_traversal`] in O(1); clones
+    /// inherit the materialised stack, so priming once before a fan-out of
+    /// forks amortises the spec-expansion cost (repetition-count evaluation,
+    /// walker construction) across all of them. Priming commutes with
+    /// streaming: the traversal sequence is bit-identical either way.
+    pub fn prime(&mut self) -> bool {
+        if self.pending.is_none() {
+            self.pending = self.advance_to_yield();
+        }
+        self.pending.is_some()
+    }
+
+    /// Drives push/pop outcomes until the top task yields an exit port, or
+    /// the stack drains (`None`). The yielding task stays on top.
+    fn advance_to_yield(&mut self) -> Option<PortId> {
         loop {
             // Decide what the top task wants; push/pop are handled inline,
-            // yields fall through to the traversal execution below.
+            // yields are returned to the caller for execution.
             let mut push_task: Option<Task<P>> = None;
             let outcome = {
                 let (g, provider, cur, entry) = (self.g, &self.provider, self.cur, self.entry);
@@ -251,9 +296,7 @@ impl<'g, P: ExplorationProvider + Clone> TrajectoryCursor<'g, P> {
                     self.stack
                         .push(push_task.expect("Push outcome always sets pending task"));
                 }
-                Outcome::Yield(port) => {
-                    return Some(self.execute(port));
-                }
+                Outcome::Yield(port) => return Some(port),
             }
         }
     }
@@ -365,7 +408,7 @@ impl<'g, P: ExplorationProvider + Clone> TrajectoryCursor<'g, P> {
                 idx,
                 inner_pushed,
             } => {
-                let traj = r.get_or_insert_with(|| r_trajectory(g, provider, *k, cur));
+                let traj = r.get_or_insert_with(|| Arc::new(r_trajectory(g, provider, *k, cur)));
                 if !*inner_pushed {
                     *inner_pushed = true;
                     *push_task = Some(chain_task(*inner, *k, false));
@@ -389,7 +432,7 @@ impl<'g, P: ExplorationProvider + Clone> TrajectoryCursor<'g, P> {
                 inner_pushed,
             } => {
                 if r.is_none() {
-                    let traj = r_trajectory(g, provider, *k, *start);
+                    let traj = Arc::new(r_trajectory(g, provider, *k, *start));
                     debug_assert_eq!(
                         traj.nodes.last(),
                         Some(&cur),

@@ -184,6 +184,36 @@ impl<T: Arbitrary> Strategy for Any<T> {
     }
 }
 
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for a `Vec` whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Mirrors `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                self.len.generate(rng)
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
 pub mod prelude {
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
