@@ -102,7 +102,7 @@ fn main() {
     records.push(matrix_slice_scenario(trials));
 
     let json = serde_json::to_string(&records).expect("records serialise");
-    rv_bench::write_atomic(&out_path, &format!("{json}\n"))
+    rv_bench::write_atomic(&out_path, format!("{json}\n"))
         .unwrap_or_else(|e| rv_bench::fail(format!("cannot write {out_path}: {e}")));
     println!("\nwrote {} scenarios to {out_path}", records.len());
 }

@@ -1,212 +1,88 @@
-//! **scenario_matrix** — the scenario-diversity bench runner.
+//! **scenario_matrix** — the scenario-diversity bench runner, now
+//! incremental end-to-end.
 //!
-//! Sweeps the cartesian product of a declarative table and emits **one
-//! JSON row per cell** (JSON-lines, like the `expt_*` binaries). Where
-//! `perf_baseline` tracks seven hand-picked hot-path scenarios over time,
-//! this runner measures *breadth*: how cost and wall-clock behave across
-//! every combination, so future PRs can quantify scenario diversity
-//! instead of overfitting to the baseline seven.
-//!
-//! Three sub-tables share the family × adversary axes:
-//!
-//! * **Rendezvous** cells — graph family × order (8, 12, 16) × adversary ×
-//!   algorithm variant (the paper's algorithm plus the three F6
-//!   ablations), two `RvBehavior` agents, stop at the first meeting.
-//! * **Protocol (SGL)** cells — graph family × order (5, 6, 8) × adversary
-//!   × team size k ∈ {2, 3, 4}, `SglBehavior` agents run to quiescence
-//!   (meetings are exchanges, not terminals).
-//! * **Protocol large-order** cells — ring × order (12, 16) ×
-//!   {round-robin, greedy-avoid, eager-meet} × k ∈ {2, 3}: the rendezvous
-//!   orders, affordable **only** under the adaptive stop policy (a flat
-//!   budget must choose between starving them and letting stalled cells
-//!   burn it; `lazy(1)` is excluded because its adversarially inflated
-//!   final ESST phase sits inside the stall detector's margin — see
-//!   `docs/STALL_TRACE.md`).
+//! Sweeps the declarative cell table of [`rv_bench::cells`] and emits
+//! **one JSON row per cell** (JSON-lines, like the `expt_*` binaries).
+//! Where `perf_baseline` tracks seven hand-picked hot-path scenarios over
+//! time, this runner measures *breadth*: how cost and wall-clock behave
+//! across every combination, so PRs can quantify scenario diversity
+//! instead of overfitting to the baseline seven. The table itself — four
+//! sub-tables sharing the family × adversary axes (rendezvous, protocol,
+//! seeded-fault chaos, minimax) — lives in `rv_bench::cells`; this binary
+//! is a *consumer*: it runs specs, renders rows, and keeps both fresh.
 //!
 //! Every cell runs under a **stop policy** (the `policy` column):
 //! rendezvous cells under `DivergenceDetector` (piece-number stagnation →
 //! `end == "Diverged"`), protocol cells under `AdaptiveThreshold`
 //! (progress-tick silence → `end == "Stalled"`), both backstopped by the
 //! per-cell traversal budget (`cutoff` column; `end == "Cutoff"` rows
-//! stopped at exactly `cutoff`). Detectors only change when a
-//! non-converging run stops — converging cells report the same outcome
-//! they always did, which the golden suite asserts bit for bit.
-//!
-//! Protocol rows that quiesce also carry the **post-hoc completeness
-//! check** (`complete` column): every agent output the full label/value
-//! set *and* the minimal agent met every teammate (checked on the meeting
-//! log's per-agent views) — the property the completion-threshold
-//! substitution must deliver (DESIGN.md §4).
+//! stopped at exactly `cutoff`). Chaos-tier cells additionally run under
+//! their seeded crash-stop [`rv_sim::FaultPlan`] (the `faults` column;
+//! `end == "SurvivorsParked"` / `"AllCrashed"` appear only there).
+//! Protocol rows that quiesce fault-free also carry the **post-hoc
+//! completeness check** (`complete` column, DESIGN.md §4).
 //!
 //! Usage:
 //!
 //! ```text
 //! scenario_matrix [--smoke] [--trials N] [--out PATH] [--only SUBSTR]
+//!                 [--store DIR] [--engine-fp HEX]
 //!                 [--checkpoint DIR [--resume]]
 //! scenario_matrix --check PATH
-//! scenario_matrix --diff A B
+//! scenario_matrix --diff A B     (A/B: row files or store directories)
 //! ```
 //!
-//! `--smoke` runs 1 trial per cell and caps protocol cells at a smaller
-//! cutoff (the CI gate is a schema/coverage check, not a measurement);
-//! the default is 5 trials with the full protocol cutoffs. `--only`
-//! restricts the sweep to cells whose scenario id contains the substring
-//! (the CI detector smoke exercises one Diverged cell this way; such
-//! partial files fail `--check`'s coverage gate by design). `--check`
-//! verifies every line parses as a JSON object with the expected fields
-//! and that the file covers exactly the declared matrix — CI fails on any
-//! malformed or missing row.
+//! **Incremental sweeps** (`docs/STORE.md`): `--store DIR` opens the
+//! content-addressed result store under `DIR` and makes the sweep
+//! incremental — every cell whose key `(content key, engine fingerprint)`
+//! is present is served *verbatim* from the store (zero execution), every
+//! cold cell is run and appended. Because rows are emitted in the
+//! declared [`rv_bench::cells::cells`] order whether served or computed,
+//! a fully-warm run writes a byte-identical row file. The engine
+//! fingerprint is baked in at build time ([`rv_store::ENGINE_FINGERPRINT`]);
+//! `--engine-fp` overrides it (CI uses the override to prove that a
+//! fingerprint flip recomputes every cell without rebuilding the engine).
 //!
-//! **Durable sweeps** (`docs/FAULTS.md`): `--checkpoint DIR` persists the
-//! sweep's progress after **every completed cell** — `DIR/rows.jsonl`
-//! (all finished rows, in the declared order) and `DIR/meta.json` (the
-//! sweep configuration), each written atomically (temp + rename in the
-//! same directory), so a SIGKILL at any instant leaves a complete,
-//! parseable checkpoint. `--resume` reloads that checkpoint, refuses a
-//! configuration mismatch, reuses the stored row *lines verbatim* for
-//! every cell already present, and runs only the missing cells — because
-//! rows are emitted in the declared [`cells`] order and cells are
-//! deterministic, the resumed table is byte-identical to an
-//! uninterrupted run. `--diff A B` compares two row files cell by cell
-//! ignoring only the wall-clock column (`median_ns_per_run`), the one
-//! legitimately nondeterministic field; any other difference exits
-//! nonzero. Stalled protocol cells additionally print the starvation
-//! census verdict (which agent's traversal minimum went flat, for how
-//! long) to stderr as a diagnostic.
+//! **Durable sweeps** (`docs/FAULTS.md`): `--checkpoint DIR` is the same
+//! store machinery pointed at a sweep-private directory, plus the legacy
+//! observability surface: `DIR/meta.json` (the sweep configuration;
+//! `--resume` refuses a mismatch) and `DIR/rows.jsonl` (the finished
+//! prefix, rewritten atomically after every computed cell — what the
+//! chaos gates poll). `--resume` serves already-stored cells and runs
+//! only the missing ones; a SIGKILL at any instant loses at most the
+//! cell in flight. `--store` and `--checkpoint` are mutually exclusive.
+//!
+//! `--smoke` runs 1 trial per cell and caps protocol cells at a smaller
+//! cutoff; `--only` restricts the sweep to cells whose scenario id
+//! contains the substring. `--check` verifies schema and coverage (CI
+//! fails on any malformed or missing row). `--diff A B` compares two row
+//! sources cell by cell **schema-aware**: each line is parsed, the
+//! wall-clock column (`median_ns_per_run`, the one legitimately
+//! nondeterministic field) is dropped *by name*, fields are compared
+//! order-insensitively, and any remaining difference exits nonzero. A
+//! directory argument is read as a store and materialised in declared
+//! order under the invocation's `--smoke`/`--trials`/`--engine-fp`.
 
 // Timing harness: wall-clock here is the product, not a determinism leak.
 #![allow(clippy::disallowed_methods)]
-use rv_core::{Label, RvVariant};
+use rv_bench::cells::{cells, CellKind, CellSpec, ADVERSARY_SEED, LABELS, SGL_LABELS};
+use rv_core::Label;
 use rv_explore::SeededUxs;
-use rv_graph::{GraphFamily, NodeId};
+use rv_graph::NodeId;
 use rv_protocols::{SglBehavior, SglConfig};
-use rv_sim::adversary::AdversaryKind;
 use rv_sim::{AdaptiveThreshold, DivergenceDetector, RunConfig, RunEnd, Runtime, RvBehavior};
+use rv_store::{Store, StoreKey};
 use serde::Serialize;
+use serde_json::Value;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
-
-/// Graph families swept, with their scenario-id stem.
-const FAMILIES: [(GraphFamily, &str); 5] = [
-    (GraphFamily::Ring, "ring"),
-    (GraphFamily::Path, "path"),
-    (GraphFamily::RandomTree, "tree"),
-    (GraphFamily::Gnp, "gnp"),
-    (GraphFamily::Lollipop, "lollipop"),
-];
-
-/// Graph orders swept by the rendezvous cells.
-const SIZES: [usize; 3] = [8, 12, 16];
-
-/// Graph orders swept by the regular protocol (SGL) cells — the range
-/// `expt_f4_sgl` sweeps (quiescence cost grows with the ESST order bound
-/// cubed).
-const PROTOCOL_SIZES: [usize; 3] = [5, 6, 8];
-
-/// SGL team sizes swept by the regular protocol cells.
-const TEAM_SIZES: [usize; 3] = [2, 3, 4];
-
-/// Orders of the large protocol cells (the rendezvous orders, unlocked by
-/// the adaptive policy).
-const LARGE_PROTOCOL_SIZES: [usize; 2] = [12, 16];
-
-/// Team sizes of the large protocol cells.
-const LARGE_TEAM_SIZES: [usize; 2] = [2, 3];
-
-/// Adversaries swept (a spread from cooperative to strongest-avoiding;
-/// seeded strategies use [`ADVERSARY_SEED`]).
-const ADVERSARIES: [AdversaryKind; 4] = [
-    AdversaryKind::RoundRobin,
-    AdversaryKind::LazySecond,
-    AdversaryKind::GreedyAvoid,
-    AdversaryKind::EagerMeet,
-];
-
-/// Adversaries of the large protocol cells (see module docs for why
-/// `lazy(1)` stays out).
-const LARGE_ADVERSARIES: [AdversaryKind; 3] = [
-    AdversaryKind::RoundRobin,
-    AdversaryKind::GreedyAvoid,
-    AdversaryKind::EagerMeet,
-];
-
-/// Algorithm variants swept: the paper's algorithm plus the three F6
-/// ablations (each disables one ingredient §3.1 argues is necessary).
-fn variants() -> [(&'static str, RvVariant); 4] {
-    let paper = RvVariant::default();
-    [
-        ("paper", paper),
-        (
-            "single-atoms",
-            RvVariant {
-                doubled_atoms: false,
-                ..paper
-            },
-        ),
-        (
-            "unscaled",
-            RvVariant {
-                scaled_params: false,
-                ..paper
-            },
-        ),
-        (
-            "raw-label",
-            RvVariant {
-                modified_label: false,
-                ..paper
-            },
-        ),
-    ]
-}
-
-/// Fixed graph seed (matches the golden suite's instances).
-const GRAPH_SEED: u64 = 5;
-/// Fixed adversary seed for the seeded strategies.
-const ADVERSARY_SEED: u64 = 3;
-/// Rendezvous budget backstop: generous for every converging cell; the
-/// divergence detector retires diverging cells ~20× earlier.
-const CUTOFF: u64 = 100_000;
-/// Protocol budget backstop, full mode, regular orders: above every known
-/// quiescence cost there, so `Cutoff` rows flag genuine surprises (the
-/// known non-quiescers read `Stalled` long before).
-const PROTOCOL_CUTOFF: u64 = 2_500_000;
-/// Protocol budget backstop for the large-order cells (ring(16) quiesces
-/// at ≈ 17.8M traversals).
-const LARGE_PROTOCOL_CUTOFF: u64 = 50_000_000;
-/// Protocol cutoff under `--smoke`: bounds the CI gate's wall-clock (the
-/// gate checks schema and coverage; protocol smoke rows all read
-/// `end == "Cutoff"` by design and record this cutoff in the row).
-const PROTOCOL_SMOKE_CUTOFF: u64 = 40_000;
-/// Rendezvous agent labels, as in the F1 experiments and the golden suite.
-const LABELS: (u64, u64) = (6, 9);
-/// SGL labels by agent index (protocol cells take the first k).
-const SGL_LABELS: [u64; 4] = [6, 9, 14, 21];
-/// Minimax cells: `(family, stem, order, horizon)` — the memoized
-/// symmetry-quotiented worst-case searches (the `perf_baseline` minimax
-/// scenarios plus the depth-14 headline). Small instances only: each cell
-/// enumerates a full schedule DAG.
-const MINIMAX_CELLS: [(GraphFamily, &str, usize, usize); 5] = [
-    (GraphFamily::Path, "path", 3, 10),
-    (GraphFamily::Path, "path", 3, 12),
-    (GraphFamily::Ring, "ring", 4, 8),
-    (GraphFamily::Ring, "ring", 4, 12),
-    (GraphFamily::Ring, "ring", 4, 14),
-];
-
-/// Number of cells in the declared matrix.
-pub fn cell_count() -> usize {
-    let rendezvous = FAMILIES.len() * SIZES.len() * ADVERSARIES.len() * variants().len();
-    let protocol = FAMILIES.len() * PROTOCOL_SIZES.len() * ADVERSARIES.len() * TEAM_SIZES.len();
-    let large = LARGE_PROTOCOL_SIZES.len() * LARGE_ADVERSARIES.len() * LARGE_TEAM_SIZES.len();
-    rendezvous + protocol + large + MINIMAX_CELLS.len()
-}
 
 /// One measured cell, serialised as a JSON-lines row.
 #[derive(Clone, Debug, Serialize)]
 struct Row {
     /// Cell id, `family<n>/adversary/variant` (variant is `sgl-k<k>` for
-    /// protocol cells, `memo-d<depth>` for minimax cells, whose adversary
-    /// axis reads `worst-case`).
+    /// protocol cells — chaos cells append `+f<seed>` — and `memo-d<depth>`
+    /// for minimax cells, whose adversary axis reads `worst-case`).
     scenario: String,
     /// `"rendezvous"` (stop at first meeting), `"protocol"` (run to
     /// quiescence), or `"minimax"` (memoized worst-case search).
@@ -226,7 +102,8 @@ struct Row {
     /// armed outside minimax).
     policy: String,
     /// How the run ended (`Meeting`, `AllParked`, `Cutoff`, `Diverged`,
-    /// `Stalled`, or `Searched` for minimax cells).
+    /// `Stalled`, `SurvivorsParked`, `AllCrashed`, or `Searched` for
+    /// minimax cells).
     end: String,
     /// Meeting cost (total traversals at the first forced meeting);
     /// for minimax rows, the worst-case meeting cost over all schedules.
@@ -242,11 +119,15 @@ struct Row {
     cutoff: u64,
     /// Adversary actions executed.
     actions: u64,
-    /// Post-hoc completeness check for quiesced protocol rows: every
-    /// agent output the complete label/value set and the minimal agent
-    /// met every teammate (meeting-log views). `null` for every other
-    /// row.
+    /// Post-hoc completeness check for fault-free quiesced protocol rows:
+    /// every agent output the complete label/value set and the minimal
+    /// agent met every teammate (meeting-log views). `null` for every
+    /// other row — including every chaos-tier row, where a crashed agent
+    /// makes the postcondition vacuously unreachable.
     complete: Option<bool>,
+    /// Fault plan of the cell: `"none"`, or `"seeded:<seed>"` for the
+    /// chaos tier (the seed names the whole derived crash-stop plan).
+    faults: String,
     /// Timed trials.
     trials: usize,
     /// Transposition-table hits of the memoized search; `null` off the
@@ -256,98 +137,17 @@ struct Row {
     /// Transposition-table entries published by the memoized search;
     /// `null` off the minimax rows.
     tt_entries: Option<u64>,
-    /// Median wall time per run, nanoseconds. Kept the last field: the
-    /// `--diff` gate strips the rendered suffix from here on.
+    /// Median wall time per run, nanoseconds. The one nondeterministic
+    /// column: `--diff` drops it by name, and a store-served row replays
+    /// the timing measured when the cell was actually computed.
     median_ns_per_run: f64,
-}
-
-/// The cell kinds sharing the family × adversary axes.
-#[derive(Clone, Copy)]
-enum CellKind {
-    Rendezvous {
-        vname: &'static str,
-        variant: RvVariant,
-    },
-    Sgl {
-        k: usize,
-    },
-    /// Memoized worst-case search to an action horizon (no adversary
-    /// axis: the search quantifies over all of them).
-    Minimax {
-        depth: usize,
-        family: GraphFamily,
-    },
-}
-
-/// Every declared cell, in emission order.
-fn cells() -> Vec<(GraphFamily, &'static str, usize, AdversaryKind, CellKind)> {
-    let mut out = Vec::with_capacity(cell_count());
-    for (family, fname) in FAMILIES {
-        for n in SIZES {
-            for adversary in ADVERSARIES {
-                for (vname, variant) in variants() {
-                    out.push((
-                        family,
-                        fname,
-                        n,
-                        adversary,
-                        CellKind::Rendezvous { vname, variant },
-                    ));
-                }
-            }
-        }
-        for n in PROTOCOL_SIZES {
-            for adversary in ADVERSARIES {
-                for k in TEAM_SIZES {
-                    out.push((family, fname, n, adversary, CellKind::Sgl { k }));
-                }
-            }
-        }
-    }
-    for n in LARGE_PROTOCOL_SIZES {
-        for adversary in LARGE_ADVERSARIES {
-            for k in LARGE_TEAM_SIZES {
-                out.push((GraphFamily::Ring, "ring", n, adversary, CellKind::Sgl { k }));
-            }
-        }
-    }
-    for (family, fname, n, depth) in MINIMAX_CELLS {
-        // The adversary slot is unused by minimax cells (the search
-        // quantifies over every adversary); RoundRobin is a placeholder.
-        out.push((
-            family,
-            fname,
-            n,
-            AdversaryKind::RoundRobin,
-            CellKind::Minimax { depth, family },
-        ));
-    }
-    out
-}
-
-/// The scenario id of a cell.
-fn scenario_id(fname: &str, n: usize, adversary: AdversaryKind, kind: &CellKind) -> String {
-    match kind {
-        CellKind::Rendezvous { vname, .. } => format!("{fname}{n}/{adversary}/{vname}"),
-        CellKind::Sgl { k } => format!("{fname}{n}/{adversary}/sgl-k{k}"),
-        CellKind::Minimax { depth, .. } => format!("{fname}{n}/worst-case/memo-d{depth}"),
-    }
-}
-
-/// The traversal budget backstop of a cell (full mode). Minimax cells
-/// have no traversal cutoff; their budget is the action horizon.
-fn full_cutoff(n: usize, kind: &CellKind) -> u64 {
-    match kind {
-        CellKind::Rendezvous { .. } => CUTOFF,
-        CellKind::Sgl { .. } if n > 8 => LARGE_PROTOCOL_CUTOFF,
-        CellKind::Sgl { .. } => PROTOCOL_CUTOFF,
-        CellKind::Minimax { depth, .. } => *depth as u64,
-    }
 }
 
 /// The sweep configuration echoed into a checkpoint's `meta.json`:
 /// `--resume` refuses to splice rows measured under different settings
-/// into one table.
+/// into one table. (The content keys would miss anyway — trials and
+/// cutoff are part of the key — but a loud refusal beats a silent
+/// full recompute that masks a typo.)
 #[derive(Clone, Debug, PartialEq, Eq, Serialize)]
 struct CheckpointMeta {
     smoke: bool,
@@ -357,6 +157,37 @@ struct CheckpointMeta {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let trials = args
+        .iter()
+        .position(|a| a == "--trials")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&t| t > 0)
+                .unwrap_or_else(|| rv_bench::fail("--trials requires a positive integer"))
+        })
+        .unwrap_or(if smoke { 1 } else { 5 });
+    let only = args.iter().position(|a| a == "--only").map(|i| {
+        args.get(i + 1)
+            .unwrap_or_else(|| rv_bench::fail("--only requires a substring argument"))
+            .clone()
+    });
+    let engine_fp = args
+        .iter()
+        .position(|a| a == "--engine-fp")
+        .map(|i| {
+            let raw = args
+                .get(i + 1)
+                .unwrap_or_else(|| rv_bench::fail("--engine-fp requires a u64 argument"));
+            parse_fp(raw).unwrap_or_else(|| {
+                rv_bench::fail(format!(
+                    "--engine-fp: {raw:?} is not a u64 (decimal or 0x-hex)"
+                ))
+            })
+        })
+        .unwrap_or(rv_store::ENGINE_FINGERPRINT);
+
     if let Some(i) = args.iter().position(|a| a == "--check") {
         let path = args
             .get(i + 1)
@@ -371,20 +202,10 @@ fn main() {
         let b = args
             .get(i + 2)
             .unwrap_or_else(|| rv_bench::fail("--diff requires two path arguments"));
-        diff(a, b);
+        diff(a, b, smoke, trials, only.as_deref(), engine_fp);
         return;
     }
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let trials = args
-        .iter()
-        .position(|a| a == "--trials")
-        .map(|i| {
-            args.get(i + 1)
-                .and_then(|v| v.parse::<usize>().ok())
-                .filter(|&t| t > 0)
-                .unwrap_or_else(|| rv_bench::fail("--trials requires a positive integer"))
-        })
-        .unwrap_or(if smoke { 1 } else { 5 });
+
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -394,13 +215,14 @@ fn main() {
                 .clone()
         })
         .unwrap_or_else(|| "MATRIX_baseline.jsonl".to_string());
-    let only = args.iter().position(|a| a == "--only").map(|i| {
-        args.get(i + 1)
-            .unwrap_or_else(|| rv_bench::fail("--only requires a substring argument"))
-            .clone()
+    let store_dir = args.iter().position(|a| a == "--store").map(|i| {
+        PathBuf::from(
+            args.get(i + 1)
+                .unwrap_or_else(|| rv_bench::fail("--store requires a directory argument")),
+        )
     });
     let checkpoint = args.iter().position(|a| a == "--checkpoint").map(|i| {
-        std::path::PathBuf::from(
+        PathBuf::from(
             args.get(i + 1)
                 .unwrap_or_else(|| rv_bench::fail("--checkpoint requires a directory argument")),
         )
@@ -409,17 +231,22 @@ fn main() {
     if resume && checkpoint.is_none() {
         rv_bench::fail("--resume requires --checkpoint DIR");
     }
+    if store_dir.is_some() && checkpoint.is_some() {
+        rv_bench::fail(
+            "--store and --checkpoint are mutually exclusive (a checkpoint *is* a \
+             sweep-private store; point --store at a shared directory instead)",
+        );
+    }
 
     let meta = CheckpointMeta {
         smoke,
         trials,
         only: only.clone(),
     };
-    let stored = match (&checkpoint, resume) {
-        (Some(dir), true) => load_checkpoint(dir, &meta),
-        _ => std::collections::BTreeMap::new(),
-    };
     if let Some(dir) = &checkpoint {
+        if resume {
+            refuse_meta_mismatch(dir, &meta);
+        }
         std::fs::create_dir_all(dir).unwrap_or_else(|e| {
             rv_bench::fail(format!(
                 "cannot create checkpoint directory {}: {e}",
@@ -427,52 +254,80 @@ fn main() {
             ))
         });
         let meta_json = serde_json::to_string(&meta).expect("meta serialises");
-        rv_bench::write_atomic(dir.join("meta.json"), &format!("{meta_json}\n"))
+        rv_bench::write_atomic(dir.join("meta.json"), format!("{meta_json}\n"))
             .unwrap_or_else(|e| rv_bench::fail(format!("cannot write checkpoint meta: {e}")));
     }
 
+    // The store: shared (`--store`) or sweep-private (`--checkpoint`).
+    // Warm serving is unconditional for a shared store; a checkpoint
+    // serves only under `--resume` (a fresh checkpointed run recomputes,
+    // exactly as the durable sweeps always did).
+    let serve_warm = store_dir.is_some() || resume;
+    let mut store = store_dir.as_ref().or(checkpoint.as_ref()).map(|dir| {
+        let s = Store::open(dir).unwrap_or_else(|e| {
+            rv_bench::fail(format!("cannot open store {}: {e}", dir.display()))
+        });
+        let report = s.open_report();
+        if report.truncated_bytes > 0 {
+            eprintln!(
+                "note: store {}: dropped {} torn trailing byte(s); the affected cell(s) \
+                     will be recomputed",
+                dir.display(),
+                report.truncated_bytes
+            );
+        }
+        s
+    });
+
     let mut lines = String::new();
     let mut rows = 0usize;
-    let mut reused = 0usize;
-    for (family, fname, n, adversary, kind) in cells() {
-        let scenario = scenario_id(fname, n, adversary, &kind);
+    let mut hits = 0usize;
+    let mut executed = 0usize;
+    for spec in cells() {
+        let scenario = spec.scenario_id();
         if let Some(filter) = &only {
             if !scenario.contains(filter.as_str()) {
                 continue;
             }
         }
-        // A checkpointed row is reused as its stored *line*, verbatim —
+        let cutoff = spec.cutoff(smoke);
+        let key = StoreKey {
+            cell: spec.content_key(trials, cutoff),
+            engine: engine_fp,
+        };
+        // A warm cell is served as its stored row *line*, verbatim —
         // re-measuring would only perturb the timing column; everything
         // else is deterministic and must come out identical anyway.
-        if let Some(line) = stored.get(&scenario) {
-            lines.push_str(line);
-            lines.push('\n');
-            rows += 1;
-            reused += 1;
-            continue;
+        if serve_warm {
+            if let Some(line) = store.as_ref().and_then(|s| s.get(key)) {
+                let line = std::str::from_utf8(line).unwrap_or_else(|_| {
+                    rv_bench::fail(format!("store row for {scenario} is not UTF-8"))
+                });
+                lines.push_str(line);
+                lines.push('\n');
+                rows += 1;
+                hits += 1;
+                continue;
+            }
         }
-        let cutoff = if smoke && matches!(kind, CellKind::Sgl { .. }) {
-            PROTOCOL_SMOKE_CUTOFF
-        } else {
-            full_cutoff(n, &kind)
-        };
-        let g = match &kind {
-            // Minimax cells use the raw generators: `generate` floors the
-            // order at 4, and the path(3) reference instance sits below it.
-            CellKind::Minimax { family, .. } => match family {
-                GraphFamily::Path => rv_graph::generators::path(n),
-                _ => rv_graph::generators::ring(n),
-            },
-            _ => family.generate(n, GRAPH_SEED),
-        };
-        let row = run_cell(&g, fname, n, adversary, &kind, trials, cutoff);
-        lines.push_str(&serde_json::to_string(&row).expect("rows serialise"));
+        let row = run_cell(&spec, trials, cutoff);
+        let line = serde_json::to_string(&row).expect("rows serialise");
+        lines.push_str(&line);
         lines.push('\n');
         rows += 1;
+        executed += 1;
+        if let Some(s) = store.as_mut() {
+            // Durability before progress: the record is on disk (atomic
+            // whole-segment replace) before the sweep moves on, so a
+            // SIGKILL between cells loses at most the cell in flight.
+            s.append(key, line.as_bytes()).unwrap_or_else(|e| {
+                rv_bench::fail(format!("cannot append {scenario} to the store: {e}"))
+            });
+        }
         if let Some(dir) = &checkpoint {
-            // Every completed cell makes the whole prefix durable: the
-            // atomic rewrite means a SIGKILL between cells (or mid-write)
-            // loses at most the cell in flight.
+            // Legacy observability surface: the finished prefix as plain
+            // JSON lines, atomically rewritten per cell (the chaos gates
+            // poll this file to time their SIGKILL).
             rv_bench::write_atomic(dir.join("rows.jsonl"), &lines).unwrap_or_else(|e| {
                 rv_bench::fail(format!("cannot checkpoint rows to {}: {e}", dir.display()))
             });
@@ -480,125 +335,151 @@ fn main() {
     }
     rv_bench::write_atomic(&out_path, &lines)
         .unwrap_or_else(|e| rv_bench::fail(format!("cannot write {out_path}: {e}")));
-    let resumed = if resume {
-        format!(", {reused} reused from checkpoint")
+    if store_dir.is_some() {
+        println!(
+            "wrote {rows} rows ({trials} trials per cell, {hits}/{rows} from store, \
+             {executed} executed) to {out_path}"
+        );
+    } else if resume {
+        println!(
+            "wrote {rows} rows ({trials} trials per cell, {hits} reused from checkpoint) \
+             to {out_path}"
+        );
     } else {
-        String::new()
-    };
-    println!("wrote {rows} rows ({trials} trials per cell{resumed}) to {out_path}");
+        println!("wrote {rows} rows ({trials} trials per cell) to {out_path}");
+    }
 }
 
-/// Loads a `--resume` checkpoint: verifies `meta.json` matches this
-/// invocation's configuration, then indexes the stored row lines by
-/// scenario id. A missing checkpoint is an empty one (the sweep simply
-/// starts over); a *mismatched* one is an error, because splicing rows
-/// measured under different settings would corrupt the table silently.
-fn load_checkpoint(
-    dir: &std::path::Path,
-    meta: &CheckpointMeta,
-) -> std::collections::BTreeMap<String, String> {
+/// Parses an engine fingerprint: decimal, or hex with a `0x` prefix (the
+/// store docs print fingerprints in hex).
+fn parse_fp(raw: &str) -> Option<u64> {
+    match raw.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => raw.parse().ok(),
+    }
+}
+
+/// `--resume` guard: a checkpoint written under a different configuration
+/// is refused, not silently spliced. A missing checkpoint is an empty one
+/// (the sweep simply starts over).
+fn refuse_meta_mismatch(dir: &Path, meta: &CheckpointMeta) {
     let meta_path = dir.join("meta.json");
-    match std::fs::read_to_string(&meta_path) {
-        Ok(text) => {
-            let v = serde_json::from_str(&text).unwrap_or_else(|e| {
-                rv_bench::fail(format!("{} is not valid JSON: {e}", meta_path.display()))
-            });
-            let found = CheckpointMeta {
-                smoke: v.get("smoke").and_then(|x| x.as_bool()).unwrap_or_else(|| {
-                    rv_bench::fail(format!("{} has no smoke flag", meta_path.display()))
-                }),
-                trials: v.get("trials").and_then(|x| x.as_u64()).unwrap_or_else(|| {
-                    rv_bench::fail(format!("{} has no trial count", meta_path.display()))
-                }) as usize,
-                only: v.get("only").filter(|x| !x.is_null()).map(|x| {
-                    x.as_str()
-                        .unwrap_or_else(|| {
-                            rv_bench::fail(format!(
-                                "{} only-filter must be a string",
-                                meta_path.display()
-                            ))
-                        })
-                        .to_string()
-                }),
-            };
-            if &found != meta {
-                rv_bench::fail(format!(
-                    "checkpoint {} was written by a different configuration \
-                     ({found:?}, this run is {meta:?}); refusing to splice",
-                    dir.display()
-                ));
+    let text = match std::fs::read_to_string(&meta_path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return,
+        Err(e) => rv_bench::fail(format!("cannot read {}: {e}", meta_path.display())),
+    };
+    let v = serde_json::from_str(&text).unwrap_or_else(|e| {
+        rv_bench::fail(format!("{} is not valid JSON: {e}", meta_path.display()))
+    });
+    let found = CheckpointMeta {
+        smoke: v.get("smoke").and_then(|x| x.as_bool()).unwrap_or_else(|| {
+            rv_bench::fail(format!("{} has no smoke flag", meta_path.display()))
+        }),
+        trials: v.get("trials").and_then(|x| x.as_u64()).unwrap_or_else(|| {
+            rv_bench::fail(format!("{} has no trial count", meta_path.display()))
+        }) as usize,
+        only: v.get("only").filter(|x| !x.is_null()).map(|x| {
+            x.as_str()
+                .unwrap_or_else(|| {
+                    rv_bench::fail(format!(
+                        "{} only-filter must be a string",
+                        meta_path.display()
+                    ))
+                })
+                .to_string()
+        }),
+    };
+    if &found != meta {
+        rv_bench::fail(format!(
+            "checkpoint {} was written by a different configuration \
+             ({found:?}, this run is {meta:?}); refusing to splice",
+            dir.display()
+        ));
+    }
+}
+
+/// Loads one `--diff` source as raw row lines: a file is read as JSON
+/// lines; a directory is opened as a store and materialised in declared
+/// cell order under this invocation's configuration (`--smoke`,
+/// `--trials`, `--only`, `--engine-fp`), failing loudly on any missing
+/// cell — a half-populated store must not diff clean.
+fn load_rows(
+    src: &str,
+    smoke: bool,
+    trials: usize,
+    only: Option<&str>,
+    engine_fp: u64,
+) -> Vec<String> {
+    if !Path::new(src).is_dir() {
+        let text = std::fs::read_to_string(src)
+            .unwrap_or_else(|e| rv_bench::fail(format!("cannot read {src}: {e}")));
+        return text.lines().map(str::to_string).collect();
+    }
+    let store = Store::open(src)
+        .unwrap_or_else(|e| rv_bench::fail(format!("cannot open store {src}: {e}")));
+    let mut out = Vec::new();
+    for spec in cells() {
+        let scenario = spec.scenario_id();
+        if let Some(filter) = only {
+            if !scenario.contains(filter) {
+                continue;
             }
         }
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-            return std::collections::BTreeMap::new()
-        }
-        Err(e) => rv_bench::fail(format!("cannot read {}: {e}", meta_path.display())),
-    }
-    let rows_path = dir.join("rows.jsonl");
-    let text = match std::fs::read_to_string(&rows_path) {
-        Ok(text) => text,
-        // Meta landed but no row completed before the kill: resume runs
-        // the whole sweep.
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Default::default(),
-        Err(e) => rv_bench::fail(format!("cannot read {}: {e}", rows_path.display())),
-    };
-    let mut stored = std::collections::BTreeMap::new();
-    for (lineno, line) in text.lines().enumerate() {
-        let row = serde_json::from_str(line).unwrap_or_else(|e| {
+        let cutoff = spec.cutoff(smoke);
+        let key = StoreKey {
+            cell: spec.content_key(trials, cutoff),
+            engine: engine_fp,
+        };
+        let line = store.get(key).unwrap_or_else(|| {
             rv_bench::fail(format!(
-                "{}:{} is not valid JSON: {e}",
-                rows_path.display(),
-                lineno + 1
+                "store {src} has no row for {scenario} under this configuration \
+                 (smoke={smoke}, trials={trials}, engine_fp={engine_fp:#018x})"
             ))
         });
-        let scenario = row
-            .get("scenario")
-            .and_then(|s| s.as_str())
-            .unwrap_or_else(|| {
-                rv_bench::fail(format!(
-                    "{}:{} has no scenario id",
-                    rows_path.display(),
-                    lineno + 1
-                ))
-            })
-            .to_string();
-        if stored.insert(scenario.clone(), line.to_string()).is_some() {
-            rv_bench::fail(format!(
-                "{} stores duplicate rows for {scenario}",
-                rows_path.display()
-            ));
-        }
+        out.push(
+            std::str::from_utf8(line)
+                .unwrap_or_else(|_| {
+                    rv_bench::fail(format!("store row for {scenario} is not UTF-8"))
+                })
+                .to_string(),
+        );
     }
-    stored
+    out
 }
 
-/// `--diff A B`: compares two row files cell by cell, ignoring only the
-/// wall-clock column (`median_ns_per_run` is the last field of every
-/// row, so the comparison strips the rendered suffix). This is the
-/// chaos-recovery gate: a resumed sweep must reproduce the reference
-/// table exactly, timing aside.
-fn diff(a: &str, b: &str) {
-    let read = |p: &str| {
-        std::fs::read_to_string(p)
-            .unwrap_or_else(|e| rv_bench::fail(format!("cannot read {p}: {e}")))
-    };
-    let strip_timing = |line: &str| -> String {
-        match line.rfind(",\"median_ns_per_run\":") {
-            Some(i) => line[..i].to_string(),
-            None => line.to_string(),
+/// The schema-aware comparable form of a row line: parsed, the wall-clock
+/// column dropped **by field name**, and the remaining fields sorted by
+/// key — so the comparison survives both a trailing-position move of the
+/// timing column and any field reordering (the old suffix-strip broke on
+/// either).
+fn comparable(line: &str, src: &str, lineno: usize) -> Value {
+    let v = serde_json::from_str(line)
+        .unwrap_or_else(|e| rv_bench::fail(format!("{src}:{} is not valid JSON: {e}", lineno + 1)));
+    match v {
+        Value::Object(mut fields) => {
+            fields.retain(|(k, _)| k != "median_ns_per_run");
+            fields.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Object(fields)
         }
-    };
-    let ta = read(a);
-    let tb = read(b);
-    let la: Vec<String> = ta.lines().map(strip_timing).collect();
-    let lb: Vec<String> = tb.lines().map(strip_timing).collect();
+        other => other,
+    }
+}
+
+/// `--diff A B`: compares two row sources cell by cell, ignoring only the
+/// wall-clock column. This is the chaos-recovery *and* store-identity
+/// gate: a resumed sweep — or a fully store-served one — must reproduce
+/// the reference table exactly, timing aside.
+fn diff(a: &str, b: &str, smoke: bool, trials: usize, only: Option<&str>, engine_fp: u64) {
+    let la = load_rows(a, smoke, trials, only, engine_fp);
+    let lb = load_rows(b, smoke, trials, only, engine_fp);
     let mut differences = 0usize;
     if la.len() != lb.len() {
         eprintln!("{a} has {} rows, {b} has {}", la.len(), lb.len());
         differences += 1;
     }
     for (i, (ra, rb)) in la.iter().zip(lb.iter()).enumerate() {
-        if ra != rb {
+        if comparable(ra, a, i) != comparable(rb, b, i) {
             eprintln!("row {} differs:\n  {a}: {ra}\n  {b}: {rb}", i + 1);
             differences += 1;
         }
@@ -622,47 +503,36 @@ struct CellOutcome {
     tt: Option<(u64, u64)>,
 }
 
-/// Runs one cell `trials` times under its stop policy; reports the
-/// outcome of the (deterministic) run and the median wall time.
-fn run_cell(
-    g: &rv_graph::Graph,
-    family: &str,
-    n: usize,
-    adversary: AdversaryKind,
-    kind: &CellKind,
-    trials: usize,
-    cutoff: u64,
-) -> Row {
+/// Runs one cell `trials` times under its stop policy (and, for chaos
+/// cells, its seeded fault plan); reports the outcome of the
+/// (deterministic) run and the median wall time.
+fn run_cell(spec: &CellSpec, trials: usize, cutoff: u64) -> Row {
+    let g = spec.graph();
     let uxs = SeededUxs::quadratic();
-    let (mode, agents, policy_name) = match kind {
-        CellKind::Rendezvous { .. } => ("rendezvous", 2, "divergence"),
-        CellKind::Sgl { k } => ("protocol", *k, "adaptive"),
-        CellKind::Minimax { .. } => ("minimax", 2, "exhaustive"),
-    };
     let mut outcome: Option<CellOutcome> = None;
     let mut samples = Vec::with_capacity(trials);
     for trial in 0..trials {
-        let mut adv = adversary.build(ADVERSARY_SEED);
-        let (elapsed, out) = match kind {
+        let mut adv = spec.adversary.build(ADVERSARY_SEED);
+        let (elapsed, out) = match spec.kind {
             CellKind::Rendezvous { variant, .. } => {
                 let agents = vec![
                     RvBehavior::with_variant(
-                        g,
+                        &g,
                         uxs,
                         NodeId(0),
                         Label::new(LABELS.0).unwrap(),
-                        *variant,
+                        variant,
                     ),
                     RvBehavior::with_variant(
-                        g,
+                        &g,
                         uxs,
                         NodeId(g.order() / 2),
                         Label::new(LABELS.1).unwrap(),
-                        *variant,
+                        variant,
                     ),
                 ];
                 let config = RunConfig::rendezvous().with_cutoff(cutoff);
-                let mut rt = Runtime::new(g, agents, config);
+                let mut rt = Runtime::new(&g, agents, config);
                 let mut policy = DivergenceDetector::default();
                 let start = Instant::now();
                 let out = rt.run_with_policy(adv.as_mut(), &mut policy);
@@ -679,13 +549,13 @@ fn run_cell(
                     },
                 )
             }
-            CellKind::Sgl { k } => {
-                let behaviors: Vec<_> = SGL_LABELS[..*k]
+            CellKind::Sgl { k, fault_seed } => {
+                let behaviors: Vec<_> = SGL_LABELS[..k]
                     .iter()
                     .enumerate()
                     .map(|(i, &l)| {
                         SglBehavior::new(
-                            g,
+                            &g,
                             uxs,
                             NodeId(i * g.order() / k),
                             Label::new(l).unwrap(),
@@ -695,7 +565,10 @@ fn run_cell(
                     })
                     .collect();
                 let config = RunConfig::protocol().with_cutoff(cutoff);
-                let mut rt = Runtime::new(g, behaviors, config);
+                let mut rt = Runtime::new(&g, behaviors, config);
+                if let Some(plan) = spec.fault_plan() {
+                    rt.set_fault_plan(plan);
+                }
                 let mut policy = AdaptiveThreshold::default();
                 let start = Instant::now();
                 let out = rt.run_with_policy(adv.as_mut(), &mut policy);
@@ -707,15 +580,18 @@ fn run_cell(
                         eprintln!(
                             "note: {}: stalled — agent {} gained no traversals for {} actions \
                              (flat minimum {})",
-                            scenario_id(family, n, adversary, kind),
+                            spec.scenario_id(),
                             report.agent,
                             report.silent_actions,
                             report.traversals
                         );
                     }
                 }
-                let complete =
-                    (out.end == RunEnd::AllParked).then(|| sgl_complete(&rt, &SGL_LABELS[..*k]));
+                // The completeness postcondition only binds fault-free
+                // quiescence: a crashed agent can neither output nor be
+                // met, so the chaos tier reports `null` by construction.
+                let complete = (out.end == RunEnd::AllParked && fault_seed.is_none())
+                    .then(|| sgl_complete(&rt, &SGL_LABELS[..k]));
                 (
                     elapsed,
                     CellOutcome {
@@ -728,8 +604,8 @@ fn run_cell(
                     },
                 )
             }
-            CellKind::Minimax { depth, family } => {
-                let autos = family.automorphisms(g);
+            CellKind::Minimax { depth } => {
+                let autos = spec.family.automorphisms(&g);
                 let opts = rv_sim::SearchOptions {
                     // One worker: the search result is worker-count-
                     // independent, but the table statistics are only
@@ -741,14 +617,14 @@ fn run_cell(
                 };
                 let start = Instant::now();
                 let report = rv_sim::search_worst_case(
-                    g,
+                    &g,
                     || {
                         vec![
-                            RvBehavior::new(g, uxs, NodeId(0), Label::new(1).unwrap()),
-                            RvBehavior::new(g, uxs, NodeId(2), Label::new(2).unwrap()),
+                            RvBehavior::new(&g, uxs, NodeId(0), Label::new(1).unwrap()),
+                            RvBehavior::new(&g, uxs, NodeId(2), Label::new(2).unwrap()),
                         ]
                     },
-                    *depth,
+                    depth,
                     &opts,
                 );
                 let elapsed = start.elapsed();
@@ -759,7 +635,7 @@ fn run_cell(
                         end: "Searched".to_string(),
                         cost: report.worst.max_meeting_cost,
                         traversals: report.worst.schedules_explored,
-                        actions: *depth as u64,
+                        actions: depth as u64,
                         complete: None,
                         tt: Some((stats.hits, stats.entries)),
                     },
@@ -772,29 +648,21 @@ fn run_cell(
     let out = outcome.expect("trials > 0");
     samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
     Row {
-        scenario: scenario_id(family, n, adversary, kind),
-        mode: mode.to_string(),
-        family: family.to_string(),
-        n,
-        adversary: match kind {
-            // The search quantifies over every adversary; the axis value
-            // names the quantifier, not a strategy.
-            CellKind::Minimax { .. } => "worst-case".to_string(),
-            _ => adversary.to_string(),
-        },
-        variant: match kind {
-            CellKind::Rendezvous { vname, .. } => vname.to_string(),
-            CellKind::Sgl { k } => format!("sgl-k{k}"),
-            CellKind::Minimax { depth, .. } => format!("memo-d{depth}"),
-        },
-        agents,
-        policy: policy_name.to_string(),
+        scenario: spec.scenario_id(),
+        mode: spec.mode().to_string(),
+        family: spec.fname.to_string(),
+        n: spec.n,
+        adversary: spec.adversary_name(),
+        variant: spec.variant_name(),
+        agents: spec.agents(),
+        policy: spec.policy().to_string(),
         end: out.end,
         cost: out.cost,
         traversals: out.traversals,
         cutoff,
         actions: out.actions,
         complete: out.complete,
+        faults: spec.fault_label(),
         trials,
         tt_hits: out.tt.map(|t| t.0),
         tt_entries: out.tt.map(|t| t.1),
@@ -815,10 +683,7 @@ fn sgl_complete(rt: &Runtime<SglBehavior<SeededUxs>>, labels: &[u64]) -> bool {
 fn check(path: &str) {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| rv_bench::fail(format!("cannot read matrix file {path}: {e}")));
-    let mut expected: Vec<String> = Vec::new();
-    for (_, fname, n, adversary, kind) in cells() {
-        expected.push(scenario_id(fname, n, adversary, &kind));
-    }
+    let expected: Vec<String> = cells().iter().map(|c| c.scenario_id()).collect();
     let mut seen: Vec<String> = Vec::new();
     let mut protocol_rows = 0usize;
     let mut minimax_rows = 0usize;
@@ -873,6 +738,39 @@ fn check(path: &str) {
             "{path}:{} wrong policy for mode {mode}",
             lineno + 1
         );
+        // The faults column: `"none"`, or a seeded descriptor that must
+        // agree with the scenario id's `+f<seed>` suffix — and only
+        // protocol cells carry fault plans.
+        let faults = field("faults");
+        let faults = faults
+            .as_str()
+            .unwrap_or_else(|| panic!("{path}:{} faults must be a string", lineno + 1));
+        if let Some(seed) = faults.strip_prefix("seeded:") {
+            assert_eq!(
+                mode,
+                "protocol",
+                "{path}:{} only protocol cells run the chaos tier",
+                lineno + 1
+            );
+            assert!(
+                scenario.ends_with(&format!("+f{seed}")),
+                "{path}:{} faults {faults:?} does not match the scenario id",
+                lineno + 1
+            );
+        } else {
+            assert_eq!(
+                faults,
+                "none",
+                "{path}:{} unknown faults descriptor {faults:?}",
+                lineno + 1
+            );
+            assert!(
+                !scenario.contains("+f"),
+                "{path}:{} a chaos cell must declare its fault seed",
+                lineno + 1
+            );
+        }
+        let faulted = faults != "none";
         let end = field("end");
         let end = end
             .as_str()
@@ -884,6 +782,8 @@ fn check(path: &str) {
                 "Cutoff",
                 "Diverged",
                 "Stalled",
+                "SurvivorsParked",
+                "AllCrashed",
                 "Searched"
             ]
             .contains(&end),
@@ -904,7 +804,8 @@ fn check(path: &str) {
             lineno + 1
         );
         // Detector verdicts are mode-specific: piece-number divergence is
-        // a rendezvous concept, progress-tick stalls a protocol one.
+        // a rendezvous concept, progress-tick stalls a protocol one — and
+        // crash outcomes can only appear where a fault plan was armed.
         assert!(
             mode == "rendezvous" || end != "Diverged",
             "{path}:{} only rendezvous cells can diverge",
@@ -913,6 +814,11 @@ fn check(path: &str) {
         assert!(
             mode == "protocol" || end != "Stalled",
             "{path}:{} only protocol cells can stall",
+            lineno + 1
+        );
+        assert!(
+            faulted || !["SurvivorsParked", "AllCrashed"].contains(&end),
+            "{path}:{} crash ends require an armed fault plan",
             lineno + 1
         );
         let agents = field("agents").as_u64().unwrap_or(0);
@@ -981,11 +887,12 @@ fn check(path: &str) {
                 );
             }
         }
-        // The completeness check rides exactly on quiesced protocol rows
-        // — and must pass there (a quiesced-but-incomplete run is a
-        // protocol bug, not a budget artifact).
+        // The completeness check rides exactly on fault-free quiesced
+        // protocol rows — and must pass there (a quiesced-but-incomplete
+        // run is a protocol bug, not a budget artifact). Chaos rows are
+        // exempt by construction: a crashed agent cannot satisfy it.
         let complete = field("complete");
-        if mode == "protocol" && end == "AllParked" {
+        if mode == "protocol" && end == "AllParked" && !faulted {
             assert_eq!(
                 complete.as_bool(),
                 Some(true),
@@ -995,7 +902,8 @@ fn check(path: &str) {
         } else {
             assert!(
                 complete.is_null(),
-                "{path}:{} complete must be null off the quiesced protocol rows",
+                "{path}:{} complete must be null off the fault-free quiesced \
+                 protocol rows",
                 lineno + 1
             );
         }

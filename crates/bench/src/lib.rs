@@ -5,6 +5,14 @@
 
 use serde::Serialize;
 
+pub mod cells;
+
+// Atomic file replacement now lives in `rv_store` (the store's segment
+// writes share it); re-exported so the experiment binaries keep their
+// `rv_bench::write_atomic` spelling — and so the `api-atomic-output-write`
+// lint has one blessed path to point at.
+pub use rv_store::write_atomic;
+
 /// One measured data point of an experiment, serialisable to JSON lines.
 #[derive(Clone, Debug, Serialize)]
 pub struct Sample {
@@ -69,30 +77,6 @@ pub fn sgl_postcondition_violations<P: rv_explore::ExplorationProvider + Clone>(
         }
     }
     out
-}
-
-/// Writes `contents` to `path` **atomically**: the bytes land in a
-/// temporary file in the same directory (same filesystem, so the rename
-/// is atomic), then replace the destination in one `rename`. A reader —
-/// or a resumed sweep — therefore only ever sees the old complete file
-/// or the new complete file, never a torn prefix, whatever signal kills
-/// the writer mid-write. All JSON-lines output of the experiment
-/// binaries goes through here (DESIGN.md; see also `docs/FAULTS.md`).
-pub fn write_atomic(path: impl AsRef<std::path::Path>, contents: &str) -> std::io::Result<()> {
-    let path = path.as_ref();
-    let file_name = path.file_name().ok_or_else(|| {
-        std::io::Error::new(
-            std::io::ErrorKind::InvalidInput,
-            format!("{} has no file name", path.display()),
-        )
-    })?;
-    let dir = match path.parent() {
-        Some(p) if !p.as_os_str().is_empty() => p,
-        _ => std::path::Path::new("."),
-    };
-    let tmp = dir.join(format!(".{}.tmp", file_name.to_string_lossy()));
-    std::fs::write(&tmp, contents)?;
-    std::fs::rename(&tmp, path)
 }
 
 /// Prints a diagnostic to stderr and exits with a nonzero status — the
@@ -212,27 +196,6 @@ mod tests {
         assert!(serde_json::to_string(&cut)
             .unwrap()
             .ends_with(r#""cost":null}"#));
-    }
-
-    #[test]
-    fn write_atomic_replaces_the_destination_and_leaves_no_temp() {
-        let dir = std::env::temp_dir().join(format!("rv_bench_atomic_{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("rows.jsonl");
-        write_atomic(&path, "one\n").unwrap();
-        assert_eq!(std::fs::read_to_string(&path).unwrap(), "one\n");
-        write_atomic(&path, "one\ntwo\n").unwrap();
-        assert_eq!(std::fs::read_to_string(&path).unwrap(), "one\ntwo\n");
-        assert!(
-            !dir.join(".rows.jsonl.tmp").exists(),
-            "the temp file must not outlive the rename"
-        );
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn write_atomic_rejects_a_bare_root_path() {
-        assert!(write_atomic(std::path::Path::new("/"), "x").is_err());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! | determinism | `det-hash-collections`, `det-wall-clock`, `det-thread-id` |
 //! | panic-safety | `panic-bare-unwrap`, `panic-bare-macro`, `panic-catch-unwind-recovery` |
 //! | concurrency | `atomics-ordering-comment`, `unsafe-needs-safety-comment`, `crate-forbids-unsafe` |
-//! | api-misuse | `api-meetinglog-to-vec`, `api-lock-across-dispatch`, `api-memo-reserve-publish` |
+//! | api-misuse | `api-meetinglog-to-vec`, `api-lock-across-dispatch`, `api-memo-reserve-publish`, `api-atomic-output-write` |
 //!
 //! See `docs/LINTS.md` for the rationale and an example per rule.
 
@@ -35,6 +35,12 @@ const DISPATCH_FNS: &[&str] = &["run_job", "split_job", "explore_subtree", "expl
 /// Crates owning the transposition table: every `.publish(…)`/`.release(…)`
 /// call there must document which reservation it settles.
 pub const MEMO_TABLE_CRATES: &[&str] = &["sim"];
+
+/// Source tree whose binaries write results artifacts (row files, metadata,
+/// checkpoints) that chaos gates SIGKILL mid-write: every output write there
+/// must go through `rv_bench::write_atomic` (temp + rename), never a direct
+/// in-place `fs::write` / `File::create`.
+pub const ATOMIC_OUTPUT_PATH: &str = "crates/bench/src";
 
 const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
 
@@ -100,6 +106,7 @@ pub fn run_all(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
     api_to_vec(ctx, out);
     api_lock_across_dispatch(ctx, out);
     api_memo_reserve_publish(ctx, out);
+    api_atomic_output_write(ctx, out);
 }
 
 /// Every rule id this engine can emit (used by `--list-rules` and the
@@ -117,6 +124,7 @@ pub const ALL_RULES: &[&str] = &[
     "api-meetinglog-to-vec",
     "api-lock-across-dispatch",
     "api-memo-reserve-publish",
+    "api-atomic-output-write",
 ];
 
 // ---------------------------------------------------------------- determinism
@@ -502,6 +510,48 @@ fn api_memo_reserve_publish(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
                     "`.{}(…)` without an adjacent `// publish:` comment naming \
                      the table reservation this call completes or abandons",
                     name.text
+                ),
+            ));
+        }
+    }
+}
+
+/// `api-atomic-output-write`: in the experiment-binary tree
+/// (`crates/bench/src`), no direct `fs::write(…)` or `File::create(…)`.
+/// The chaos gates SIGKILL these binaries mid-sweep, and a torn half-written
+/// row file or `meta.json` then poisons every later resume; writes must go
+/// through `rv_bench::write_atomic` (same-directory temp + atomic rename),
+/// which makes every artifact either the old complete bytes or the new ones.
+/// The store's segment writer (`rv_store`) is the one place allowed to
+/// manage its own file handles, and it lives outside this tree.
+fn api_atomic_output_write(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !ctx.rel_path.starts_with(ATOMIC_OUTPUT_PATH) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for i in 0..toks.len() {
+        if ctx.in_test_mod(toks[i].line) {
+            continue;
+        }
+        let callee = if toks[i].is_ident("fs") {
+            "write"
+        } else if toks[i].is_ident("File") {
+            "create"
+        } else {
+            continue;
+        };
+        if matches_punct_run(&toks[i + 1..], &[':', ':'])
+            && toks.get(i + 3).is_some_and(|t| t.is_ident(callee))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('('))
+        {
+            out.push(ctx.finding(
+                toks[i].line,
+                "api-atomic-output-write",
+                format!(
+                    "`{}::{callee}(…)` writes an output file in place: a SIGKILL \
+                     mid-write leaves a torn artifact — use `rv_bench::write_atomic` \
+                     (temp + rename) instead",
+                    toks[i].text
                 ),
             ));
         }

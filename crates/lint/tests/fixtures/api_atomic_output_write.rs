@@ -1,0 +1,25 @@
+// lint-fixture: as=crates/bench/src/bin/fixture_writer.rs
+//! Fixture: exactly two `api-atomic-output-write` findings — one per
+//! in-place write form. The blessed `write_atomic` call and the reads
+//! stay clean, and the `#[cfg(test)]` mod is exempt (tests may stage
+//! scratch files however they like).
+
+use std::fs::{self, File};
+
+pub fn torn_on_sigkill(rows: &[u8]) {
+    fs::write("rows.jsonl", rows).unwrap();
+    let _f = File::create("meta.json").unwrap();
+}
+
+pub fn blessed(rows: &[u8]) {
+    rv_bench::write_atomic("rows.jsonl", rows);
+    let _meta = fs::read_to_string("meta.json");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_files_are_exempt() {
+        std::fs::write("scratch.txt", b"ok").unwrap();
+    }
+}

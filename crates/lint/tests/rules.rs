@@ -92,6 +92,11 @@ fn api_memo_reserve_publish_fixture() {
     assert_fixture_triggers("api_memo_reserve_publish.rs", "api-memo-reserve-publish", 1);
 }
 
+#[test]
+fn api_atomic_output_write_fixture() {
+    assert_fixture_triggers("api_atomic_output_write.rs", "api-atomic-output-write", 2);
+}
+
 // ------------------------------------------------------ scoping behaviour
 
 /// Scans inline source by writing it to a temp file (unique per test).

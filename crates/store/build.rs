@@ -1,0 +1,129 @@
+//! Engine-fingerprint generator (std-only, no build dependencies).
+//!
+//! Hashes the **behavior-relevant source** of the engine crates — every
+//! `.rs` file under `crates/{arith,core,explore,graph,protocols,sim,
+//! trajectory}/src` — into one 64-bit digest and embeds it as
+//! `rv_store::ENGINE_FINGERPRINT`. Stored cell results are keyed
+//! `(cell_key, engine_fingerprint)`, so any semantic change to the engine
+//! invalidates every stored row *honestly*, while edits confined to the
+//! bench harness, tests, docs, or CI invalidate nothing (their sources are
+//! deliberately outside the digest).
+//!
+//! The digest is a pure function of the sorted relative paths and byte
+//! contents of the hashed files (FNV-1a accumulation, SplitMix64
+//! finalisation — the same construction as `rv_store::content_hash`), so
+//! two checkouts of the same engine sources agree on it across machines.
+//! `cargo:rerun-if-changed` is emitted for every hashed file *and* each
+//! `src` directory, so adding, editing, or deleting an engine source file
+//! regenerates the constant on the next build.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// The crates whose library sources define simulation behavior. The bench
+/// crate and this store crate are intentionally absent: a sweep-harness or
+/// storage-layer edit must not invalidate stored results.
+const ENGINE_CRATES: &[&str] = &[
+    "arith",
+    "core",
+    "explore",
+    "graph",
+    "protocols",
+    "sim",
+    "trajectory",
+];
+
+fn main() {
+    let manifest =
+        std::env::var("CARGO_MANIFEST_DIR").expect("cargo always sets CARGO_MANIFEST_DIR");
+    let crates_dir = Path::new(&manifest)
+        .parent()
+        .expect("crates/store has a parent directory")
+        .to_path_buf();
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for name in ENGINE_CRATES {
+        let src = crates_dir.join(name).join("src");
+        println!("cargo:rerun-if-changed={}", src.display());
+        collect_rs_files(&src, &mut files);
+    }
+    files.sort();
+
+    let mut hash = Fnv::new();
+    for file in &files {
+        println!("cargo:rerun-if-changed={}", file.display());
+        // Hash the path relative to crates/ so the digest is
+        // checkout-location independent.
+        let rel = file
+            .strip_prefix(&crates_dir)
+            .expect("hashed files live under crates/");
+        let rel: Vec<String> = rel
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect();
+        hash.update(rel.join("/").as_bytes());
+        hash.update(&[0]);
+        let contents =
+            std::fs::read(file).unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+        hash.update(&contents);
+        hash.update(&[0]);
+    }
+    let fp = hash.finish();
+
+    let out_dir = std::env::var("OUT_DIR").expect("cargo always sets OUT_DIR");
+    let out_path = Path::new(&out_dir).join("engine_fp.rs");
+    let mut out = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("create {}: {e}", out_path.display()));
+    writeln!(
+        out,
+        "/// Digest of the engine crates' sources at build time — see `build.rs`.\n\
+         /// Every stored cell result is keyed by this alongside its content key,\n\
+         /// so a semantic engine change invalidates the whole stored population.\n\
+         pub const ENGINE_FINGERPRINT: u64 = {fp:#018x};\n\
+         /// Number of engine source files the fingerprint digests.\n\
+         pub const ENGINE_FINGERPRINT_FILES: usize = {};",
+        files.len()
+    )
+    .unwrap_or_else(|e| panic!("write {}: {e}", out_path.display()));
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries =
+        std::fs::read_dir(dir).unwrap_or_else(|e| panic!("read_dir {}: {e}", dir.display()));
+    for entry in entries {
+        let path = entry
+            .unwrap_or_else(|e| panic!("read_dir {}: {e}", dir.display()))
+            .path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// FNV-1a accumulator with a SplitMix64 finalizer — duplicated from
+/// `src/lib.rs` because a build script cannot depend on the crate it
+/// builds; the `engine_fingerprint_matches_an_independent_recomputation`
+/// test pins the two implementations together.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
