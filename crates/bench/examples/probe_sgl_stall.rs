@@ -293,6 +293,92 @@ fn outlier_deep(fname: &str, k: usize, kind: AdversaryKind, cutoff: u64) {
     );
 }
 
+/// Runs one cell with certification disabled under the adaptive stall
+/// detector — the ablation measurement: does the conjunctive detector
+/// (silence window AND structural mid-edge hold) still classify the cell,
+/// or does it burn the budget to `Cutoff`?
+fn nocert(fname: &str, n: usize, k: usize, kind: AdversaryKind, cutoff: u64) {
+    let uxs = SeededUxs::quadratic();
+    let g = family(fname).generate(n, GRAPH_SEED);
+    let config = SglConfig {
+        suspension: None,
+        ..SglConfig::default()
+    };
+    let behaviors: Vec<_> = SGL_LABELS[..k]
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| {
+            SglBehavior::new(
+                &g,
+                uxs,
+                NodeId(i * g.order() / k),
+                Label::new(l).unwrap(),
+                l + 1000,
+                config,
+            )
+        })
+        .collect();
+    let mut rt = Runtime::new(&g, behaviors, RunConfig::protocol().with_cutoff(cutoff));
+    let mut adv = kind.build(ADVERSARY_SEED);
+    let mut policy = rv_sim::AdaptiveThreshold::default();
+    let start = Instant::now();
+    let out = rt.run_with_policy(adv.as_mut(), &mut policy);
+    let suspect = policy
+        .suspension()
+        .map(|s| format!("a{} held {}", s.agent, s.held_actions))
+        .unwrap_or_else(|| "none".into());
+    println!(
+        "{fname}{n}/{kind}/sgl-k{k}+nocert: end={:?} cost={} actions={} suspect={suspect} wall={:?}",
+        out.end,
+        out.total_traversals,
+        out.actions,
+        start.elapsed()
+    );
+}
+
+/// Samples each agent's *scheduler* position (at-node / inside-edge,
+/// pending move, hold length) at fixed action intervals — locates the
+/// token ghost during a pinned phase, i.e. whether the adversary parks it
+/// at a node with an unscheduled `Start` or suspends it mid-crossing.
+fn places(fname: &str, n: usize, k: usize, kind: AdversaryKind, cutoff: u64) {
+    let uxs = SeededUxs::quadratic();
+    let g = family(fname).generate(n, GRAPH_SEED);
+    let mut rt = Runtime::new(
+        &g,
+        behaviors(&g, k, uxs),
+        RunConfig::protocol().with_cutoff(cutoff),
+    );
+    let mut adv = kind.build(ADVERSARY_SEED);
+    let mut meetings = Vec::new();
+    let mut next = 0u64;
+    println!("=== {fname}{n}/{kind}/sgl-k{k} places ===");
+    let end = loop {
+        if let Some(end) = rt.step(adv.as_mut(), &mut meetings) {
+            break end;
+        }
+        if rt.actions() >= next {
+            next = (next * 2).max(4096);
+            let p = rt.progress();
+            let summary: Vec<String> = (0..rt.agent_count())
+                .map(|i| format!("a{i}@{:?}", rt.place(i)))
+                .collect();
+            println!(
+                "  actions={} cost={} hold={}@a{} {}",
+                rt.actions(),
+                rt.total_traversals(),
+                p.longest_hold_actions,
+                p.longest_hold_agent,
+                summary.join(" ")
+            );
+        }
+    };
+    println!(
+        "END {end:?} cost={} actions={}",
+        rt.total_traversals(),
+        rt.actions()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
@@ -309,6 +395,24 @@ fn main() {
             outlier_deep("tree", 3, AdversaryKind::LazySecond, cutoff);
         }
         Some("windows") => silent_windows(),
+        Some("places") => {
+            let n: usize = args[3].parse().unwrap();
+            let k: usize = args[4].parse().unwrap();
+            let cutoff: u64 = args
+                .get(6)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(2_500_000);
+            places(&args[2], n, k, adversary(&args[5]), cutoff);
+        }
+        Some("nocert") => {
+            let n: usize = args[3].parse().unwrap();
+            let k: usize = args[4].parse().unwrap();
+            let cutoff: u64 = args
+                .get(6)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(2_500_000);
+            nocert(&args[2], n, k, adversary(&args[5]), cutoff);
+        }
         Some("large") => {
             let n: usize = args[3].parse().unwrap();
             let k: usize = args[4].parse().unwrap();

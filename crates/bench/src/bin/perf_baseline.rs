@@ -1,15 +1,18 @@
 //! **perf_baseline** — the committed performance trajectory of the
 //! simulator hot path.
 //!
-//! Times twelve fixed scenarios that together cover every layer the
+//! Times fifteen fixed scenarios that together cover every layer the
 //! experiments exercise — end-to-end rendezvous runs under two adversaries,
 //! raw trajectory-cursor streaming, the memoized symmetry-quotiented
 //! minimax search (shallow reference depths, the depth-14 headline the
 //! plain enumeration cannot reach, and a worker-count scaling sweep at
 //! 1/2/4/8), a protocol-mode SGL run with search-style snapshot
-//! checkpoints, and the detector-on divergent matrix slice (the 18
-//! rendezvous cells the divergence detector retires early) — with warmup
-//! and repeated trials,
+//! checkpoints, the detector-on divergent matrix slice (the 18
+//! rendezvous cells the divergence detector retires early), the
+//! certified large-order SGL quiescence headline (`sgl_quiesce/ring16`),
+//! and the ABBA-interleaved stalled-slice pair that prices the adaptive
+//! stall detector's per-step cadence on a fixed 2M-traversal prefix —
+//! with warmup and repeated trials,
 //! and writes the median ns/op per scenario as JSON (default
 //! `BENCH_baseline.json`, the repo-root perf baseline future PRs are
 //! compared against).
@@ -36,7 +39,7 @@ use serde::Serialize;
 use std::time::Instant;
 
 /// The scenarios a baseline file must cover, in reporting order.
-pub const SCENARIOS: [&str; 12] = [
+pub const SCENARIOS: [&str; 15] = [
     "f1_rendezvous/ring12/greedy-avoid",
     "f1_rendezvous/ring12/lazy-second",
     "cursor_stream/gnp16/B8",
@@ -49,6 +52,9 @@ pub const SCENARIOS: [&str; 12] = [
     "minimax_scaling/w8",
     "sgl/ring8/k3",
     "matrix_slice/diverge18",
+    "sgl_quiesce/ring16",
+    "sgl_stalled_slice/policy-off",
+    "sgl_stalled_slice/policy-on",
 ];
 
 /// One measured scenario, serialised into the baseline JSON.
@@ -100,6 +106,8 @@ fn main() {
     records.extend(minimax_scaling_scenarios(trials));
     records.push(sgl_protocol_scenario(trials));
     records.push(matrix_slice_scenario(trials));
+    records.push(sgl_quiesce_scenario(trials));
+    records.extend(sgl_stalled_slice_scenarios(trials));
 
     let json = serde_json::to_string(&records).expect("records serialise");
     rv_bench::write_atomic(&out_path, format!("{json}\n"))
@@ -381,6 +389,143 @@ fn matrix_slice_scenario(trials: usize) -> Record {
             std::hint::black_box(out.total_traversals);
         }
     })
+}
+
+/// The certified large-order SGL quiescence headline: ring(16), k = 2,
+/// `lazy(1)` — the adversary that pins the token ghost at a node forever.
+/// Before the suspended-token certificate this cell needed ≈ 19.6M
+/// traversals to quiesce naturally; the explorer's ESST now certifies the
+/// pinned token and closes Phase 1 early, retiring the whole run at the
+/// pinned cost below (a > 30× cut). The exact quiescence cost is asserted
+/// in the timed body so the baseline can never silently time a
+/// semantically different run.
+fn sgl_quiesce_scenario(trials: usize) -> Record {
+    use rv_protocols::{SglBehavior, SglConfig};
+    use rv_sim::AdaptiveThreshold;
+    const QUIESCE_COST: u64 = 645_705;
+    let uxs = SeededUxs::quadratic();
+    let g = GraphFamily::Ring.generate(16, 5);
+    let labels: [u64; 2] = [6, 9];
+    measure(SCENARIOS[12], "run", trials, 1, 1, || {
+        let agents: Vec<_> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| {
+                SglBehavior::new(
+                    &g,
+                    uxs,
+                    NodeId(i * g.order() / labels.len()),
+                    Label::new(l).unwrap(),
+                    l + 1000,
+                    SglConfig::default(),
+                )
+            })
+            .collect();
+        let mut rt = Runtime::new(&g, agents, RunConfig::protocol().with_cutoff(50_000_000));
+        let mut adv = AdversaryKind::LazySecond.build(3);
+        let mut policy = AdaptiveThreshold::default();
+        let out = rt.run_with_policy(adv.as_mut(), &mut policy);
+        assert_eq!(out.end, RunEnd::AllParked, "ring16/lazy(1) must quiesce");
+        assert_eq!(
+            out.total_traversals, QUIESCE_COST,
+            "certified quiescence cost"
+        );
+        std::hint::black_box(out.actions);
+    })
+}
+
+/// The stalled-slice pair: the same fixed 2M-traversal SGL prefix
+/// (ring(16), k = 2, round-robin, suspension census disarmed so the run
+/// cannot retire early) timed with the adaptive stall detector off and
+/// on. The two scenarios differ only in the per-step `StopPolicy` work,
+/// so their ratio prices the detector's cadence on a multi-million-
+/// traversal run. Trials are **ABBA-interleaved** (off-on on even trials,
+/// on-off on odd ones) so slow drift — thermal, frequency, cache — lands
+/// symmetrically on both medians instead of biasing whichever ran last.
+fn sgl_stalled_slice_scenarios(trials: usize) -> Vec<Record> {
+    use rv_protocols::{SglBehavior, SglConfig};
+    use rv_sim::AdaptiveThreshold;
+    const PREFIX: u64 = 2_000_000;
+    let uxs = SeededUxs::quadratic();
+    let g = GraphFamily::Ring.generate(16, 5);
+    let labels: [u64; 2] = [6, 9];
+    let config = SglConfig {
+        suspension: None,
+        ..SglConfig::default()
+    };
+    let run = |with_policy: bool| {
+        let agents: Vec<_> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| {
+                SglBehavior::new(
+                    &g,
+                    uxs,
+                    NodeId(i * g.order() / labels.len()),
+                    Label::new(l).unwrap(),
+                    l + 1000,
+                    config,
+                )
+            })
+            .collect();
+        let mut rt = Runtime::new(&g, agents, RunConfig::protocol().with_cutoff(PREFIX));
+        let mut adv = AdversaryKind::RoundRobin.build(3);
+        let start = Instant::now();
+        let out = if with_policy {
+            let mut policy = AdaptiveThreshold::default();
+            rt.run_with_policy(adv.as_mut(), &mut policy)
+        } else {
+            rt.run(adv.as_mut())
+        };
+        let elapsed = start.elapsed();
+        assert_eq!(out.end, RunEnd::Cutoff, "the prefix must be fixed work");
+        assert_eq!(out.total_traversals, PREFIX, "fixed-work prefix");
+        std::hint::black_box(out.actions);
+        elapsed.as_nanos() as f64
+    };
+    // Warmup both variants once, then interleave.
+    run(false);
+    run(true);
+    let mut off = Vec::with_capacity(trials);
+    let mut on = Vec::with_capacity(trials);
+    for t in 0..trials {
+        if t % 2 == 0 {
+            off.push(run(false));
+            on.push(run(true));
+        } else {
+            on.push(run(true));
+            off.push(run(false));
+        }
+    }
+    let median = |mut v: Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        v[v.len() / 2]
+    };
+    let (m_off, m_on) = (median(off), median(on));
+    println!(
+        "{}: median {m_off:.2} ns/run ({trials} trials x 1 ops)",
+        SCENARIOS[13]
+    );
+    println!(
+        "{}: median {m_on:.2} ns/run ({trials} trials x 1 ops)",
+        SCENARIOS[14]
+    );
+    vec![
+        Record {
+            scenario: SCENARIOS[13].to_string(),
+            median_ns_per_op: m_off,
+            trials,
+            ops_per_trial: 1,
+            unit: "run".to_string(),
+        },
+        Record {
+            scenario: SCENARIOS[14].to_string(),
+            median_ns_per_op: m_on,
+            trials,
+            ops_per_trial: 1,
+            unit: "run".to_string(),
+        },
+    ]
 }
 
 /// `--check`: the CI smoke gate. Asserts the file parses as JSON and has a

@@ -20,7 +20,10 @@
 //! their seeded crash-stop [`rv_sim::FaultPlan`] (the `faults` column;
 //! `end == "SurvivorsParked"` / `"AllCrashed"` appear only there).
 //! Protocol rows that quiesce fault-free also carry the **post-hoc
-//! completeness check** (`complete` column, DESIGN.md §4).
+//! completeness check** (`complete` column, DESIGN.md §4), and record any
+//! **suspended-token certificate** their explorers closed Phase 1 on
+//! (`certificate` column; the `+nocert` ablation cell runs with the
+//! census disarmed and keeps the certificate-free behavior measured).
 //!
 //! Usage:
 //!
@@ -128,6 +131,12 @@ struct Row {
     /// Fault plan of the cell: `"none"`, or `"seeded:<seed>"` for the
     /// chaos tier (the seed names the whole derived crash-stop plan).
     faults: String,
+    /// Suspended-token certificate of a protocol row, when some agent's
+    /// ESST closed on one: `"a<i>:phase<p>/s<sightings>/sp<span>"` per
+    /// certified agent, comma-joined in agent order. `null` on every
+    /// non-protocol row and on protocol rows that ran certificate-free
+    /// (never sighted a pinned token long enough, or `+nocert`).
+    certificate: Option<String>,
     /// Timed trials.
     trials: usize,
     /// Transposition-table hits of the memoized search; `null` off the
@@ -501,6 +510,8 @@ struct CellOutcome {
     complete: Option<bool>,
     /// `(tt_hits, tt_entries)` of a minimax cell's memoized search.
     tt: Option<(u64, u64)>,
+    /// Rendered suspended-token certificates (protocol cells only).
+    certificate: Option<String>,
 }
 
 /// Runs one cell `trials` times under its stop policy (and, for chaos
@@ -546,10 +557,19 @@ fn run_cell(spec: &CellSpec, trials: usize, cutoff: u64) -> Row {
                         actions: out.actions,
                         complete: None,
                         tt: None,
+                        certificate: None,
                     },
                 )
             }
-            CellKind::Sgl { k, fault_seed } => {
+            CellKind::Sgl {
+                k,
+                fault_seed,
+                certify,
+            } => {
+                let sgl_config = SglConfig {
+                    suspension: SglConfig::default().suspension.filter(|_| certify),
+                    ..SglConfig::default()
+                };
                 let behaviors: Vec<_> = SGL_LABELS[..k]
                     .iter()
                     .enumerate()
@@ -560,7 +580,7 @@ fn run_cell(spec: &CellSpec, trials: usize, cutoff: u64) -> Row {
                             NodeId(i * g.order() / k),
                             Label::new(l).unwrap(),
                             l + 1000,
-                            SglConfig::default(),
+                            sgl_config,
                         )
                     })
                     .collect();
@@ -573,8 +593,10 @@ fn run_cell(spec: &CellSpec, trials: usize, cutoff: u64) -> Row {
                 let start = Instant::now();
                 let out = rt.run_with_policy(adv.as_mut(), &mut policy);
                 let elapsed = start.elapsed();
-                // Stalled-cell diagnostic: name the starving agent, once
-                // per cell (the run is deterministic across trials).
+                // Stalled-cell diagnostic: name the starving agent and
+                // the structural suspension evidence the verdict rests
+                // on, once per cell (the run is deterministic across
+                // trials).
                 if trial == 0 && out.end == RunEnd::Stalled {
                     if let Some(report) = policy.starvation() {
                         eprintln!(
@@ -586,12 +608,28 @@ fn run_cell(spec: &CellSpec, trials: usize, cutoff: u64) -> Row {
                             report.traversals
                         );
                     }
+                    if let Some(report) = policy.suspension() {
+                        eprintln!(
+                            "note: {}: suspension evidence — agent {} held its committed \
+                             crossing for {} actions",
+                            spec.scenario_id(),
+                            report.agent,
+                            report.held_actions
+                        );
+                    }
                 }
                 // The completeness postcondition only binds fault-free
                 // quiescence: a crashed agent can neither output nor be
                 // met, so the chaos tier reports `null` by construction.
                 let complete = (out.end == RunEnd::AllParked && fault_seed.is_none())
                     .then(|| sgl_complete(&rt, &SGL_LABELS[..k]));
+                let certs: Vec<String> = (0..rt.agent_count())
+                    .filter_map(|i| {
+                        rt.behavior(i)
+                            .certificate()
+                            .map(|c| format!("a{i}:phase{}/s{}/sp{}", c.phase, c.sightings, c.span))
+                    })
+                    .collect();
                 (
                     elapsed,
                     CellOutcome {
@@ -601,6 +639,7 @@ fn run_cell(spec: &CellSpec, trials: usize, cutoff: u64) -> Row {
                         actions: out.actions,
                         complete,
                         tt: None,
+                        certificate: (!certs.is_empty()).then(|| certs.join(",")),
                     },
                 )
             }
@@ -638,6 +677,7 @@ fn run_cell(spec: &CellSpec, trials: usize, cutoff: u64) -> Row {
                         actions: depth as u64,
                         complete: None,
                         tt: Some((stats.hits, stats.entries)),
+                        certificate: None,
                     },
                 )
             }
@@ -663,6 +703,7 @@ fn run_cell(spec: &CellSpec, trials: usize, cutoff: u64) -> Row {
         actions: out.actions,
         complete: out.complete,
         faults: spec.fault_label(),
+        certificate: out.certificate,
         trials,
         tt_hits: out.tt.map(|t| t.0),
         tt_entries: out.tt.map(|t| t.1),
@@ -771,6 +812,38 @@ fn check(path: &str) {
             );
         }
         let faulted = faults != "none";
+        // The certificate column: a string on protocol rows where some
+        // agent's ESST closed on a suspended-token certificate, `null`
+        // everywhere else — and structurally impossible on the `+nocert`
+        // ablation row, which runs with the census disarmed.
+        let certificate = field("certificate");
+        assert!(
+            certificate.is_null() || certificate.as_str().is_some(),
+            "{path}:{} certificate must be a string or null",
+            lineno + 1
+        );
+        assert!(
+            mode == "protocol" || certificate.is_null(),
+            "{path}:{} only protocol cells can certify a suspended token",
+            lineno + 1
+        );
+        if let Some(cert) = certificate.as_str() {
+            assert!(
+                cert.split(',').all(|c| {
+                    c.starts_with('a')
+                        && c.contains(":phase")
+                        && c.contains("/s")
+                        && c.contains("/sp")
+                }),
+                "{path}:{} malformed certificate descriptor {cert:?}",
+                lineno + 1
+            );
+        }
+        assert!(
+            !scenario.ends_with("+nocert") || certificate.is_null(),
+            "{path}:{} the ablation row runs certificate-free",
+            lineno + 1
+        );
         let end = field("end");
         let end = end
             .as_str()

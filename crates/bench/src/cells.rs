@@ -4,7 +4,7 @@
 //! Every cell of the scenario matrix is a [`CellSpec`]: mode, graph
 //! family, order, adversary, team size / algorithm variant / search
 //! horizon, stop policy, seeds, and (for the chaos tier) a seeded fault
-//! plan. The 449-row table is nothing but `cells()` — data produced by
+//! plan. The 454-row table is nothing but `cells()` — data produced by
 //! iterating the sub-table axes — so consumers (the matrix runner, the
 //! `--check` gate, the content-addressed store, tests) share one source
 //! of truth instead of each re-deriving the cartesian product.
@@ -25,7 +25,8 @@
 //! * **Rendezvous** — family × order (8, 12, 16) × adversary × algorithm
 //!   variant (the paper's algorithm plus the three F6 ablations).
 //! * **Protocol (SGL)** — family × order (5, 6, 8) × adversary × team
-//!   size k ∈ {2, 3, 4}, plus the ring large-order cells (12, 16).
+//!   size k ∈ {2, 3, 4}, plus the ring large-order cells (12, 16) and
+//!   one certificate-ablation cell (`+nocert`).
 //! * **Chaos (seeded faults)** — SGL cells re-run under
 //!   [`FaultPlan::seeded`] crash-stop plans: {ring, gnp} × order 6 ×
 //!   {round-robin, greedy-avoid} × k = 3 × fault seed ∈ {1, 2, 3}. The
@@ -74,11 +75,14 @@ pub const ADVERSARIES: [AdversaryKind; 4] = [
     AdversaryKind::EagerMeet,
 ];
 
-/// Adversaries of the large protocol cells (`lazy(1)` stays out: its
-/// adversarially inflated final ESST phase sits inside the stall
-/// detector's margin — see `docs/STALL_TRACE.md`).
-pub const LARGE_ADVERSARIES: [AdversaryKind; 3] = [
+/// Adversaries of the large protocol cells. `lazy(1)` used to stay out —
+/// its adversarially pinned final ESST phase burned tens of millions of
+/// traversals — but the suspended-token certificate retires those cells
+/// certified-quiescent under a million traversals, so the axis is now
+/// the full protocol spread minus none (see `docs/STALL_TRACE.md`).
+pub const LARGE_ADVERSARIES: [AdversaryKind; 4] = [
     AdversaryKind::RoundRobin,
+    AdversaryKind::LazySecond,
     AdversaryKind::GreedyAvoid,
     AdversaryKind::EagerMeet,
 ];
@@ -116,8 +120,11 @@ pub const CUTOFF: u64 = 100_000;
 /// quiescence cost there, so `Cutoff` rows flag genuine surprises (the
 /// known non-quiescers read `Stalled` long before).
 pub const PROTOCOL_CUTOFF: u64 = 2_500_000;
-/// Protocol budget backstop for the large-order cells (ring(16) quiesces
-/// at ≈ 17.8M traversals).
+/// Protocol budget backstop for the large-order cells. Generous on
+/// purpose: ring(16) needed ≈ 17.8M traversals before the suspended-token
+/// certificate (every large cell now retires certified-quiescent under
+/// a million), and the headroom keeps `Cutoff` rows meaning "genuine
+/// surprise" if a certificate regresses.
 pub const LARGE_PROTOCOL_CUTOFF: u64 = 50_000_000;
 /// Protocol cutoff under `--smoke`: bounds the CI gate's wall-clock (the
 /// gate checks schema and coverage; protocol smoke rows all read
@@ -205,6 +212,11 @@ pub enum CellKind {
         k: usize,
         /// Chaos-tier fault seed (`None` = fault-free cell).
         fault_seed: Option<u64>,
+        /// Whether the explorer's suspended-token census is armed (the
+        /// engine default). `false` only on the ablation cell, which
+        /// keeps the certificate-free behavior of a suspension cell
+        /// measured in the matrix (scenario id suffix `+nocert`).
+        certify: bool,
     },
     /// Memoized worst-case search to an action horizon (no adversary
     /// axis: the search quantifies over all of them).
@@ -234,19 +246,26 @@ pub struct CellSpec {
 impl CellSpec {
     /// The cell's scenario id, `family<n>/adversary/variant` — the
     /// human-readable key of a row (`--only` filters on it; checkpoints
-    /// index by it). Chaos cells append `+f<seed>` to the variant.
+    /// index by it). Chaos cells append `+f<seed>` to the variant; the
+    /// certificate ablation cell appends `+nocert`.
     pub fn scenario_id(&self) -> String {
         let (fname, n, adversary) = (self.fname, self.n, self.adversary);
         match self.kind {
             CellKind::Rendezvous { vname, .. } => format!("{fname}{n}/{adversary}/{vname}"),
             CellKind::Sgl {
                 k,
-                fault_seed: None,
-            } => format!("{fname}{n}/{adversary}/sgl-k{k}"),
-            CellKind::Sgl {
-                k,
-                fault_seed: Some(seed),
-            } => format!("{fname}{n}/{adversary}/sgl-k{k}+f{seed}"),
+                fault_seed,
+                certify,
+            } => {
+                let mut id = format!("{fname}{n}/{adversary}/sgl-k{k}");
+                if let Some(seed) = fault_seed {
+                    id.push_str(&format!("+f{seed}"));
+                }
+                if !certify {
+                    id.push_str("+nocert");
+                }
+                id
+            }
             CellKind::Minimax { depth } => format!("{fname}{n}/worst-case/memo-d{depth}"),
         }
     }
@@ -310,6 +329,13 @@ impl CellSpec {
         }
     }
 
+    /// Whether the cell's SGL agents arm the suspended-token census
+    /// (true everywhere except the `+nocert` ablation cell; vacuously
+    /// true off the protocol sub-tables).
+    pub fn certify(&self) -> bool {
+        !matches!(self.kind, CellKind::Sgl { certify: false, .. })
+    }
+
     /// The fully-derived fault plan of a chaos cell (`None` off the chaos
     /// tier). A pure function of the spec: seed and team size alone.
     pub fn fault_plan(&self) -> Option<FaultPlan> {
@@ -317,6 +343,7 @@ impl CellSpec {
             CellKind::Sgl {
                 k,
                 fault_seed: Some(seed),
+                ..
             } => Some(FaultPlan::seeded(seed, &chaos_fault_profile(k))),
             _ => None,
         }
@@ -378,9 +405,23 @@ impl CellSpec {
                     variant.doubled_atoms, variant.scaled_params, variant.modified_label
                 ));
             }
-            CellKind::Sgl { k, .. } => {
+            CellKind::Sgl { k, certify, .. } => {
                 let labels: Vec<String> = SGL_LABELS[..k].iter().map(|l| l.to_string()).collect();
                 out.push_str(&format!("labels={}\n", labels.join(",")));
+                // The suspension policy is part of what the cell asks:
+                // the derived thresholds are spelled out (not just a
+                // flag), so retuning the engine default moves the key.
+                match if certify {
+                    rv_protocols::SglConfig::default().suspension
+                } else {
+                    None
+                } {
+                    Some(p) => out.push_str(&format!(
+                        "suspension=sightings:{},span:{}\n",
+                        p.min_sightings, p.min_span
+                    )),
+                    None => out.push_str("suspension=none\n"),
+                }
             }
             CellKind::Minimax { .. } => {
                 out.push_str("labels=1,2\n");
@@ -435,6 +476,7 @@ pub fn cells() -> Vec<CellSpec> {
                         kind: CellKind::Sgl {
                             k,
                             fault_seed: None,
+                            certify: true,
                         },
                     });
                 }
@@ -452,11 +494,27 @@ pub fn cells() -> Vec<CellSpec> {
                     kind: CellKind::Sgl {
                         k,
                         fault_seed: None,
+                        certify: true,
                     },
                 });
             }
         }
     }
+    // The certificate ablation cell: one former outlier re-run with the
+    // suspended-token census disarmed — the matrix keeps a measured
+    // `Stalled` row (and its structural suspension evidence) so the
+    // certificate's effect stays visible as a same-table comparison.
+    out.push(CellSpec {
+        family: GraphFamily::Gnp,
+        fname: "gnp",
+        n: 8,
+        adversary: AdversaryKind::GreedyAvoid,
+        kind: CellKind::Sgl {
+            k: 4,
+            fault_seed: None,
+            certify: false,
+        },
+    });
     for (family, fname) in CHAOS_FAMILIES {
         for adversary in CHAOS_ADVERSARIES {
             for seed in CHAOS_FAULT_SEEDS {
@@ -468,6 +526,7 @@ pub fn cells() -> Vec<CellSpec> {
                     kind: CellKind::Sgl {
                         k: CHAOS_TEAM,
                         fault_seed: Some(seed),
+                        certify: true,
                     },
                 });
             }
@@ -485,13 +544,14 @@ pub fn cells() -> Vec<CellSpec> {
     out
 }
 
-/// Number of cells in the declared matrix.
+/// Number of cells in the declared matrix (the `+ 1` is the certificate
+/// ablation cell).
 pub fn cell_count() -> usize {
     let rendezvous = FAMILIES.len() * SIZES.len() * ADVERSARIES.len() * variants().len();
     let protocol = FAMILIES.len() * PROTOCOL_SIZES.len() * ADVERSARIES.len() * TEAM_SIZES.len();
     let large = LARGE_PROTOCOL_SIZES.len() * LARGE_ADVERSARIES.len() * LARGE_TEAM_SIZES.len();
     let chaos = CHAOS_FAMILIES.len() * CHAOS_ADVERSARIES.len() * CHAOS_FAULT_SEEDS.len();
-    rendezvous + protocol + large + chaos + MINIMAX_CELLS.len()
+    rendezvous + protocol + large + 1 + chaos + MINIMAX_CELLS.len()
 }
 
 #[cfg(test)]
@@ -499,15 +559,37 @@ mod tests {
     use super::*;
 
     #[test]
-    fn the_declared_matrix_has_449_cells_and_unique_scenario_ids() {
+    fn the_declared_matrix_has_454_cells_and_unique_scenario_ids() {
         let all = cells();
         assert_eq!(all.len(), cell_count());
-        assert_eq!(all.len(), 449, "240 rendezvous + 204 protocol + 5 minimax");
+        assert_eq!(all.len(), 454, "240 rendezvous + 209 protocol + 5 minimax");
         let mut ids: Vec<String> = all.iter().map(|c| c.scenario_id()).collect();
         let total = ids.len();
         ids.sort();
         ids.dedup();
         assert_eq!(ids.len(), total, "scenario ids must be unique");
+        // The ablation cell is declared exactly once, certificate-free,
+        // and distinguishable both by id and by content key.
+        let ablations: Vec<&CellSpec> = all.iter().filter(|c| !c.certify()).collect();
+        assert_eq!(ablations.len(), 1, "exactly one +nocert ablation cell");
+        let ab = ablations[0];
+        assert_eq!(ab.scenario_id(), "gnp8/greedy-avoid/sgl-k4+nocert");
+        let twin = all
+            .iter()
+            .find(|c| c.scenario_id() == "gnp8/greedy-avoid/sgl-k4")
+            .expect("the certified twin is declared");
+        assert_ne!(
+            ab.content_key(5, ab.cutoff(false)),
+            twin.content_key(5, twin.cutoff(false)),
+            "the suspension line must separate the ablation from its twin"
+        );
+        // The certificate unlocked the large lazy(1) cells: declared now.
+        for id in ["ring12/lazy(1)/sgl-k2", "ring16/lazy(1)/sgl-k3"] {
+            assert!(
+                all.iter().any(|c| c.scenario_id() == id),
+                "{id} must be a declared cell"
+            );
+        }
     }
 
     #[test]

@@ -27,6 +27,19 @@
 //! traversal before aborting; this implementation aborts at the nearest
 //! endpoint, which differs by at most one edge traversal and affects no
 //! claim of Theorem 2.1.
+//!
+//! A second, performance-motivated extension: the **suspended-token
+//! certificate** (`docs/STALL_TRACE.md`). When the driver can attest that
+//! a sighting is of a token pinned at one position — a ghost holding at
+//! most one committed final crossing, sighted where the streak's previous
+//! sighting left it, whether parked at a node or suspended strictly
+//! inside an edge — the machine runs a per-phase census of consecutive
+//! attested sightings and closes the phase early — [`Drive::Done`] plus a
+//! [`SuspendedTokenCert`] — once the streak outlasts any schedule under
+//! which the token's remaining crossing ever completes and produces a
+//! sighting elsewhere ([`SuspensionPolicy`]). Without attestation (every
+//! standalone oracle by default) the census never accumulates and the
+//! machine is bit-identical to the uncertified one.
 
 use crate::provider::{ExplorationProvider, RWalker};
 use rv_graph::{EdgeId, EdgeSet, Graph, NodeId, PortId};
@@ -61,6 +74,20 @@ pub trait TokenOracle {
     /// Token met inside `edge` when the agent traverses it starting
     /// from `from`?
     fn observe_traversal(&mut self, edge: EdgeId, from: NodeId) -> bool;
+    /// Whether the driver can *attest* that an inside-edge sighting is of
+    /// a **suspended** token: one that holds at most a single committed
+    /// final crossing and can never produce new sightings after
+    /// completing it (Algorithm SGL's token is a parked-forever ghost, so
+    /// its driver attests; free-moving oracles must not). The standalone
+    /// harness only ever attests inside-edge sightings — it cannot check
+    /// position stability, so node sightings stay unattested — while
+    /// richer drivers (the SGL behavior) attest any sighting of a ghost
+    /// pinned at one position. Only attested sightings feed the
+    /// suspended-token census; the default `false` keeps the certificate
+    /// machinery provably inert.
+    fn attests_suspension(&self) -> bool {
+        false
+    }
 }
 
 /// A token parked at a fixed node of its extended edge.
@@ -166,6 +193,64 @@ pub struct ArrivalReport {
     pub token_inside: bool,
     /// Token present at the arrival node.
     pub token_at_node: bool,
+    /// Driver-attested evidence that this sighting is of a *suspended*
+    /// token: one pinned at the same position (node or edge interior) as
+    /// the previous sighting and holding at most one committed crossing
+    /// (see [`TokenOracle::attests_suspension`]). Ignored unless
+    /// `token_inside` or `token_at_node` is set.
+    pub token_suspended: bool,
+}
+
+/// Policy knobs of the suspended-token census (see
+/// [`EsstMachine::certificate`]).
+///
+/// The census counts *consecutive* attested sightings within one phase,
+/// with no intervening unattested sighting, and certifies once the
+/// streak is both long (`min_sightings`) and wide (`min_span` edge
+/// traversals between its first and latest sighting). It fires on any
+/// token that has stopped for good — one the adversary pinned
+/// mid-protocol *or* one that simply parked at its final position (a
+/// parked ghost is a permanent suspension too, so retiring the phase
+/// early against it is equally sound and a free speedup). `min_span` is
+/// the load-bearing bound twice over: a run that finishes under the
+/// floors is bit-identical to a census-free run (in particular, a
+/// sub-`min_span` smoke cutoff can never certify), and a phase that
+/// *has* walked 60k traversals is deep enough that closing it keeps the
+/// derived order bound adequate for the later seek/collect walks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SuspensionPolicy {
+    /// Minimum consecutive attested inside-edge sightings.
+    pub min_sightings: u64,
+    /// Minimum edge traversals between the streak's first sighting and
+    /// the certifying one.
+    pub min_span: u64,
+}
+
+impl Default for SuspensionPolicy {
+    /// Calibrated against `docs/STALL_TRACE.md`: the pinned phases of the
+    /// outlier cells accumulate thousands of same-position sightings over
+    /// hundreds of thousands of traversals, so the floors sit far under
+    /// their natural quiescence yet far over the 40k smoke cutoff and
+    /// over the whole lifetime of the smallest golden cells, which stay
+    /// bit-identical to a census-free run.
+    fn default() -> Self {
+        SuspensionPolicy {
+            min_sightings: 48,
+            min_span: 60_000,
+        }
+    }
+}
+
+/// A suspended-token certificate: the evidence on which a phase was closed
+/// early (see [`EsstMachine::certificate`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SuspendedTokenCert {
+    /// Phase that was closed by the certificate.
+    pub phase: u64,
+    /// Consecutive attested sightings in the census streak.
+    pub sightings: u64,
+    /// Edge traversals spanned by the streak.
+    pub span: u64,
 }
 
 /// One completed traversal in the trunc log.
@@ -230,6 +315,15 @@ pub struct EsstMachine<P> {
     /// (node-level walk; lets SGL backtrack the ESST trajectory).
     walk_entries: Vec<PortId>,
     phases_aborted: u64,
+    /// Suspended-token census policy (`None` disables certification).
+    suspension: Option<SuspensionPolicy>,
+    /// Consecutive attested inside-edge sightings; reset by phase
+    /// boundaries and by any at-node or unattested sighting.
+    streak_sightings: u64,
+    /// `cost` at the streak's first sighting.
+    streak_start_cost: u64,
+    /// The certificate, once a census streak closed a phase.
+    certificate: Option<SuspendedTokenCert>,
 }
 
 impl<P: ExplorationProvider + Clone> EsstMachine<P> {
@@ -256,9 +350,30 @@ impl<P: ExplorationProvider + Clone> EsstMachine<P> {
             trunc_token_seen: false,
             walk_entries: Vec::new(),
             phases_aborted: 0,
+            suspension: Some(SuspensionPolicy::default()),
+            streak_sightings: 0,
+            streak_start_cost: 0,
+            certificate: None,
         };
         m.start_phase(3);
         m
+    }
+
+    /// Overrides the suspended-token census policy (`None` disables the
+    /// certificate entirely — the machine then behaves exactly as it did
+    /// before the census existed).
+    pub fn with_suspension_policy(mut self, policy: Option<SuspensionPolicy>) -> Self {
+        self.suspension = policy;
+        self
+    }
+
+    /// The suspended-token certificate, if one closed a phase: the machine
+    /// reached [`Drive::Done`] because the census proved the token agent
+    /// has held a single committed crossing for longer than any schedule
+    /// that ever re-parks it at a node could sustain. `None` on natural
+    /// termination.
+    pub fn certificate(&self) -> Option<SuspendedTokenCert> {
+        self.certificate
     }
 
     /// Total edge traversals so far (interrupted in-and-back moves count 2).
@@ -302,10 +417,59 @@ impl<P: ExplorationProvider + Clone> EsstMachine<P> {
         self.trunc_degrees.clear();
         self.trunc_degrees.push(self.cur_degree);
         self.trunc_token_seen = self.token_here;
+        self.streak_sightings = 0; // the census never spans phases
         self.cur_entry = None; // fresh R application
         self.state = State::TruncForward {
             walker: RWalker::new(self.provider.clone(), 2 * i),
         };
+    }
+
+    /// Feeds one token observation to the suspended-token census: an
+    /// attested sighting extends the streak, an unattested one breaks it.
+    /// The machine does not second-guess the attestation — the driver
+    /// vouches that the sighted token is pinned (it holds at most one
+    /// committed crossing and was sighted at the same position as the
+    /// streak's previous sighting, strictly inside an edge or parked at a
+    /// node); a sighting the driver cannot vouch for may belong to a
+    /// token that still moves and changes codes, so it restarts the
+    /// census.
+    fn observe_for_census(&mut self, suspended: bool) {
+        if !suspended {
+            self.streak_sightings = 0;
+        } else {
+            if self.streak_sightings == 0 {
+                self.streak_start_cost = self.cost;
+            }
+            self.streak_sightings += 1;
+        }
+    }
+
+    /// Closes the phase on a suspended-token certificate when the census
+    /// qualifies. The sub-state does not matter: the certificate's
+    /// warrant is the census itself — every sighting in an unbroken,
+    /// span-qualified streak saw the token strictly inside an edge, and a
+    /// token that never re-enters a node can never be met at one, so the
+    /// rest of the phase (trunc tail, inner walks, codes) could only have
+    /// chased it in vain. Closing during the trunc matters in practice:
+    /// large-order final phases spend most of their length there, and a
+    /// certificate gated on the inner walks would sit on a proven
+    /// suspension for millions of traversals.
+    fn maybe_certify(&mut self) {
+        let Some(policy) = self.suspension else {
+            return;
+        };
+        if self.certificate.is_some() || matches!(self.state, State::Done) {
+            return;
+        }
+        let span = self.cost - self.streak_start_cost;
+        if self.streak_sightings >= policy.min_sightings && span >= policy.min_span {
+            self.certificate = Some(SuspendedTokenCert {
+                phase: self.phase,
+                sightings: self.streak_sightings,
+                span,
+            });
+            self.state = State::Done;
+        }
     }
 
     fn abort_phase(&mut self) {
@@ -378,6 +542,9 @@ impl<P: ExplorationProvider + Clone> EsstMachine<P> {
         self.cur_degree = report.degree;
         self.cur_entry = Some(report.entry);
         self.token_here = report.token_at_node;
+        if report.token_at_node || report.token_inside {
+            self.observe_for_census(report.token_suspended);
+        }
 
         let state = std::mem::replace(&mut self.state, State::Done);
         match state {
@@ -478,16 +645,18 @@ impl<P: ExplorationProvider + Clone> EsstMachine<P> {
             }
             State::Done => unreachable!("arrived() on a finished machine"),
         }
+        self.maybe_certify();
     }
 
     /// Reports that the pending interruptible traversal was cut short by a
     /// token sighting inside the edge; the agent is back at the node it
-    /// left.
+    /// left. `suspended` is the driver's attestation for the sighting (see
+    /// [`TokenOracle::attests_suspension`]).
     ///
     /// # Panics
     ///
     /// Panics if the pending move was not an interruptible traversal.
-    pub fn interrupted_inside(&mut self) {
+    pub fn interrupted_inside(&mut self, suspended: bool) {
         let pending = self
             .pending
             .take()
@@ -500,6 +669,7 @@ impl<P: ExplorationProvider + Clone> EsstMachine<P> {
             other => panic!("interrupted_inside() on non-interruptible move {other:?}"),
         };
         self.cost += 2; // into the edge and back
+        self.observe_for_census(suspended);
         let state = std::mem::replace(&mut self.state, State::Done);
         match state {
             State::Inner {
@@ -524,6 +694,7 @@ impl<P: ExplorationProvider + Clone> EsstMachine<P> {
             }
             _ => unreachable!("interruptible moves only occur in Inner state"),
         }
+        self.maybe_certify();
     }
 
     /// Standing at trunc node `j`: start `R(phase, u_j)` (or record an
@@ -593,6 +764,8 @@ pub struct EsstOutcome {
     pub phases_aborted: u64,
     /// Distinct edges traversed over the whole run.
     pub edges_covered: usize,
+    /// The suspended-token certificate, if one closed the final phase.
+    pub certificate: Option<SuspendedTokenCert>,
     /// Entry ports of all completed traversals (for backtracking).
     pub walk_entries: Vec<PortId>,
 }
@@ -629,9 +802,10 @@ where
             } => {
                 let index = g.edge_index_at(cur, port);
                 let inside = oracle.observe_traversal(g.edge_id(index), cur);
+                let suspended = inside && oracle.attests_suspension();
                 if interruptible && inside {
                     covered.insert(index);
-                    m.interrupted_inside();
+                    m.interrupted_inside(suspended);
                 } else {
                     let arr = g.traverse(cur, port);
                     cur = arr.node;
@@ -642,6 +816,7 @@ where
                         degree: g.degree(cur),
                         token_inside: inside,
                         token_at_node: at_node,
+                        token_suspended: suspended,
                     });
                 }
             }
@@ -653,6 +828,7 @@ where
         final_phase: m.phase(),
         phases_aborted: m.phases_aborted(),
         edges_covered: covered.len(),
+        certificate: m.certificate(),
         walk_entries: m.into_walk_entries(),
     })
 }
@@ -691,6 +867,174 @@ mod tests {
         let out =
             run_esst(&g, fast_uxs(), NodeId(0), &mut oracle, 9 * 4 + 3).expect("must terminate");
         assert_eq!(out.edges_covered, g.size());
+        assert!(
+            out.certificate.is_none(),
+            "an unattested evasive token must never certify"
+        );
+    }
+
+    /// An evasive edge token whose driver attests suspension — the
+    /// standalone model of SGL's parked-forever ghost caught mid-crossing.
+    struct SuspendedEdgeToken {
+        edge: EdgeId,
+    }
+    impl TokenOracle for SuspendedEdgeToken {
+        fn observe_node(&mut self, _v: NodeId) -> bool {
+            false
+        }
+        fn observe_traversal(&mut self, edge: EdgeId, _f: NodeId) -> bool {
+            edge == self.edge
+        }
+        fn attests_suspension(&self) -> bool {
+            true
+        }
+    }
+
+    /// Drives a machine with an explicit suspension policy against an
+    /// oracle — `run_esst`'s loop, with the policy injectable.
+    fn drive_with_policy<O: TokenOracle>(
+        g: &Graph,
+        start: NodeId,
+        oracle: &mut O,
+        policy: Option<SuspensionPolicy>,
+        max_phase: u64,
+    ) -> Option<(EsstMachine<SeededUxs>, NodeId)> {
+        let token_at_start = oracle.observe_node(start);
+        let mut m = EsstMachine::new(fast_uxs(), g.degree(start), token_at_start)
+            .with_suspension_policy(policy);
+        let mut cur = start;
+        loop {
+            if m.phase() > max_phase {
+                return None;
+            }
+            match m.current_request() {
+                Drive::Done => return Some((m, cur)),
+                Drive::Traverse {
+                    port,
+                    interruptible,
+                } => {
+                    let index = g.edge_index_at(cur, port);
+                    let inside = oracle.observe_traversal(g.edge_id(index), cur);
+                    let suspended = inside && oracle.attests_suspension();
+                    if interruptible && inside {
+                        m.interrupted_inside(suspended);
+                    } else {
+                        let arr = g.traverse(cur, port);
+                        cur = arr.node;
+                        let at_node = oracle.observe_node(cur);
+                        m.arrived(ArrivalReport {
+                            entry: arr.entry_port,
+                            degree: g.degree(cur),
+                            token_inside: inside,
+                            token_at_node: at_node,
+                            token_suspended: suspended,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn attested_suspension_certifies_and_backtracks_to_start() {
+        // A permanently-suspended attested token pins every phase the way
+        // the stall-trace outliers do; a small census policy must close a
+        // phase with a certificate, and the recorded walk must still
+        // replay back to the start node from wherever the early stop
+        // landed.
+        let g = generators::ring(6);
+        let edge = EdgeId::new(NodeId(2), NodeId(3));
+        let mut oracle = SuspendedEdgeToken { edge };
+        let policy = SuspensionPolicy {
+            min_sightings: 3,
+            min_span: 8,
+        };
+        let (m, cur) = drive_with_policy(&g, NodeId(0), &mut oracle, Some(policy), 9 * 6 + 3)
+            .expect("the certificate must terminate the run");
+        let cert = m.certificate().expect("a certificate closed the phase");
+        assert!(m.is_done());
+        assert!(cert.sightings >= 3 && cert.span >= 8);
+        assert_eq!(cert.phase, m.phase());
+        let mut back = cur;
+        for &entry in m.walk_entries().iter().rev() {
+            back = g.traverse(back, entry).node;
+        }
+        assert_eq!(back, NodeId(0), "certified stop still backtracks home");
+    }
+
+    #[test]
+    fn suspension_census_resets_on_at_node_sightings() {
+        // An oscillating token keeps re-parking at its endpoints; even
+        // with attestation forced on and a tiny policy, the at-node
+        // sightings break every streak — the certificate must not fire.
+        struct AttestingOscillator(OscillatingToken);
+        impl TokenOracle for AttestingOscillator {
+            fn observe_node(&mut self, v: NodeId) -> bool {
+                self.0.observe_node(v)
+            }
+            fn observe_traversal(&mut self, e: EdgeId, f: NodeId) -> bool {
+                self.0.observe_traversal(e, f)
+            }
+            fn attests_suspension(&self) -> bool {
+                true
+            }
+        }
+        let g = generators::path(4);
+        let edge = EdgeId::new(NodeId(1), NodeId(2));
+        let mut oracle = AttestingOscillator(OscillatingToken::new(edge));
+        let policy = SuspensionPolicy {
+            min_sightings: 3,
+            min_span: 8,
+        };
+        let (m, _) = drive_with_policy(&g, NodeId(0), &mut oracle, Some(policy), 9 * 4 + 3)
+            .expect("must terminate naturally");
+        assert!(
+            m.certificate().is_none(),
+            "a token that re-parks at nodes must never be certified suspended"
+        );
+    }
+
+    #[test]
+    fn census_is_free_when_it_never_fires() {
+        // The same instance driven three ways — census disabled, census
+        // armed at a policy this instance can never satisfy, and armed at
+        // the default policy against an oracle that does not attest —
+        // must produce bit-identical runs with no certificate: the
+        // machinery is observable only at the moment it fires.
+        let g = generators::ring(4);
+        let edge = EdgeId::new(NodeId(1), NodeId(2));
+        let cap = 9 * 4 + 3;
+        let unreachable = SuspensionPolicy {
+            min_sightings: u64::MAX,
+            min_span: u64::MAX,
+        };
+        let disabled =
+            drive_with_policy(&g, NodeId(0), &mut SuspendedEdgeToken { edge }, None, cap)
+                .expect("must terminate");
+        let armed_wide = drive_with_policy(
+            &g,
+            NodeId(0),
+            &mut SuspendedEdgeToken { edge },
+            Some(unreachable),
+            cap,
+        )
+        .expect("must terminate");
+        let unattested = drive_with_policy(
+            &g,
+            NodeId(0),
+            &mut EvasiveEdgeToken { edge },
+            Some(SuspensionPolicy::default()),
+            cap,
+        )
+        .expect("must terminate");
+        for (m, _) in [&disabled, &armed_wide, &unattested] {
+            assert!(m.certificate().is_none());
+            assert_eq!(m.cost(), disabled.0.cost());
+            assert_eq!(m.phase(), disabled.0.phase());
+            assert_eq!(m.walk_entries(), disabled.0.walk_entries());
+        }
+        assert_eq!(disabled.1, armed_wide.1);
+        assert_eq!(disabled.1, unattested.1);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::bag::Bag;
 use rv_core::{Label, RvAlgorithm};
-use rv_explore::esst::{ArrivalReport, Drive, EsstMachine};
+use rv_explore::esst::{ArrivalReport, Drive, EsstMachine, SuspendedTokenCert, SuspensionPolicy};
 use rv_explore::{ExplorationProvider, RWalker};
 use rv_graph::{Graph, NodeId, PortId};
 use rv_sim::{Behavior, MeetingPlace};
@@ -47,12 +47,24 @@ pub struct SglConfig {
     /// correctness, and the experiments verify that property post-hoc on
     /// every run.
     pub completion_coeff: u64,
+    /// Suspended-token census policy handed to the explorer's ESST
+    /// machine (`None` disables certification; see
+    /// [`SglBehavior::certificate`]). The attestation the census needs —
+    /// that a token sighting is of a ghost pinned at one position with at
+    /// most one committed final crossing left — is structural here:
+    /// ghosts never commit new moves (paper §4), so a meeting with a
+    /// [`StateKind::Ghost`] peer at the *same place as the previous
+    /// token sighting* (parked at a node the schedule never lets cross,
+    /// or suspended strictly inside an edge) is exactly a sighting of a
+    /// suspended token; any position change breaks the streak.
+    pub suspension: Option<SuspensionPolicy>,
 }
 
 impl Default for SglConfig {
     fn default() -> Self {
         SglConfig {
             completion_coeff: 2,
+            suspension: Some(SuspensionPolicy::default()),
         }
     }
 }
@@ -109,6 +121,9 @@ pub struct SglProgress {
     /// within the phase; `None` outside it). A Phase-1 blowup shows as
     /// this climbing while cost explodes — see the stall-trace note.
     pub esst_phase: Option<u64>,
+    /// Whether a suspended-token certificate has closed this agent's
+    /// Phase 1 (monotone: set at most once, never cleared).
+    pub certified: bool,
     /// Monotone progress ticks: every committed move in a bounded phase
     /// (backtrack, Phase-2 RV, collection and announcement sweeps,
     /// traveller RV), every ESST *phase* advance, and every information
@@ -183,6 +198,16 @@ pub struct SglBehavior<'g, P> {
     /// Token sighting flags for the pending/most recent arrival.
     met_token_at_node: bool,
     met_token_inside: bool,
+    /// The sighting was of a ghost pinned at the same place as the
+    /// previous token sighting (structurally suspended: a ghost holds at
+    /// most one committed crossing, so a position-stable ghost is one the
+    /// schedule is refusing to let finish — or has parked forever).
+    met_token_suspended: bool,
+    /// Where the token was last sighted — the position-stability anchor
+    /// of the suspension attestation above.
+    token_place: Option<MeetingPlace>,
+    /// The suspended-token certificate, if one closed Phase 1.
+    esst_certificate: Option<SuspendedTokenCert>,
     /// Token's `has_output` as of the latest meeting with it.
     token_had_output: bool,
     /// Set when a traveller decides to become an explorer; ESST is
@@ -224,6 +249,9 @@ impl<'g, P: ExplorationProvider + Clone> SglBehavior<'g, P> {
             token_label: None,
             met_token_at_node: false,
             met_token_inside: false,
+            met_token_suspended: false,
+            token_place: None,
+            esst_certificate: None,
             token_had_output: false,
             needs_esst_init: false,
             progress_ticks: 0,
@@ -255,6 +283,16 @@ impl<'g, P: ExplorationProvider + Clone> SglBehavior<'g, P> {
         self.e_bound
     }
 
+    /// The suspended-token certificate, if one closed this agent's
+    /// Phase 1: the ESST census proved the token ghost has held its single
+    /// committed final crossing for longer than any schedule that ever
+    /// re-parks it at a node could sustain, so the phase was closed early
+    /// instead of chasing the token (see `docs/STALL_TRACE.md`). `None`
+    /// when Phase 1 terminated naturally (or never ran).
+    pub fn certificate(&self) -> Option<SuspendedTokenCert> {
+        self.esst_certificate
+    }
+
     /// How far this agent has progressed toward quiescence (all counters
     /// monotone) — see [`SglProgress`]. This is what protocol-mode stop
     /// policies watch: a run whose agents' summed [`SglProgress::ticks`]
@@ -279,6 +317,7 @@ impl<'g, P: ExplorationProvider + Clone> SglBehavior<'g, P> {
                 Some(Phase::Esst { machine, .. }) => Some(machine.phase()),
                 _ => None,
             },
+            certified: self.esst_certificate.is_some(),
             ticks: self.progress_ticks,
         }
     }
@@ -318,11 +357,17 @@ impl<'g, P: ExplorationProvider + Clone> SglBehavior<'g, P> {
         }
     }
 
-    /// Consumes the token-sighting flags accumulated since the last move.
-    fn take_token_flags(&mut self) -> (bool, bool) {
-        let flags = (self.met_token_at_node, self.met_token_inside);
+    /// Consumes the token-sighting flags accumulated since the last move:
+    /// `(at_node, inside, suspended)`.
+    fn take_token_flags(&mut self) -> (bool, bool, bool) {
+        let flags = (
+            self.met_token_at_node,
+            self.met_token_inside,
+            self.met_token_suspended,
+        );
         self.met_token_at_node = false;
         self.met_token_inside = false;
+        self.met_token_suspended = false;
         flags
     }
 
@@ -334,7 +379,7 @@ impl<'g, P: ExplorationProvider + Clone> SglBehavior<'g, P> {
 
     /// Drives Phase 1 (ESST) one step; returns the next port, or `None`
     /// when ESST finished (the caller then switches phase).
-    fn esst_step(&mut self, at_node: bool, inside: bool) -> Option<PortId> {
+    fn esst_step(&mut self, at_node: bool, inside: bool, suspended: bool) -> Option<PortId> {
         let Some(Phase::Esst { machine, fresh }) = self.phase.as_mut() else {
             unreachable!("esst_step outside phase 1");
         };
@@ -347,6 +392,7 @@ impl<'g, P: ExplorationProvider + Clone> SglBehavior<'g, P> {
                 degree: self.g.degree(self.cur),
                 token_inside: inside,
                 token_at_node: at_node,
+                token_suspended: suspended,
             });
             // An ESST phase advance is the protocol-level progress unit of
             // Phase 1 (individual walks within a phase are not: an
@@ -393,9 +439,10 @@ impl<'g, P: ExplorationProvider + Clone> Behavior for SglBehavior<'g, P> {
             StateKind::Explorer => {
                 if self.needs_esst_init {
                     self.needs_esst_init = false;
-                    let (at_node, _inside) = self.take_token_flags();
+                    let (at_node, _inside, _suspended) = self.take_token_flags();
                     let machine =
-                        EsstMachine::new(self.provider.clone(), self.g.degree(self.cur), at_node);
+                        EsstMachine::new(self.provider.clone(), self.g.degree(self.cur), at_node)
+                            .with_suspension_policy(self.config.suspension);
                     self.phase = Some(Phase::Esst {
                         machine,
                         fresh: true,
@@ -408,18 +455,25 @@ impl<'g, P: ExplorationProvider + Clone> Behavior for SglBehavior<'g, P> {
                 }
                 // Token-sighting flags for the arrival that triggered this
                 // query; valid until the next committed move.
-                let (at_node, inside) = self.take_token_flags();
+                let (at_node, inside, suspended) = self.take_token_flags();
                 loop {
                     match self.phase.as_mut().expect("explorer always has a phase") {
                         Phase::Esst { .. } => {
-                            if let Some(port) = self.esst_step(at_node, inside) {
+                            if let Some(port) = self.esst_step(at_node, inside, suspended) {
                                 return Some(self.commit(port));
                             }
                             // Phase 1 done: derive E(n) and set up Phase 2.
+                            // A suspended-token certificate closing the
+                            // phase early is recorded here; it leaves the
+                            // rest of the pipeline untouched (same E(n)
+                            // derivation, same backtrack) because the
+                            // certified token can never re-enter a node
+                            // and change what the remaining phases learn.
                             let Some(Phase::Esst { machine, .. }) = self.phase.take() else {
                                 unreachable!("matched Phase::Esst on the line above")
                             };
                             self.e_bound = Some(machine.phase());
+                            self.esst_certificate = machine.certificate();
                             // Backtracking replays the recorded entry ports
                             // newest-first; `pop()` consumes from the back.
                             let remaining = machine.into_walk_entries();
@@ -540,7 +594,15 @@ impl<'g, P: ExplorationProvider + Clone> Behavior for SglBehavior<'g, P> {
         if !had_final_set && self.final_set.is_some() {
             self.progress_ticks += 1;
         }
-        // 2. Token sighting flags.
+        // 2. Token sighting flags. A sighting of a *ghost* at the same
+        //    place as the previous token sighting is structurally a
+        //    suspended-token sighting — a ghost holds at most one
+        //    committed crossing, so position stability means the schedule
+        //    is withholding that crossing (token parked at a node it
+        //    never leaves, or held strictly inside an edge) — which is
+        //    the attestation the ESST suspension census needs (see
+        //    SglConfig::suspension). Any position change, or a sighting
+        //    of a still-travelling token, breaks the census streak.
         if let Some(token) = self.token_label {
             for p in peers {
                 if p.label == token {
@@ -548,6 +610,10 @@ impl<'g, P: ExplorationProvider + Clone> Behavior for SglBehavior<'g, P> {
                         MeetingPlace::Node(_) => self.met_token_at_node = true,
                         MeetingPlace::Edge(_) => self.met_token_inside = true,
                     }
+                    if p.state == StateKind::Ghost && self.token_place == Some(place) {
+                        self.met_token_suspended = true;
+                    }
+                    self.token_place = Some(place);
                     self.token_had_output |= p.has_output;
                 }
             }

@@ -1,16 +1,20 @@
-//! Stop policies over protocol (SGL) runs: the stall detector fires on
-//! exactly the three known non-quiescing matrix cells, detector-enabled
-//! runs are bit-identical to plain runs on converging cells, and the
-//! adaptive policy makes the rendezvous-order cells affordable.
+//! Stop policies over protocol (SGL) runs: certificate-enabled runs
+//! retire the three former outlier cells as *certified quiescent* well
+//! under budget, the certificate-free ablation shows what each cell costs
+//! without it (the structural stall detector fires where a mid-edge
+//! suspension exists, and honestly reads `Cutoff` where none does),
+//! detector-enabled runs are bit-identical to plain runs on converging
+//! cells, and the rendezvous-order cells are affordable.
 //!
 //! The three "outlier" cells (`tree8/lazy(1)/sgl-k3`,
 //! `tree8/greedy-avoid/sgl-k3`, `gnp8/greedy-avoid/sgl-k4`) were long
 //! suspected to be Phase-3 token-seek stalls; the dedicated trace
 //! (`docs/STALL_TRACE.md`) refuted that — they are **Phase-1 ESST
-//! blowups**: the adversary legally postpones the token ghost's final
-//! `Finish` forever, so the explorer's last ESST phase inflates ~12×
-//! past its nominal length, and the progress ticks (which count ESST
-//! *phase advances*, not walking) go silent from ≈ action 240k onward.
+//! blowups**: the adversary legally pins the token ghost at one position
+//! forever (parked at a node in the lazy cell, suspended strictly inside
+//! an edge in the greedy-avoid cells), so the explorer's last ESST phase
+//! inflates ~12× past its nominal length. The suspended-token census
+//! turns that pinning into a positive termination certificate.
 
 use rv_core::Label;
 use rv_explore::SeededUxs;
@@ -24,14 +28,21 @@ const GRAPH_SEED: u64 = 5;
 const ADVERSARY_SEED: u64 = 3;
 const SGL_LABELS: [u64; 4] = [6, 9, 14, 21];
 
-fn run_cell(
+struct CellReport {
+    out: RunOutcome,
+    outputs: Vec<bool>,
+    certified: Vec<bool>,
+}
+
+fn run_cell_with(
     family: GraphFamily,
     n: usize,
     k: usize,
     kind: AdversaryKind,
     cutoff: u64,
     policy: Option<&mut dyn rv_sim::StopPolicy>,
-) -> (RunOutcome, Vec<bool>) {
+    config: SglConfig,
+) -> CellReport {
     let uxs = SeededUxs::quadratic();
     let g = family.generate(n, GRAPH_SEED);
     let behaviors: Vec<_> = SGL_LABELS[..k]
@@ -44,7 +55,7 @@ fn run_cell(
                 NodeId(i * g.order() / k),
                 Label::new(l).unwrap(),
                 l + 1000,
-                SglConfig::default(),
+                config,
             )
         })
         .collect();
@@ -57,32 +68,122 @@ fn run_cell(
     let outputs = (0..rt.agent_count())
         .map(|i| rt.behavior(i).output().is_some())
         .collect();
-    (out, outputs)
+    let certified = (0..rt.agent_count())
+        .map(|i| rt.behavior(i).certificate().is_some())
+        .collect();
+    CellReport {
+        out,
+        outputs,
+        certified,
+    }
 }
 
-/// The three non-quiescing matrix cells end `Stalled` well under the
-/// 2.5M-traversal budget (they used to burn all of it and read `Cutoff`).
+fn run_cell(
+    family: GraphFamily,
+    n: usize,
+    k: usize,
+    kind: AdversaryKind,
+    cutoff: u64,
+    policy: Option<&mut dyn rv_sim::StopPolicy>,
+) -> (RunOutcome, Vec<bool>) {
+    let r = run_cell_with(family, n, k, kind, cutoff, policy, SglConfig::default());
+    (r.out, r.outputs)
+}
+
+/// The certificate-free configuration used by the ablation legs.
+fn nocert() -> SglConfig {
+    SglConfig {
+        suspension: None,
+        ..SglConfig::default()
+    }
+}
+
+/// With the suspended-token census on (the default), the three former
+/// outlier cells end *certified quiescent* — `AllParked`, every agent
+/// outputs, pairwise completeness holds — several-fold under the
+/// 2.5M-traversal budget they used to burn to `Stalled`/`Cutoff`.
 #[test]
-fn stall_detector_fires_on_all_three_outlier_cells() {
+fn outlier_cells_end_certified_quiescent_under_budget() {
     let outliers = [
         (GraphFamily::RandomTree, 3, AdversaryKind::LazySecond),
         (GraphFamily::RandomTree, 3, AdversaryKind::GreedyAvoid),
         (GraphFamily::Gnp, 4, AdversaryKind::GreedyAvoid),
     ];
     for (family, k, kind) in outliers {
-        let mut policy = AdaptiveThreshold::default();
-        let (out, _) = run_cell(family, 8, k, kind, 2_500_000, Some(&mut policy));
+        let r = run_cell_with(family, 8, k, kind, 2_500_000, None, SglConfig::default());
         assert_eq!(
-            out.end,
-            RunEnd::Stalled,
-            "{family}(8)/{kind}/k{k} must be classified Stalled"
+            r.out.end,
+            RunEnd::AllParked,
+            "{family}(8)/{kind}/k{k} must quiesce"
         );
         assert!(
-            out.total_traversals < 2_500_000,
-            "{family}(8)/{kind}/k{k} must retire under the budget (got {})",
-            out.total_traversals
+            r.out.total_traversals < 500_000,
+            "{family}(8)/{kind}/k{k} must retire several-fold under budget (got {})",
+            r.out.total_traversals
+        );
+        assert!(
+            r.certified.iter().any(|&c| c),
+            "{family}(8)/{kind}/k{k}: some explorer must hold a certificate"
+        );
+        assert!(
+            r.outputs.iter().all(|&o| o),
+            "{family}(8)/{kind}/k{k}: every agent must output"
+        );
+        assert!(
+            (1..r.outputs.len()).all(|j| r.out.meetings.pair_met(0, j)),
+            "{family}(8)/{kind}/k{k}: the minimal agent must have met every teammate"
         );
     }
+}
+
+/// The certificate-free ablation, under the structural stall detector:
+/// the two cells whose token is suspended *strictly inside an edge* are
+/// classified `Stalled` (the detector's hold conjunct is satisfied by a
+/// genuine multi-million-action suspension), while the lazy cell — whose
+/// token is merely parked at a node, with no agent mid-edge — honestly
+/// burns the budget to `Cutoff` instead of being mislabelled.
+#[test]
+fn ablation_separates_suspension_stalls_from_slow_cells() {
+    for (family, k, kind, held_floor) in [
+        (
+            GraphFamily::RandomTree,
+            3,
+            AdversaryKind::GreedyAvoid,
+            2_000_000,
+        ),
+        (GraphFamily::Gnp, 4, AdversaryKind::GreedyAvoid, 2_000_000),
+    ] {
+        let mut policy = AdaptiveThreshold::default();
+        let r = run_cell_with(family, 8, k, kind, 2_500_000, Some(&mut policy), nocert());
+        assert_eq!(
+            r.out.end,
+            RunEnd::Stalled,
+            "{family}(8)/{kind}/k{k}+nocert must be classified Stalled"
+        );
+        let report = policy
+            .suspension()
+            .expect("a Stalled verdict must carry its suspension evidence");
+        assert!(
+            report.held_actions >= held_floor,
+            "{family}(8)/{kind}/k{k}+nocert: suspect held only {} actions",
+            report.held_actions
+        );
+    }
+    let mut policy = AdaptiveThreshold::default();
+    let r = run_cell_with(
+        GraphFamily::RandomTree,
+        8,
+        3,
+        AdversaryKind::LazySecond,
+        2_500_000,
+        Some(&mut policy),
+        nocert(),
+    );
+    assert_eq!(
+        r.out.end,
+        RunEnd::Cutoff,
+        "tree(8)/lazy(1)/k3+nocert has no mid-edge suspension: must read Cutoff"
+    );
 }
 
 /// On a converging cell the stall detector is invisible: same end, same
@@ -138,8 +239,9 @@ fn early_quiescence_matches_natural_quiescence() {
 
 /// A rendezvous-order protocol cell quiesces under the adaptive policy —
 /// the affordability the large matrix sub-table rests on. (ring(16)
-/// completes too, at ≈ 17.8M traversals; the matrix covers it, this test
-/// keeps the suite's wall-clock at the ring(12) scale.)
+/// completes too, certified at ≈ 0.8M traversals where it used to need
+/// ≈ 17.8M; the matrix covers it, this test keeps the suite's wall-clock
+/// at the ring(12) scale.)
 #[test]
 fn order_12_cell_quiesces_under_the_adaptive_policy() {
     let mut policy = AdaptiveThreshold::default();

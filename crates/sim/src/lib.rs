@@ -97,5 +97,5 @@ pub use runtime::{
 };
 pub use stop::{
     and_then, AdaptiveThreshold, BehaviorProgress, DivergenceDetector, EarlyQuiescence,
-    FixedCutoff, Progress, StarvationCensus, StarvationReport, StopPolicy,
+    FixedCutoff, Progress, StarvationCensus, StarvationReport, StopPolicy, SuspensionReport,
 };

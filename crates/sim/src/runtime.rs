@@ -170,6 +170,13 @@ pub(crate) struct Slot<B> {
     /// again, but its body still forces meetings where it lies.
     pub(crate) crashed: bool,
     pub(crate) traversals: u64,
+    /// Action count at this agent's latest `Start` — the moment it entered
+    /// its current edge. Meaningful iff `place` is `Inside { .. }`; while
+    /// there, `actions - entered_at` is how long the agent has *held* its
+    /// one committed crossing (the structural token-suspension census of
+    /// [`crate::stop::Progress::longest_hold_actions`]). Instrumentation
+    /// only: never consulted by scheduling, legality, or memo keys.
+    pub(crate) entered_at: u64,
 }
 
 impl<B: Behavior> Slot<B> {
@@ -184,6 +191,7 @@ impl<B: Behavior> Slot<B> {
             awake: self.awake,
             crashed: self.crashed,
             traversals: self.traversals,
+            entered_at: self.entered_at,
         }
     }
 }
@@ -508,6 +516,7 @@ impl<'g, B: Behavior> Runtime<'g, B> {
                 awake: false,
                 crashed: false,
                 traversals: 0,
+                entered_at: 0,
             }));
     }
 
@@ -780,6 +789,7 @@ impl<'g, B: Behavior> Runtime<'g, B> {
                 let edge = self.g.edge_id(index);
                 slot.place = Place::Inside { edge, from: v, to };
                 slot.inside_index = index;
+                slot.entered_at = self.actions;
                 let from_a = edge.a == v;
                 // Forced crossings with opposite-direction occupants
                 // (captured into scratch: `declare` below re-borrows self).
@@ -1201,6 +1211,8 @@ impl<'g, B: Behavior> Runtime<'g, B> {
         let mut min_tr = u64::MAX;
         let mut max_tr = 0u64;
         let mut min_agent = 0usize;
+        let mut longest_hold = 0u64;
+        let mut longest_hold_agent = 0usize;
         for (i, slot) in self.slots.iter().enumerate() {
             let bp = slot.behavior.progress();
             metric_sum += bp.metric;
@@ -1224,7 +1236,18 @@ impl<'g, B: Behavior> Runtime<'g, B> {
                             parked += 1;
                         }
                     }
-                    Place::Inside { .. } => moving += 1,
+                    Place::Inside { .. } => {
+                        moving += 1;
+                        // Structural suspension census: how long has this
+                        // (live, awake) agent held its committed crossing?
+                        // Crashed slots were skipped above — a body wedged
+                        // mid-edge forever must not read as "suspended".
+                        let hold = self.actions - slot.entered_at;
+                        if hold > longest_hold {
+                            longest_hold = hold;
+                            longest_hold_agent = i;
+                        }
+                    }
                 }
             }
             if slot.traversals < min_tr {
@@ -1251,6 +1274,8 @@ impl<'g, B: Behavior> Runtime<'g, B> {
             min_agent,
             metric_sum,
             metric_max,
+            longest_hold_actions: longest_hold,
+            longest_hold_agent,
         }
     }
 

@@ -91,6 +91,15 @@ pub struct Progress {
     pub metric_sum: u64,
     /// Max over agents of [`BehaviorProgress::metric`].
     pub metric_max: u64,
+    /// Structural token-suspension census: the longest time (in actions)
+    /// any live, awake agent has held its current committed crossing —
+    /// `actions − entered_at` maximised over agents strictly inside an
+    /// edge. Zero when nobody is mid-edge. Crashed agents are excluded: a
+    /// body wedged in an edge forever is a fault, not a suspension.
+    pub longest_hold_actions: u64,
+    /// Index of the agent realising [`Progress::longest_hold_actions`]
+    /// (0 when nobody is mid-edge) — names the suspect in diagnostics.
+    pub longest_hold_agent: usize,
 }
 
 /// A pluggable termination rule for [`crate::Runtime::run_with_policy`].
@@ -199,20 +208,29 @@ impl StopPolicy for DivergenceDetector {
     }
 }
 
-/// Protocol-mode stall detection with a progress-scaled patience window:
-/// the run is stalled once the summed progress metric has been silent for
-/// `max(base_actions, slack × actions-at-last-advance)` adversary
-/// actions.
+/// Protocol-mode stall detection: the run is stalled once the summed
+/// progress metric has been silent for `max(base_actions, slack ×
+/// actions-at-last-advance)` adversary actions **and** the silence bears
+/// the structural signature of a suspended token — some live agent has
+/// held its committed crossing ([`Progress::longest_hold_actions`]) for
+/// at least half the silent window.
 ///
-/// The two terms cover the two legitimate-silence regimes measured across
-/// the SGL matrix (see `docs/STALL_TRACE.md`): early in a run the longest
-/// honest silence is bounded in absolute terms (the base), while late
-/// phases of large instances (a ring(16) final ESST phase) are silent for
-/// a multiple of the work that preceded them (the slack). The defaults —
-/// base 2 200 000 actions, slack 9 — sit between every measured
-/// converging cell (worst honest silence: 1.98M actions from action 242k,
-/// and 15.2M from action 1.80M on ring(16)) and the three stalled outlier
-/// cells (silent from action ≈ 240k to their 5M-action budget).
+/// The window's two terms cover the two legitimate-silence regimes
+/// measured across the SGL matrix (see `docs/STALL_TRACE.md`): early in a
+/// run the longest honest silence is bounded in absolute terms (the
+/// base), while late phases of large instances (a ring(16) final ESST
+/// phase) are silent for a multiple of the work that preceded them (the
+/// slack). The defaults are base 2 200 000 actions, slack 9.
+///
+/// The structural conjunct is what makes the verdict qualitative rather
+/// than calibrated: every stall the matrix can produce is a token ghost
+/// suspended mid-edge, so at the moment a true stall trips the window the
+/// suspect's hold covers (essentially all of) the silence, while an
+/// *honest* long silence — a parked token at a node, agents churning
+/// through a final ESST phase — never shows any agent holding one edge
+/// for millions of actions. Before this test the window alone decided,
+/// and the worst honest silences sat only 1.07–1.11× under it; now a
+/// window overrun without a matching hold is simply not a stall.
 #[derive(Clone, Copy, Debug)]
 pub struct AdaptiveThreshold {
     /// Absolute silence tolerated regardless of position.
@@ -223,6 +241,8 @@ pub struct AdaptiveThreshold {
     last_sum: u64,
     primed: bool,
     census: StarvationCensus,
+    hold_agent: usize,
+    hold_actions: u64,
 }
 
 impl AdaptiveThreshold {
@@ -235,6 +255,8 @@ impl AdaptiveThreshold {
             last_sum: 0,
             primed: false,
             census: StarvationCensus::default(),
+            hold_agent: 0,
+            hold_actions: 0,
         }
     }
 
@@ -243,6 +265,17 @@ impl AdaptiveThreshold {
     /// silent for N actions"). `None` before the first check.
     pub fn starvation(&self) -> Option<StarvationReport> {
         self.census.report()
+    }
+
+    /// The structural-suspension half of a `Stalled` verdict: the agent
+    /// with the longest live committed-crossing hold at the last check,
+    /// and how long it has held it. `None` until a check has seen an
+    /// agent mid-edge.
+    pub fn suspension(&self) -> Option<SuspensionReport> {
+        (self.hold_actions > 0).then_some(SuspensionReport {
+            agent: self.hold_agent,
+            held_actions: self.hold_actions,
+        })
     }
 }
 
@@ -256,6 +289,8 @@ impl Default for AdaptiveThreshold {
 impl StopPolicy for AdaptiveThreshold {
     fn check(&mut self, p: &Progress) -> Option<RunEnd> {
         self.census.observe(p);
+        self.hold_agent = p.longest_hold_agent;
+        self.hold_actions = p.longest_hold_actions;
         // `!=` rather than `>`, and a backwards-clock check: reuse across
         // runs or a `Runtime::restore` can move both the metric and the
         // action counter backwards, and the window must restart rather
@@ -269,7 +304,14 @@ impl StopPolicy for AdaptiveThreshold {
         let window = self
             .base_actions
             .max(self.slack.saturating_mul(self.action_at_advance));
-        (p.actions - self.action_at_advance >= window).then_some(RunEnd::Stalled)
+        let silence = p.actions - self.action_at_advance;
+        // The hold need only cover *half* the silence, not all of it: the
+        // suspect may have started its final crossing shortly after the
+        // last metric tick, and both clocks then advance in lockstep, so
+        // the hold approaches the silence from below without ever
+        // reaching it. Half is reached after one more window at most and
+        // is still far beyond any honest hold (tens of actions).
+        (silence >= window && p.longest_hold_actions >= silence / 2).then_some(RunEnd::Stalled)
     }
 }
 
@@ -287,6 +329,18 @@ pub struct StarvationCensus {
     last_actions: u64,
     agent: usize,
     primed: bool,
+}
+
+/// The structural half of an [`AdaptiveThreshold`] `Stalled` verdict: the
+/// agent holding a committed crossing the longest, and for how many
+/// actions — "agent X has held a committed `Finish` for N actions". See
+/// [`AdaptiveThreshold::suspension`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SuspensionReport {
+    /// The longest-holding mid-edge agent at the last check.
+    pub agent: usize,
+    /// How many actions it has held its current crossing.
+    pub held_actions: u64,
 }
 
 /// A starvation verdict: the least-served agent and how long the minimum
@@ -403,6 +457,11 @@ mod tests {
             min_agent: 0,
             metric_sum,
             metric_max,
+            // One agent mid-edge since action 0: the structural hold
+            // covers any silence, so window-focused tests exercise the
+            // window alone.
+            longest_hold_actions: actions,
+            longest_hold_agent: 0,
         }
     }
 
@@ -441,6 +500,28 @@ mod tests {
         assert_eq!(a.check(&progress(10_000, 0, 6, 6)), None);
         assert_eq!(a.check(&progress(49_999, 0, 6, 6)), None);
         assert_eq!(a.check(&progress(50_000, 0, 6, 6)), Some(RunEnd::Stalled));
+    }
+
+    #[test]
+    fn adaptive_threshold_needs_a_structural_hold_to_stall() {
+        // A window-sized silence alone is not a stall: if no agent has
+        // held a committed crossing for at least half of it, the silence
+        // is honest (the token is parked at a node) and the run continues
+        // no matter how far past the window it drifts.
+        let mut a = AdaptiveThreshold::new(1_000, 0);
+        let mut p = progress(100, 0, 5, 5);
+        p.longest_hold_actions = 0;
+        assert_eq!(a.check(&p), None);
+        p.actions = 50_000;
+        p.longest_hold_actions = 30; // a fresh, honest crossing
+        assert_eq!(a.check(&p), None, "no hold, no stall");
+        // The same silence with a covering hold is the real signature.
+        p.longest_hold_actions = 25_000;
+        p.longest_hold_agent = 2;
+        assert_eq!(a.check(&p), Some(RunEnd::Stalled));
+        let s = a.suspension().expect("a mid-edge agent was observed");
+        assert_eq!(s.agent, 2);
+        assert_eq!(s.held_actions, 25_000);
     }
 
     #[test]

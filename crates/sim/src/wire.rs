@@ -55,6 +55,10 @@ pub struct AgentWire {
     pub crashed: bool,
     /// Completed traversals.
     pub traversals: u64,
+    /// Action count at the agent's latest edge entry (meaningful iff
+    /// inside an edge; see `Slot::entered_at`). Carried verbatim so a
+    /// restored run's suspension census is bit-identical.
+    pub entered_at: u64,
     /// Opaque behavior payload (encoder-defined; see module docs).
     pub behavior: String,
 }
@@ -121,6 +125,7 @@ impl SnapshotWire {
                     awake: slot.awake,
                     crashed: slot.crashed,
                     traversals: slot.traversals,
+                    entered_at: slot.entered_at,
                     behavior: encode(&slot.behavior),
                 }
             })
@@ -250,6 +255,7 @@ impl SnapshotWire {
                 awake: a.awake,
                 crashed: a.crashed,
                 traversals: a.traversals,
+                entered_at: a.entered_at,
             });
         }
         let edges = self
@@ -362,6 +368,7 @@ fn agent_from_value(v: &Value) -> Result<AgentWire, String> {
             .and_then(Value::as_bool)
             .ok_or_else(|| "snapshot wire: missing bool field `crashed`".to_string())?,
         traversals: req_u64(v, "traversals")?,
+        entered_at: req_u64(v, "entered_at")?,
         behavior: v
             .get("behavior")
             .and_then(Value::as_str)
